@@ -1,0 +1,82 @@
+"""Ablations on AraXL's design choices (beyond the paper's figures).
+
+Three sweeps that probe the design decisions Section III motivates:
+
+* ring hop latency — how slow may the RINGI be before slides/reductions
+  suffer (the paper picks pipelined hops over low latency);
+* GLSU pipeline depth — the latency-for-scalability trade of Fig 3;
+* unit queue depth — how much decoupling the sequencer needs to hide
+  the longer AraXL issue path.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.kernels import KERNELS
+from repro.params import AraXLConfig
+from repro.report import render_table
+
+from conftest import save_output
+
+
+def _util(config, kernel, bpl, **kw):
+    run = KERNELS[kernel](config, bpl, **kw)
+    return run.utilization(run.run(config, verify=False))
+
+
+def test_ablation_ring_hop_latency(benchmark):
+    def sweep():
+        rows = []
+        for hop in (1, 2, 4, 8):
+            cfg = AraXLConfig(lanes=32, ring_hop_latency=hop)
+            rows.append((hop,
+                         f"{_util(cfg, 'fconv2d', 512, rows=32) * 100:.1f}%",
+                         f"{_util(cfg, 'fdotproduct', 512) * 100:.1f}%"))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_output("ablation_ring_hop", render_table(
+        ("hop cycles", "fconv2d util", "fdotproduct util"), rows,
+        title="Ablation — RINGI hop latency (32L AraXL, 512 B/lane)"))
+    # Slides tolerate slow hops (long vectors hide them); reductions do
+    # pay, which is why the paper amortizes them over the intra-lane phase.
+    first, last = float(rows[0][1][:-1]), float(rows[-1][1][:-1])
+    assert first - last < 5.0
+
+
+def test_ablation_glsu_depth(benchmark):
+    def sweep():
+        rows = []
+        for extra in (0, 4, 8, 16):
+            cfg = AraXLConfig(lanes=32, glsu_extra_regs=extra)
+            rows.append((extra,
+                         f"{_util(cfg, 'fmatmul', 512, m=16, k=64) * 100:.1f}%",
+                         f"{_util(cfg, 'fdotproduct', 512) * 100:.1f}%"))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_output("ablation_glsu_depth", render_table(
+        ("extra regs", "fmatmul util", "fdotproduct util"), rows,
+        title="Ablation — GLSU pipeline depth (32L AraXL, 512 B/lane)"))
+    # Compute-bound work shrugs off even 16 extra stages.
+    assert float(rows[-1][1][:-1]) > 95.0
+
+
+def test_ablation_queue_depth(benchmark):
+    def sweep():
+        rows = []
+        for depth in (1, 2, 4, 8):
+            cfg = dataclasses.replace(AraXLConfig(lanes=32),
+                                      unit_queue_depth=depth)
+            rows.append((depth,
+                         f"{_util(cfg, 'fmatmul', 128, m=16, k=64) * 100:.1f}%"))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_output("ablation_queue_depth", render_table(
+        ("queue depth", "fmatmul util @128 B/lane"), rows,
+        title="Ablation — sequencer queue depth (32L AraXL)"))
+    # Deeper queues monotonically help (or saturate) at medium vectors.
+    utils = [float(r[1][:-1]) for r in rows]
+    assert utils == sorted(utils)

@@ -1,0 +1,11 @@
+"""Fig 1 — regenerate the vector-processor survey scatter data."""
+
+from repro.eval.survey import araxl_is_frontier, render_survey
+
+from conftest import save_output
+
+
+def test_fig1_survey(benchmark):
+    text = benchmark.pedantic(render_survey, rounds=1, iterations=1)
+    assert araxl_is_frontier()
+    save_output("fig1_survey", text)

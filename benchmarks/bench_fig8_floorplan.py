@@ -1,0 +1,24 @@
+"""Fig 8 — the 16-lane AraXL floorplan (plus the 64-lane hotspot)."""
+
+import pytest
+
+from repro.eval.fig8_floorplan import render_fig8, run_fig8
+
+from conftest import save_output
+
+
+def test_fig8_16_lane_floorplan(benchmark):
+    result = benchmark.pedantic(run_fig8, kwargs={"lanes": 16}, rounds=1,
+                                iterations=1)
+    save_output("fig8_floorplan", render_fig8(result))
+    assert result.clusters == 4
+    assert result.congestion <= 1.0
+    assert result.freq_ghz == pytest.approx(1.40, abs=0.01)
+
+
+def test_fig8_64_lane_congestion(benchmark):
+    result = benchmark.pedantic(run_fig8, kwargs={"lanes": 64}, rounds=1,
+                                iterations=1)
+    save_output("fig8_floorplan_64L", render_fig8(result))
+    assert result.congestion > 1.0  # Section IV-D's routing hotspot
+    assert result.freq_ghz == pytest.approx(1.15, abs=0.02)

@@ -1,0 +1,16 @@
+"""Fig 9 — 16-lane area breakdown, AraXL vs Ara2."""
+
+import pytest
+
+from repro.eval.fig9_area import PAPER_FIG9, render_fig9, run_fig9
+
+from conftest import save_output
+
+
+def test_fig9_area_breakdown(benchmark):
+    result = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    save_output("fig9_area", render_fig9(result))
+    assert result.a2a_reduction == pytest.approx(
+        PAPER_FIG9["a2a_reduction"], abs=0.03)
+    assert result.total_reduction == pytest.approx(
+        PAPER_FIG9["total_reduction"], abs=0.02)

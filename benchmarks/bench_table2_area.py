@@ -1,0 +1,20 @@
+"""Table II — AraXL area scaling 16/32/64 lanes."""
+
+import pytest
+
+from repro.eval.table2_area import PAPER_TABLE2, render_table2, run_table2
+
+from conftest import save_output
+
+
+def test_table2_scaling(benchmark):
+    rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    save_output("table2_area", render_table2(rows))
+    by_lanes = {r.lanes: r for r in rows}
+    for lanes, paper in PAPER_TABLE2.items():
+        assert by_lanes[lanes].total_kge == pytest.approx(paper["TOTAL"],
+                                                          rel=0.01)
+    # Near-perfect 2x steps and ~3% interface overhead.
+    assert by_lanes[64].total_kge / by_lanes[32].total_kge \
+        == pytest.approx(2.0, abs=0.1)
+    assert by_lanes[64].interface_fraction == pytest.approx(0.033, abs=0.01)

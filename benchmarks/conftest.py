@@ -1,0 +1,21 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one paper table/figure via pytest-benchmark
+and prints the rendered comparison table (run with ``-s`` to see it, or
+read ``benchmarks/out/*.txt`` afterwards).  Simulation experiments are
+executed with ``benchmark.pedantic(rounds=1)`` — the quantity of interest
+is the experiment's *output*, not the host's wall-clock jitter.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def save_output(name: str, text: str) -> None:
+    """Persist a rendered experiment next to the benchmarks."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n[saved to benchmarks/out/{name}.txt]")

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Explore AraXL floorplans and the congestion-frequency trade-off.
+
+Renders the Fig 8-style floorplan for each configuration and shows how
+strait congestion grows until it costs the 64-lane design its frequency
+(Section IV-D), alongside the Table II area scaling.
+
+Usage:  python examples/floorplan_explorer.py [lanes ...]
+"""
+
+import sys
+
+from repro.eval.fig8_floorplan import render_fig8, run_fig8
+from repro.ppa import araxl_area
+from repro.report import render_table
+
+
+def main() -> None:
+    lane_counts = [int(v) for v in sys.argv[1:]] or [16, 32, 64]
+    rows = []
+    for lanes in lane_counts:
+        result = run_fig8(lanes=lanes)
+        print(render_fig8(result))
+        print()
+        area = araxl_area(lanes)
+        rows.append((f"{lanes}L", f"{area.total_kge:,.0f}",
+                     f"{area.total_mm2:.2f}",
+                     f"{result.congestion:.2f}",
+                     f"{result.freq_ghz:.2f}"))
+    print(render_table(
+        ("config", "area [kGE]", "area [mm2]", "congestion", "fmax [GHz]"),
+        rows, title="Scaling summary (congestion > 1 costs frequency)"))
+
+
+if __name__ == "__main__":
+    main()

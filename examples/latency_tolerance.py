@@ -1,0 +1,27 @@
+#!/usr/bin/env python3
+"""Latency tolerance (Fig 7): how much do interface register cuts cost?
+
+Adds the Fig 5 register cuts (GLSU +4, REQI +1, RINGI +1) one at a time
+on a 64-lane AraXL and reports the FPU-utilization drop per kernel and
+vector length — the experiment behind the paper's claim that long
+vectors make the physically friendly (deeper) interconnects free.
+"""
+
+from repro.eval.fig7_latency import max_drop, render_fig7, run_fig7
+
+
+def main() -> None:
+    print("Running Fig 7 register-cut sweeps on 64L-AraXL "
+          "(reduced problem sizes)...\n")
+    points = run_fig7(scale="reduced", lanes=64)
+    print(render_fig7(points))
+    print()
+    for interface, paper in (("glsu", "1.5%"), ("reqi", "5.3%"),
+                             ("ringi", "1.4%")):
+        drop = max_drop(points, interface, min_bytes_per_lane=512)
+        print(f"{interface.upper():6s} max drop @512 B/lane: "
+              f"{drop * 100:4.1f}%   (paper's annotated max: {paper})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Weak-scaling study: reproduce the Fig 6 story for one kernel.
+
+Runs the chosen kernel (default fmatmul) across all paper machine
+configurations and vector lengths, printing the scaling bars and
+utilization lines that make up one Fig 6 panel.
+
+Usage:  python examples/scaling_study.py [kernel]
+"""
+
+import sys
+
+from repro.eval.fig6_scaling import run_fig6, render_fig6
+from repro.kernels import KERNELS
+from repro.report import bar_chart
+
+
+def main() -> None:
+    kernel = sys.argv[1] if len(sys.argv) > 1 else "fmatmul"
+    if kernel not in KERNELS:
+        raise SystemExit(f"unknown kernel {kernel!r}; pick from "
+                         f"{sorted(KERNELS)}")
+
+    print(f"Running the Fig 6 sweep for {kernel} (reduced problem sizes)...")
+    points = run_fig6(kernels=(kernel,), scale="reduced")
+    print()
+    print(render_fig6(points))
+    print()
+
+    # The bar view of the 512 B/lane column.
+    at_512 = [p for p in points if p.bytes_per_lane == 512]
+    print(bar_chart([p.machine for p in at_512],
+                    [p.scaling_vs_8l_ara2 for p in at_512],
+                    title=f"{kernel} @ 512 B/lane — performance vs 8L-Ara2",
+                    unit="x"))
+
+
+if __name__ == "__main__":
+    main()

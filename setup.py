@@ -1,0 +1,9 @@
+"""Setup shim for environments whose pip lacks the wheel package.
+
+``pip install -e .`` works where wheel is available; this shim additionally
+allows ``python setup.py develop`` in fully offline environments.
+"""
+
+from setuptools import setup
+
+setup()

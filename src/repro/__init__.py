@@ -1,0 +1,60 @@
+"""repro — a functional + cycle-level reproduction of AraXL (DATE 2025).
+
+AraXL is a physically scalable, ultra-wide RISC-V vector processor: up to
+64 lanes and the RVV 1.0 maximum VLEN of 64 Kibit per register, built
+from 4-lane Ara2 clusters joined by three scalable interfaces (REQI,
+GLSU, RINGI).  This package reproduces the paper's system and its entire
+evaluation in Python:
+
+* :mod:`repro.isa` / :mod:`repro.functional` — an element-exact RVV 1.0
+  subset simulator with an assembler DSL;
+* :mod:`repro.timing` / :mod:`repro.uarch` — a transaction-level cycle
+  model of both AraXL and the lumped Ara2 baseline;
+* :mod:`repro.kernels` — the six Table I benchmarks as vector programs;
+* :mod:`repro.ppa` / :mod:`repro.physdesign` — calibrated area/frequency/
+  power models and a floorplan substrate replacing the 22-nm flow;
+* :mod:`repro.eval` — one driver per paper table and figure.
+
+Quickstart::
+
+    from repro import AraXLConfig, Simulator
+    from repro.kernels import build_fmatmul
+
+    config = AraXLConfig(lanes=64)
+    kernel = build_fmatmul(config, bytes_per_lane=512)
+    result = kernel.run(config)          # functional + timing, checked
+    print(result.cycles, result.flops_per_cycle)
+"""
+
+from .errors import (AssemblerError, ConfigError, ExecutionError,
+                     IllegalInstructionError, IsaError, MemoryAccessError,
+                     ReproError, TimingError)
+from .params import (Ara2Config, AraXLConfig, MemoryConfig, ScalarCoreConfig,
+                     SystemConfig, paper_configurations)
+from .isa import Assembler, Program
+from .sim import RunResult, Simulator, run_program
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ConfigError",
+    "IsaError",
+    "AssemblerError",
+    "ExecutionError",
+    "IllegalInstructionError",
+    "MemoryAccessError",
+    "TimingError",
+    "SystemConfig",
+    "Ara2Config",
+    "AraXLConfig",
+    "MemoryConfig",
+    "ScalarCoreConfig",
+    "paper_configurations",
+    "Assembler",
+    "Program",
+    "Simulator",
+    "RunResult",
+    "run_program",
+]

@@ -1,0 +1,46 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Every driver returns plain data structures plus a ``render()`` helper so
+the same code backs the pytest benchmarks, the examples, and the
+EXPERIMENTS.md regeneration script.  Paper reference values are embedded
+next to each driver for side-by-side comparison.
+"""
+
+from .survey import SURVEY, render_survey
+from .fig6_scaling import Fig6Point, run_fig6, render_fig6, PAPER_FIG6_CLAIMS
+from .fig7_latency import Fig7Point, run_fig7, render_fig7, PAPER_FIG7_CLAIMS
+from .fig8_floorplan import run_fig8, render_fig8
+from .fig9_area import run_fig9, render_fig9, PAPER_FIG9
+from .table1_kernels import run_table1, render_table1, PAPER_TABLE1
+from .table2_area import run_table2, render_table2, PAPER_TABLE2
+from .table3_ppa import run_table3, render_table3, PAPER_TABLE3
+from .runner import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "SURVEY",
+    "render_survey",
+    "Fig6Point",
+    "run_fig6",
+    "render_fig6",
+    "PAPER_FIG6_CLAIMS",
+    "Fig7Point",
+    "run_fig7",
+    "render_fig7",
+    "PAPER_FIG7_CLAIMS",
+    "run_fig8",
+    "render_fig8",
+    "run_fig9",
+    "render_fig9",
+    "PAPER_FIG9",
+    "run_table1",
+    "render_table1",
+    "PAPER_TABLE1",
+    "run_table2",
+    "render_table2",
+    "PAPER_TABLE2",
+    "run_table3",
+    "render_table3",
+    "PAPER_TABLE3",
+    "EXPERIMENTS",
+    "run_experiment",
+]

@@ -1,0 +1,115 @@
+"""Fig 6 — weak-scaling performance and FPU utilization.
+
+Sweeps every kernel over {8L/16L Ara2, 8/16/32/64L AraXL} at 64-512
+bytes of vector per lane, normalizing performance to the 8-lane Ara2
+(the paper's bars) and reporting utilization against each kernel's
+Table-I bound (the paper's lines).
+
+``scale="paper"`` uses the Table I problem sizes; ``scale="reduced"``
+shrinks the non-vectorized dimensions (fewer matrix rows) so unit tests
+stay fast — the per-B/lane *shape* is preserved, absolute utilization of
+the amortization-heavy kernels lands a little lower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..kernels import KERNELS
+from ..params import Ara2Config, AraXLConfig, SystemConfig
+from ..report.tables import render_table
+
+DEFAULT_BYTES_PER_LANE = (64, 128, 256, 512)
+
+#: Headline numbers from Section IV-B used as acceptance targets.
+PAPER_FIG6_CLAIMS = {
+    ("fmatmul", "util_64L_512"): 0.99,
+    ("fconv2d", "util_64L_512"): 0.97,
+    ("fdotproduct", "scaling_64L_512"): 6.1,
+    ("softmax", "scaling_64L_512"): 7.3,
+}
+
+_SCALE_KWARGS = {
+    "paper": {"fmatmul": {}, "fconv2d": {}, "jacobi2d": {},
+              "fdotproduct": {}, "exp": {}, "softmax": {}},
+    "reduced": {"fmatmul": {"m": 16, "k": 64},
+                "fconv2d": {"rows": 32}, "jacobi2d": {"rows": 32},
+                "fdotproduct": {}, "exp": {}, "softmax": {}},
+}
+
+
+def default_machines() -> list[SystemConfig]:
+    return [Ara2Config(lanes=8), Ara2Config(lanes=16),
+            AraXLConfig(lanes=8), AraXLConfig(lanes=16),
+            AraXLConfig(lanes=32), AraXLConfig(lanes=64)]
+
+
+@dataclass(frozen=True)
+class Fig6Point:
+    kernel: str
+    machine: str
+    lanes: int
+    bytes_per_lane: int
+    cycles: float
+    flops_per_cycle: float
+    utilization: float
+    scaling_vs_8l_ara2: float
+
+
+def run_fig6(kernels: tuple[str, ...] | None = None,
+             bytes_per_lane: tuple[int, ...] = DEFAULT_BYTES_PER_LANE,
+             machines: list[SystemConfig] | None = None,
+             scale: str = "paper",
+             verify: bool = False) -> list[Fig6Point]:
+    """Execute the Fig 6 sweep; returns one point per (kernel, machine, size)."""
+    kernels = kernels or tuple(KERNELS)
+    machines = machines if machines is not None else default_machines()
+    kwargs_by_kernel = _SCALE_KWARGS[scale]
+    points: list[Fig6Point] = []
+    for kernel_name in kernels:
+        builder = KERNELS[kernel_name]
+        kw = kwargs_by_kernel.get(kernel_name, {})
+        for bpl in bytes_per_lane:
+            base_perf: float | None = None
+            for config in machines:
+                run = builder(config, bpl, **kw)
+                result = run.run(config, verify=verify)
+                perf = result.flops_per_cycle
+                if config.name == "8L-Ara2":
+                    base_perf = perf
+                points.append(Fig6Point(
+                    kernel=kernel_name,
+                    machine=config.name,
+                    lanes=config.lanes,
+                    bytes_per_lane=bpl,
+                    cycles=result.cycles,
+                    flops_per_cycle=perf,
+                    utilization=run.utilization(result),
+                    scaling_vs_8l_ara2=(perf / base_perf) if base_perf else 0.0,
+                ))
+    return points
+
+
+def render_fig6(points: list[Fig6Point]) -> str:
+    """One table per kernel, machines as rows, B/lane as columns."""
+    out = []
+    kernels = sorted({p.kernel for p in points})
+    sizes = sorted({p.bytes_per_lane for p in points})
+    for kernel in kernels:
+        rows = []
+        machines = []
+        for p in points:
+            if p.kernel == kernel and p.machine not in machines:
+                machines.append(p.machine)
+        for machine in machines:
+            row: list[object] = [machine]
+            for bpl in sizes:
+                pt = next(p for p in points if p.kernel == kernel
+                          and p.machine == machine and p.bytes_per_lane == bpl)
+                row.append(f"{pt.scaling_vs_8l_ara2:.2f}x/{pt.utilization * 100:.0f}%")
+            rows.append(row)
+        headers = ["machine"] + [f"{b} B/lane" for b in sizes]
+        out.append(render_table(
+            headers, rows,
+            title=f"Fig 6 [{kernel}] — scaling vs 8L-Ara2 / FPU utilization"))
+    return "\n\n".join(out)

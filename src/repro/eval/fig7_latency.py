@@ -1,0 +1,113 @@
+"""Fig 7 — latency tolerance of the three interfaces.
+
+Re-runs every kernel on a 64-lane AraXL with register cuts added to one
+interface at a time (the Fig 5 setups):
+
+* (a) GLSU +4 registers -> +8 cycles memory round trip;
+* (b) REQI +1 register  -> acknowledgement 2 cycles later;
+* (c) RINGI +1 register -> +1 cycle per ring hop;
+
+and reports the FPU-utilization drop versus the unmodified baseline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..kernels import KERNELS
+from ..params import AraXLConfig
+from ..report.tables import render_table
+from .fig6_scaling import _SCALE_KWARGS, DEFAULT_BYTES_PER_LANE
+
+#: Section IV-C claims: maximum utilization drop per interface in the
+#: long-vector regime (>= 128 B/lane), plus the per-kernel maxima the
+#: figure annotates.
+PAPER_FIG7_CLAIMS = {
+    "glsu_max_drop_long": 0.015,
+    "reqi_max_drop": 0.053,   # fconv2d at 128 B/lane
+    "ringi_max_drop": 0.014,
+    "long_vector_drop_bound": 0.02,  # "less than 2%" at 512 B/lane
+}
+
+INTERFACE_SETUPS = {
+    "glsu": {"glsu_extra_regs": 4},
+    "reqi": {"reqi_extra_regs": 1},
+    "ringi": {"ringi_extra_regs": 1},
+}
+
+
+@dataclass(frozen=True)
+class Fig7Point:
+    interface: str
+    kernel: str
+    bytes_per_lane: int
+    base_utilization: float
+    cut_utilization: float
+
+    @property
+    def drop(self) -> float:
+        return self.base_utilization - self.cut_utilization
+
+
+def run_fig7(kernels: tuple[str, ...] | None = None,
+             bytes_per_lane: tuple[int, ...] = DEFAULT_BYTES_PER_LANE,
+             lanes: int = 64,
+             interfaces: tuple[str, ...] = ("glsu", "reqi", "ringi"),
+             scale: str = "paper") -> list[Fig7Point]:
+    kernels = kernels or tuple(KERNELS)
+    kwargs_by_kernel = _SCALE_KWARGS[scale]
+    base_config = AraXLConfig(lanes=lanes)
+    points: list[Fig7Point] = []
+    for kernel_name in kernels:
+        builder = KERNELS[kernel_name]
+        kw = kwargs_by_kernel.get(kernel_name, {})
+        for bpl in bytes_per_lane:
+            base_run = builder(base_config, bpl, **kw)
+            base_res = base_run.run(base_config, verify=False)
+            base_util = base_run.utilization(base_res)
+            for interface in interfaces:
+                cut_config = dataclasses.replace(
+                    base_config, **INTERFACE_SETUPS[interface])
+                cut_run = builder(cut_config, bpl, **kw)
+                cut_res = cut_run.run(cut_config, verify=False)
+                points.append(Fig7Point(
+                    interface=interface,
+                    kernel=kernel_name,
+                    bytes_per_lane=bpl,
+                    base_utilization=base_util,
+                    cut_utilization=cut_run.utilization(cut_res),
+                ))
+    return points
+
+
+def max_drop(points: list[Fig7Point], interface: str,
+             min_bytes_per_lane: int = 0) -> float:
+    """Worst utilization drop for one interface (optionally long-vector only)."""
+    drops = [p.drop for p in points if p.interface == interface
+             and p.bytes_per_lane >= min_bytes_per_lane]
+    return max(drops, default=0.0)
+
+
+def render_fig7(points: list[Fig7Point]) -> str:
+    out = []
+    for interface in ("glsu", "reqi", "ringi"):
+        pts = [p for p in points if p.interface == interface]
+        if not pts:
+            continue
+        kernels = sorted({p.kernel for p in pts})
+        sizes = sorted({p.bytes_per_lane for p in pts})
+        rows = []
+        for kernel in kernels:
+            row: list[object] = [kernel]
+            for bpl in sizes:
+                pt = next(p for p in pts if p.kernel == kernel
+                          and p.bytes_per_lane == bpl)
+                row.append(f"{pt.drop * 100:+.1f}%")
+            rows.append(row + [f"{max(p.drop for p in pts if p.kernel == kernel) * 100:.1f}%"])
+        headers = ["kernel"] + [f"{b} B/lane" for b in sizes] + ["max drop"]
+        out.append(render_table(
+            headers, rows,
+            title=f"Fig 7 ({interface.upper()}) — utilization drop from "
+                  f"extra register cuts"))
+    return "\n\n".join(out)

@@ -1,0 +1,64 @@
+"""Fig 8 — the hierarchical AraXL floorplan.
+
+Builds the two-column cluster floorplan for a configuration, reporting
+die dimensions, interface wirelengths, the strait congestion score and
+an ASCII rendering of the die (the reproduction's stand-in for the
+paper's ICC2 die plot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..params import AraXLConfig
+from ..physdesign import (build_floorplan, congestion_score, hpwl,
+                          ring_wirelength)
+from ..physdesign.wirelength import reqi_wirelength
+from ..ppa.frequency import araxl_frequency_ghz
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    machine: str
+    die_w_mm: float
+    die_h_mm: float
+    clusters: int
+    ring_wirelength_mm: float
+    reqi_wirelength_mm: float
+    broadcast_hpwl_mm: float
+    congestion: float
+    freq_ghz: float
+    art: str
+
+
+def run_fig8(lanes: int = 16) -> Fig8Result:
+    config = AraXLConfig(lanes=lanes)
+    fp = build_floorplan(config)
+    return Fig8Result(
+        machine=config.name,
+        die_w_mm=fp.die_w,
+        die_h_mm=fp.die_h,
+        clusters=config.clusters,
+        ring_wirelength_mm=ring_wirelength(fp),
+        reqi_wirelength_mm=reqi_wirelength(fp),
+        broadcast_hpwl_mm=hpwl(fp.blocks),
+        congestion=congestion_score(fp),
+        freq_ghz=araxl_frequency_ghz(lanes),
+        art=fp.ascii_art(),
+    )
+
+
+def render_fig8(result: Fig8Result) -> str:
+    lines = [
+        result.art,
+        "",
+        f"die                 {result.die_w_mm:.2f} x {result.die_h_mm:.2f} mm",
+        f"clusters            {result.clusters}",
+        f"RINGI wirelength    {result.ring_wirelength_mm:.2f} mm",
+        f"REQI wirelength     {result.reqi_wirelength_mm:.2f} mm",
+        f"top-level HPWL      {result.broadcast_hpwl_mm:.2f} mm",
+        f"strait congestion   {result.congestion:.2f} "
+        f"({'hotspot' if result.congestion > 1 else 'clean'})",
+        f"closed frequency    {result.freq_ghz:.2f} GHz",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Fig 9 — area breakdown: 16-lane AraXL vs 16-lane Ara2 (kGE).
+
+The model's components are grouped exactly like the figure (top-level
+interfaces folded into their functional units) and compared against the
+published bars, including the two headline deltas: A2A units -58%,
+total -14%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ppa.area import AreaBreakdown, ara2_area, araxl_area
+from ..report.tables import render_table
+
+#: Published Fig 9 bars (kGE).  Note the published component lists sum
+#: below the published totals; the residual is the 'misc' glue our model
+#: carries explicitly.
+PAPER_FIG9 = {
+    "16L-Ara2": {"LANES": 10048, "MASKU": 1105, "SLDU": 196, "VLSU": 1677,
+                 "SEQ+DISP": 52, "CVA6": 904, "TOTAL": 14773},
+    "16L-AraXL": {"LANES": 10032, "MASKU": 328, "SLDU": 425, "VLSU": 507,
+                  "SEQ+DISP": 134, "CVA6": 936, "TOTAL": 12641},
+    "a2a_reduction": 0.58,
+    "total_reduction": 0.14,
+}
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    ara2: AreaBreakdown
+    araxl: AreaBreakdown
+
+    @property
+    def a2a_reduction(self) -> float:
+        return 1.0 - self.araxl.a2a_units_kge / self.ara2.a2a_units_kge
+
+    @property
+    def total_reduction(self) -> float:
+        return 1.0 - self.araxl.total_kge / self.ara2.total_kge
+
+
+def run_fig9(lanes: int = 16) -> Fig9Result:
+    return Fig9Result(ara2=ara2_area(lanes), araxl=araxl_area(lanes))
+
+
+def render_fig9(result: Fig9Result) -> str:
+    ara2_row = result.ara2.fig9_row()
+    araxl_row = result.araxl.fig9_row()
+    paper2 = PAPER_FIG9["16L-Ara2"]
+    paperx = PAPER_FIG9["16L-AraXL"]
+    rows = []
+    for comp in ara2_row:
+        rows.append((comp,
+                     round(ara2_row[comp]), paper2[comp],
+                     round(araxl_row[comp]), paperx[comp]))
+    rows.append(("TOTAL",
+                 round(result.ara2.total_kge), paper2["TOTAL"],
+                 round(result.araxl.total_kge), paperx["TOTAL"]))
+    table = render_table(
+        ("component", "Ara2 model", "Ara2 paper", "AraXL model",
+         "AraXL paper"),
+        rows, title="Fig 9 — 16-lane area breakdown [kGE]")
+    deltas = (
+        f"A2A units: -{result.a2a_reduction * 100:.0f}% "
+        f"(paper -{PAPER_FIG9['a2a_reduction'] * 100:.0f}%)   "
+        f"total: -{result.total_reduction * 100:.0f}% "
+        f"(paper -{PAPER_FIG9['total_reduction'] * 100:.0f}%)"
+    )
+    return f"{table}\n{deltas}"

@@ -1,0 +1,70 @@
+"""Experiment registry: run any paper table/figure by its identifier."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .fig6_scaling import render_fig6, run_fig6
+from .fig7_latency import render_fig7, run_fig7
+from .fig8_floorplan import render_fig8, run_fig8
+from .fig9_area import render_fig9, run_fig9
+from .survey import render_survey
+from .table1_kernels import render_table1, run_table1
+from .table2_area import render_table2, run_table2
+from .table3_ppa import render_table3, run_table3
+
+
+def _fig6(scale: str) -> str:
+    return render_fig6(run_fig6(scale=scale))
+
+
+def _fig7(scale: str) -> str:
+    return render_fig7(run_fig7(scale=scale))
+
+
+def _fig8(scale: str) -> str:
+    return render_fig8(run_fig8(lanes=16))
+
+
+def _fig9(scale: str) -> str:
+    return render_fig9(run_fig9())
+
+
+def _table1(scale: str) -> str:
+    return render_table1(run_table1(scale=scale))
+
+
+def _table2(scale: str) -> str:
+    return render_table2(run_table2())
+
+
+def _table3(scale: str) -> str:
+    return render_table3(run_table3(scale=scale))
+
+
+def _fig1(scale: str) -> str:
+    return render_survey()
+
+
+#: Experiment id -> callable(scale) -> rendered text.
+EXPERIMENTS: dict[str, Callable[[str], str]] = {
+    "fig1": _fig1,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "table1": _table1,
+    "table2": _table2,
+    "table3": _table3,
+}
+
+
+def run_experiment(name: str, scale: str = "paper") -> str:
+    """Run one experiment by id ('fig6', 'table3', ...); returns text."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(scale)

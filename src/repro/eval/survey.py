@@ -1,0 +1,66 @@
+"""Fig 1 — vector processor survey: VLEN vs FPUs per instruction.
+
+Static data read from the paper's Fig 1 (positions are approximate where
+the figure is the only public source).  Regenerating the figure means
+printing/plotting these points; the claim the figure supports is that no
+prior RISC-V design reaches the (65536 bit, 64 FPU) corner AraXL fills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..report.tables import render_table
+
+
+@dataclass(frozen=True)
+class SurveyEntry:
+    name: str
+    vlen_bits: int
+    fpus: int
+    riscv: bool
+    source: str = "Fig 1"
+
+
+SURVEY: tuple[SurveyEntry, ...] = (
+    SurveyEntry("2L-Ara2", 2048, 2, True),
+    SurveyEntry("4L-Ara2", 4096, 4, True),
+    SurveyEntry("8L-Ara2", 8192, 8, True),
+    SurveyEntry("16L-Ara2", 16384, 16, True),
+    SurveyEntry("Vitruvius+", 16384, 8, True),
+    SurveyEntry("16L-AraXL", 16384, 16, True),
+    SurveyEntry("32L-AraXL", 32768, 32, True),
+    SurveyEntry("64L-AraXL", 65536, 64, True),
+    SurveyEntry("SiFive P270", 256, 1, True),
+    SurveyEntry("SiFive X280/P670", 512, 2, True),
+    SurveyEntry("SiFive X390", 2048, 4, True),
+    SurveyEntry("Andes AX45MPV", 1024, 16, True),
+    SurveyEntry("Semidynamics", 4096, 32, True),
+    SurveyEntry("Spatz", 512, 4, True),
+    SurveyEntry("Vicuna-small", 128, 1, True),
+    SurveyEntry("Vicuna-fast", 2048, 8, True),
+    SurveyEntry("Arrow", 512, 1, True),
+    SurveyEntry("Fugaku A64FX", 512, 16, False),
+    SurveyEntry("VE30", 16384, 32, False),
+)
+
+
+def araxl_is_frontier() -> bool:
+    """AraXL-64 dominates every RISC-V entry on both axes (Fig 1 claim)."""
+    xl = next(e for e in SURVEY if e.name == "64L-AraXL")
+    others = [e for e in SURVEY if e.riscv and e.name != xl.name]
+    return all(e.vlen_bits <= xl.vlen_bits and e.fpus <= xl.fpus
+               for e in others) and not any(
+        e.vlen_bits >= xl.vlen_bits and e.fpus >= xl.fpus for e in others)
+
+
+def render_survey() -> str:
+    rows = [(e.name, e.vlen_bits, e.fpus, "RISC-V" if e.riscv else "other")
+            for e in sorted(SURVEY, key=lambda e: (e.vlen_bits, e.fpus))]
+    table = render_table(
+        ("processor", "VLEN [bit]", "FPUs/insn", "ISA"), rows,
+        title="Fig 1 — vector processors by VLEN and FPU count")
+    frontier = ("64L-AraXL uniquely occupies the max-VLEN/max-FPU corner"
+                if araxl_is_frontier() else
+                "WARNING: survey no longer shows AraXL on the frontier")
+    return f"{table}\n{frontier}"

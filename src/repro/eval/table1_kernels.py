@@ -1,0 +1,76 @@
+"""Table I — benchmark parameters and peak-performance bounds.
+
+For every kernel: the paper's LMUL and max-performance law, the law this
+reproduction's kernel implements, and the peak actually *measured* by
+running the kernel in the long-vector regime (which should approach the
+bound — that is what Fig 6's high-utilization claims mean).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..kernels import KERNELS
+from ..params import AraXLConfig, SystemConfig
+from ..report.tables import render_table
+
+#: Published Table I: LMUL values and max perf as a multiple of
+#: lanes*clusters (DP-FLOP/cycle).
+PAPER_TABLE1 = {
+    "fmatmul": {"lmul": (1, 2, 4), "max_perf_factor": Fraction(2)},
+    "fconv2d": {"lmul": (2,), "max_perf_factor": Fraction(2)},
+    "jacobi2d": {"lmul": (4,), "max_perf_factor": Fraction(1)},
+    "fdotproduct": {"lmul": (8,), "max_perf_factor": Fraction(1)},
+    "exp": {"lmul": (1,), "max_perf_factor": Fraction(28, 21)},
+    "softmax": {"lmul": (1,), "max_perf_factor": Fraction(32, 25)},
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    kernel: str
+    lmul: int
+    paper_factor: float
+    model_factor: float
+    measured_factor: float
+
+    @property
+    def achieved_fraction(self) -> float:
+        return self.measured_factor / self.model_factor if self.model_factor \
+            else 0.0
+
+
+def run_table1(config: SystemConfig | None = None,
+               bytes_per_lane: int = 512,
+               scale: str = "paper") -> list[Table1Row]:
+    from .fig6_scaling import _SCALE_KWARGS
+
+    config = config if config is not None else AraXLConfig(lanes=64)
+    rows = []
+    for name, builder in KERNELS.items():
+        kw = _SCALE_KWARGS[scale].get(name, {})
+        run = builder(config, bytes_per_lane, **kw)
+        result = run.run(config, verify=False)
+        rows.append(Table1Row(
+            kernel=name,
+            lmul=run.problem["lmul"],
+            paper_factor=float(PAPER_TABLE1[name]["max_perf_factor"]),
+            model_factor=run.max_flops_per_cycle / config.lanes,
+            measured_factor=result.flops_per_cycle / config.lanes,
+        ))
+    return rows
+
+
+def render_table1(rows: list[Table1Row]) -> str:
+    table_rows = [
+        (r.kernel, r.lmul, f"{r.paper_factor:.3f}*LC",
+         f"{r.model_factor:.3f}*LC", f"{r.measured_factor:.3f}*LC",
+         f"{r.achieved_fraction * 100:.1f}%")
+        for r in rows
+    ]
+    return render_table(
+        ("kernel", "LMUL", "paper bound", "model bound", "measured",
+         "achieved"),
+        table_rows,
+        title="Table I — kernel peak DP-FLOP/cycle bounds (LC = total lanes)")

@@ -1,0 +1,79 @@
+"""Table II — AraXL area breakdown and scaling, 16/32/64 lanes.
+
+Checks the paper's two claims: near-perfect 2x area per lane doubling,
+and the three interfaces together costing ~3% of total area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ppa.area import AreaBreakdown, araxl_area, clusters_row_kge
+from ..report.tables import render_table
+
+#: Published Table II (kGE).
+PAPER_TABLE2 = {
+    16: {"Clusters": 11354, "CVA6": 936, "GLSU": 291, "RINGI": 25,
+         "REQI": 34, "TOTAL": 12641},
+    32: {"Clusters": 22708, "CVA6": 901, "GLSU": 618, "RINGI": 44,
+         "REQI": 81, "TOTAL": 24352},
+    64: {"Clusters": 45415, "CVA6": 931, "GLSU": 1385, "RINGI": 76,
+         "REQI": 144, "TOTAL": 47950},
+}
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    lanes: int
+    clusters_kge: float
+    cva6_kge: float
+    glsu_kge: float
+    ringi_kge: float
+    reqi_kge: float
+    total_kge: float
+
+    @property
+    def interface_fraction(self) -> float:
+        return (self.glsu_kge + self.ringi_kge + self.reqi_kge) \
+            / self.total_kge
+
+
+def run_table2(lane_counts: tuple[int, ...] = (16, 32, 64)) -> list[Table2Row]:
+    rows = []
+    for lanes in lane_counts:
+        b: AreaBreakdown = araxl_area(lanes)
+        rows.append(Table2Row(
+            lanes=lanes,
+            clusters_kge=clusters_row_kge(b),
+            cva6_kge=b.component("cva6"),
+            glsu_kge=b.component("glsu"),
+            ringi_kge=b.component("ringi"),
+            reqi_kge=b.component("reqi"),
+            total_kge=b.total_kge,
+        ))
+    return rows
+
+
+def render_table2(rows: list[Table2Row]) -> str:
+    table_rows = []
+    prev: Table2Row | None = None
+    for r in rows:
+        ratio = f"{r.total_kge / prev.total_kge:.2f}x" if prev else "1.00x"
+        paper = PAPER_TABLE2.get(r.lanes, {})
+        table_rows.append((
+            f"{r.lanes}L",
+            f"{r.clusters_kge:,.0f} ({paper.get('Clusters', '-'):,})",
+            f"{r.cva6_kge:,.0f} ({paper.get('CVA6', '-'):,})",
+            f"{r.glsu_kge:,.0f} ({paper.get('GLSU', '-'):,})",
+            f"{r.ringi_kge:,.0f} ({paper.get('RINGI', '-'):,})",
+            f"{r.reqi_kge:,.0f} ({paper.get('REQI', '-'):,})",
+            f"{r.total_kge:,.0f} ({paper.get('TOTAL', '-'):,})",
+            ratio,
+            f"{r.interface_fraction * 100:.1f}%",
+        ))
+        prev = r
+    return render_table(
+        ("config", "Clusters (paper)", "CVA6", "GLSU", "RINGI", "REQI",
+         "TOTAL", "step", "interfaces"),
+        table_rows,
+        title="Table II — AraXL area scaling [kGE], model (paper)")

@@ -1,0 +1,109 @@
+"""Functional interpreter: runs a program to completion, emitting a trace.
+
+The executor walks the instruction list with a program counter, delegating
+scalar semantics to :class:`~repro.functional.scalar.ScalarUnit` and vector
+semantics to :class:`~repro.functional.vector.VectorUnit`.  It owns the
+``vsetvli`` behaviour because that instruction couples scalar state (rd,
+rs1) with vector configuration state (vl, vtype).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ExecutionError
+from ..isa.program import Program
+from ..isa.vtype import VType, vsetvl_result
+from .memory import FunctionalMemory
+from .scalar import ScalarUnit
+from .state import ArchState
+from .trace import DynamicTrace, VsetvlEvent
+from .vector import VectorUnit
+
+#: Hard cap on retired instructions so a buggy kernel cannot hang a test
+#: run; the largest paper workload retires well under this.
+DEFAULT_MAX_INSTRUCTIONS = 50_000_000
+
+
+@dataclass
+class ExecResult:
+    """Outcome of a functional run."""
+
+    state: ArchState
+    trace: DynamicTrace
+    retired: int
+    program: Program
+    halted: bool = True
+    extra: dict = field(default_factory=dict)
+
+
+class Executor:
+    """Drives a :class:`Program` against fresh or provided machine state."""
+
+    def __init__(self, vlen_bits: int, mem: FunctionalMemory | None = None,
+                 state: ArchState | None = None) -> None:
+        self.mem = mem if mem is not None else FunctionalMemory()
+        self.state = state if state is not None else ArchState(vlen_bits)
+        if self.state.vlen_bits != vlen_bits:
+            raise ExecutionError(
+                f"state VLEN {self.state.vlen_bits} != requested {vlen_bits}"
+            )
+        self._scalar = ScalarUnit(self.state, self.mem)
+        self._vector = VectorUnit(self.state, self.mem)
+
+    # ------------------------------------------------------------------
+    def run(self, program: Program,
+            max_instructions: int = DEFAULT_MAX_INSTRUCTIONS) -> ExecResult:
+        """Execute until ``halt`` or the end of the program."""
+        state = self.state
+        trace = DynamicTrace()
+        pc = 0
+        retired = 0
+        n = len(program)
+        while pc < n:
+            if retired >= max_instructions:
+                raise ExecutionError(
+                    f"exceeded {max_instructions} retired instructions "
+                    f"(runaway loop in {program.name}?)"
+                )
+            instr = program[pc]
+            mnemonic = instr.mnemonic
+            if mnemonic == "halt":
+                retired += 1
+                return ExecResult(state, trace, retired, program, halted=True)
+            if mnemonic == "label":  # pragma: no cover - labels aren't emitted
+                pc += 1
+                continue
+            retired += 1
+            if mnemonic == "vsetvli":
+                self._vsetvli(instr, trace)
+                pc += 1
+                continue
+            if instr.spec.is_vector:
+                trace.add_vector(self._vector.execute(instr))
+                pc += 1
+                continue
+            target, event = self._scalar.execute(instr)
+            trace.add_scalar(event)
+            pc = program.target_index(target) if target is not None else pc + 1
+        return ExecResult(state, trace, retired, program, halted=False)
+
+    # ------------------------------------------------------------------
+    def _vsetvli(self, instr, trace: DynamicTrace) -> None:
+        state = self.state
+        rd = instr.op("rd").index
+        rs1 = instr.op("rs1").index
+        vtype = VType(sew=instr.op("sew"), lmul=instr.op("lmul"))
+        vlmax = vtype.vlmax(state.vlen_bits)
+        if rs1 == 0:
+            # rs1=x0: rd!=x0 requests VLMAX; rd==x0 keeps vl (vtype change).
+            new_vl = vlmax if rd != 0 else min(state.vl, vlmax)
+        else:
+            avl = state.x.read_unsigned(rs1)
+            new_vl = vsetvl_result(avl, vtype, state.vlen_bits)
+        state.vtype = vtype
+        state.vl = new_vl
+        state.x.write(rd, new_vl)
+        trace.add_vsetvl(
+            VsetvlEvent(vl=new_vl, sew=int(vtype.sew), lmul=int(vtype.lmul))
+        )

@@ -1,0 +1,294 @@
+"""Scalar (CVA6-side) instruction semantics.
+
+Implements the RV64-flavoured scalar IR: integer ALU with 64-bit wrapping,
+M-extension multiply/divide with RISC-V division-by-zero semantics, D-
+extension scalar FP on float64, loads/stores, and branches.  Returns the
+branch target label when a branch is taken so the executor can redirect.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..isa.instructions import Instruction
+from .memory import FunctionalMemory
+from .state import ArchState
+from .trace import ScalarEvent
+
+_I64_MASK = (1 << 64) - 1
+
+
+def _wrap(value: int) -> int:
+    value &= _I64_MASK
+    return value - (1 << 64) if value >= 1 << 63 else value
+
+
+def _div(a: int, b: int) -> int:
+    if b == 0:
+        return -1
+    if a == -(1 << 63) and b == -1:
+        return a  # RISC-V overflow case: result is the dividend
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _rem(a: int, b: int) -> int:
+    if b == 0:
+        return a
+    return a - _div(a, b) * b
+
+
+class ScalarUnit:
+    """Executes one scalar instruction against the architectural state."""
+
+    def __init__(self, state: ArchState, mem: FunctionalMemory) -> None:
+        self.state = state
+        self.mem = mem
+
+    # ------------------------------------------------------------------
+    def execute(self, instr: Instruction) -> tuple[Optional[str], ScalarEvent]:
+        """Run ``instr``; return (taken-branch label or None, trace event)."""
+        handler = getattr(self, f"_op_{instr.mnemonic}", None)
+        if handler is not None:
+            return handler(instr)
+        fmt = instr.spec.fmt
+        generic = self._GENERIC.get(fmt)
+        if generic is None:
+            raise ExecutionError(
+                f"no scalar semantics for {instr.mnemonic} (fmt {fmt})"
+            )
+        return generic(self, instr)
+
+    # ------------------------------------------------------------------
+    # Integer ALU
+    # ------------------------------------------------------------------
+    _BINOPS = {
+        "add": lambda a, b: a + b,
+        "sub": lambda a, b: a - b,
+        "mul": lambda a, b: a * b,
+        "mulh": lambda a, b: (a * b) >> 64,
+        "div": _div,
+        "rem": _rem,
+        "and_": lambda a, b: a & b,
+        "or_": lambda a, b: a | b,
+        "xor": lambda a, b: a ^ b,
+        "sll": lambda a, b: a << (b & 63),
+        "srl": lambda a, b: (a & _I64_MASK) >> (b & 63),
+        "sra": lambda a, b: a >> (b & 63),
+        "slt": lambda a, b: int(a < b),
+        "sltu": lambda a, b: int((a & _I64_MASK) < (b & _I64_MASK)),
+        "min_": min,
+        "max_": max,
+    }
+    _IMMOPS = {
+        "addi": "add", "andi": "and_", "ori": "or_", "xori": "xor",
+        "slli": "sll", "srli": "srl", "srai": "sra", "slti": "slt",
+    }
+    _MUL_KINDS = frozenset({"mul", "mulh"})
+    _DIV_KINDS = frozenset({"div", "rem"})
+
+    def _binop(self, instr: Instruction, b: int) -> tuple[None, ScalarEvent]:
+        name = instr.mnemonic
+        base = self._IMMOPS.get(name, name)
+        a = self.state.x.read(instr.op("rs1").index)
+        self.state.x.write(instr.op("rd").index, _wrap(self._BINOPS[base](a, b)))
+        if base in self._MUL_KINDS:
+            kind = "mul"
+        elif base in self._DIV_KINDS:
+            kind = "div"
+        else:
+            kind = "alu"
+        return None, ScalarEvent(kind)
+
+    def _fmt_rd_rs_rs(self, instr: Instruction):
+        return self._binop(instr, self.state.x.read(instr.op("rs2").index))
+
+    def _fmt_rd_rs_imm(self, instr: Instruction):
+        return self._binop(instr, int(instr.op("imm")))
+
+    def _op_li(self, instr: Instruction):
+        self.state.x.write(instr.op("rd").index, _wrap(int(instr.op("imm"))))
+        return None, ScalarEvent("alu")
+
+    def _op_mv(self, instr: Instruction):
+        self.state.x.write(
+            instr.op("rd").index, self.state.x.read(instr.op("rs1").index)
+        )
+        return None, ScalarEvent("alu")
+
+    def _op_nop(self, instr: Instruction):
+        return None, ScalarEvent("alu")
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    _LOAD_SIZES = {"ld": 8, "lw": 4, "lh": 2, "lb": 1}
+    _STORE_SIZES = {"sd": 8, "sw": 4, "sh": 2, "sb": 1}
+
+    def _fmt_load(self, instr: Instruction):
+        nbytes = self._LOAD_SIZES[instr.mnemonic]
+        addr = self.state.x.read(instr.op("rs1").index) + int(instr.op("imm"))
+        value = self.mem.load_int(addr, nbytes, signed=True)
+        self.state.x.write(instr.op("rd").index, value)
+        return None, ScalarEvent("load", addr=addr, nbytes=nbytes)
+
+    def _fmt_store(self, instr: Instruction):
+        nbytes = self._STORE_SIZES[instr.mnemonic]
+        addr = self.state.x.read(instr.op("rs1").index) + int(instr.op("imm"))
+        self.mem.store_int(addr, self.state.x.read(instr.op("rs2").index), nbytes)
+        return None, ScalarEvent("store", addr=addr, nbytes=nbytes)
+
+    def _fmt_fload(self, instr: Instruction):
+        addr = self.state.x.read(instr.op("rs1").index) + int(instr.op("imm"))
+        if instr.mnemonic == "fld":
+            value, nbytes = self.mem.load_f64(addr), 8
+        else:
+            value, nbytes = self.mem.load_f32(addr), 4
+        self.state.f.write(instr.op("frd").index, value)
+        return None, ScalarEvent("load", addr=addr, nbytes=nbytes)
+
+    def _fmt_fstore(self, instr: Instruction):
+        addr = self.state.x.read(instr.op("rs1").index) + int(instr.op("imm"))
+        value = self.state.f.read(instr.op("frs2").index)
+        if instr.mnemonic == "fsd":
+            self.mem.store_f64(addr, value)
+            nbytes = 8
+        else:
+            self.mem.store_f32(addr, value)
+            nbytes = 4
+        return None, ScalarEvent("store", addr=addr, nbytes=nbytes)
+
+    # ------------------------------------------------------------------
+    # Scalar FP
+    # ------------------------------------------------------------------
+    _FP_BINOPS = {
+        "fadd_d": lambda a, b: a + b,
+        "fsub_d": lambda a, b: a - b,
+        "fmul_d": lambda a, b: a * b,
+        "fmin_d": min,
+        "fmax_d": max,
+        "fsgnj_d": lambda a, b: math.copysign(abs(a), b),
+    }
+
+    def _fmt_frd_frs_frs(self, instr: Instruction):
+        a = self.state.f.read(instr.op("frs1").index)
+        b = self.state.f.read(instr.op("frs2").index)
+        if instr.mnemonic == "fdiv_d":
+            # IEEE-754 semantics including x/0 -> inf and 0/0 -> NaN.
+            with np.errstate(divide="ignore", invalid="ignore"):
+                value = float(np.float64(a) / np.float64(b))
+        else:
+            value = self._FP_BINOPS[instr.mnemonic](a, b)
+        self.state.f.write(instr.op("frd").index, value)
+        return None, ScalarEvent("fp")
+
+    def _fmt_frd_frs_frs_frs(self, instr: Instruction):
+        a = self.state.f.read(instr.op("frs1").index)
+        b = self.state.f.read(instr.op("frs2").index)
+        c = self.state.f.read(instr.op("frs3").index)
+        value = {
+            "fmadd_d": a * b + c,
+            "fmsub_d": a * b - c,
+            "fnmadd_d": -(a * b) - c,
+            "fnmsub_d": -(a * b) + c,
+        }[instr.mnemonic]
+        self.state.f.write(instr.op("frd").index, value)
+        return None, ScalarEvent("fp")
+
+    def _fmt_frd_frs(self, instr: Instruction):
+        a = self.state.f.read(instr.op("frs1").index)
+        value = {
+            "fsqrt_d": lambda: math.sqrt(a) if a >= 0 else math.nan,
+            "fmv_d": lambda: a,
+            "fneg_d": lambda: -a,
+            "fabs_d": lambda: abs(a),
+        }[instr.mnemonic]()
+        self.state.f.write(instr.op("frd").index, value)
+        return None, ScalarEvent("fp")
+
+    def _fmt_frd_rs(self, instr: Instruction):
+        raw = self.state.x.read(instr.op("rs1").index)
+        if instr.mnemonic == "fcvt_d_l":
+            value = float(raw)
+        else:  # fmv_d_x: reinterpret bits
+            value = struct.unpack("<d", (raw & _I64_MASK).to_bytes(8, "little"))[0]
+        self.state.f.write(instr.op("frd").index, value)
+        return None, ScalarEvent("fp")
+
+    def _fmt_rd_frs(self, instr: Instruction):
+        a = self.state.f.read(instr.op("frs1").index)
+        if instr.mnemonic == "fcvt_l_d":
+            value = int(a)  # round towards zero
+        else:  # fmv_x_d
+            value = _wrap(int.from_bytes(struct.pack("<d", a), "little"))
+        self.state.x.write(instr.op("rd").index, value)
+        return None, ScalarEvent("fp")
+
+    def _fmt_rd_frs_frs(self, instr: Instruction):
+        a = self.state.f.read(instr.op("frs1").index)
+        b = self.state.f.read(instr.op("frs2").index)
+        value = {
+            "feq_d": int(a == b),
+            "flt_d": int(a < b),
+            "fle_d": int(a <= b),
+        }[instr.mnemonic]
+        self.state.x.write(instr.op("rd").index, value)
+        return None, ScalarEvent("fp")
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+    _BRANCH_CMP = {
+        "beq": lambda a, b: a == b,
+        "bne": lambda a, b: a != b,
+        "blt": lambda a, b: a < b,
+        "bge": lambda a, b: a >= b,
+        "bltu": lambda a, b: (a & _I64_MASK) < (b & _I64_MASK),
+        "bgeu": lambda a, b: (a & _I64_MASK) >= (b & _I64_MASK),
+    }
+    _BRANCHZ_CMP = {
+        "beqz": lambda a: a == 0,
+        "bnez": lambda a: a != 0,
+        "bltz": lambda a: a < 0,
+        "bgez": lambda a: a >= 0,
+        "blez": lambda a: a <= 0,
+        "bgtz": lambda a: a > 0,
+    }
+
+    def _fmt_branch(self, instr: Instruction):
+        a = self.state.x.read(instr.op("rs1").index)
+        b = self.state.x.read(instr.op("rs2").index)
+        taken = self._BRANCH_CMP[instr.mnemonic](a, b)
+        kind = "branch_taken" if taken else "branch"
+        return (instr.op("target") if taken else None), ScalarEvent(kind)
+
+    def _fmt_branchz(self, instr: Instruction):
+        a = self.state.x.read(instr.op("rs1").index)
+        taken = self._BRANCHZ_CMP[instr.mnemonic](a)
+        kind = "branch_taken" if taken else "branch"
+        return (instr.op("target") if taken else None), ScalarEvent(kind)
+
+    def _op_j(self, instr: Instruction):
+        return instr.op("target"), ScalarEvent("branch_taken")
+
+    _GENERIC = {
+        "rd_rs_rs": _fmt_rd_rs_rs,
+        "rd_rs_imm": _fmt_rd_rs_imm,
+        "load": _fmt_load,
+        "store": _fmt_store,
+        "fload": _fmt_fload,
+        "fstore": _fmt_fstore,
+        "frd_frs_frs": _fmt_frd_frs_frs,
+        "frd_frs_frs_frs": _fmt_frd_frs_frs_frs,
+        "frd_frs": _fmt_frd_frs,
+        "frd_rs": _fmt_frd_rs,
+        "rd_frs": _fmt_rd_frs,
+        "rd_frs_frs": _fmt_rd_frs_frs,
+        "branch": _fmt_branch,
+        "branchz": _fmt_branchz,
+    }

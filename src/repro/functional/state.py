@@ -1,0 +1,191 @@
+"""Architectural state: scalar register files, VRF, vector CSRs.
+
+The vector register file is stored exactly as the ISA sees it: a flat byte
+array of 32 registers of VLEN bits each.  Register groups (LMUL > 1) are
+contiguous because RVV requires group bases to be LMUL-aligned, so typed
+views over groups are zero-copy NumPy views.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ExecutionError, IllegalInstructionError
+from ..isa.vtype import VType
+
+_I64_MASK = (1 << 64) - 1
+
+_SEW_DTYPES = {
+    (8, False): np.uint8, (8, True): np.int8,
+    (16, False): np.uint16, (16, True): np.int16,
+    (32, False): np.uint32, (32, True): np.int32,
+    (64, False): np.uint64, (64, True): np.int64,
+}
+_FP_DTYPES = {32: np.float32, 64: np.float64}
+
+
+def int_dtype(sew: int, signed: bool = False) -> np.dtype:
+    try:
+        return np.dtype(_SEW_DTYPES[(sew, signed)])
+    except KeyError:
+        raise IllegalInstructionError(f"no integer dtype for SEW={sew}") from None
+
+
+def fp_dtype(sew: int) -> np.dtype:
+    try:
+        return np.dtype(_FP_DTYPES[sew])
+    except KeyError:
+        raise IllegalInstructionError(
+            f"FP operations require SEW 32 or 64, got {sew}"
+        ) from None
+
+
+class ScalarRegs:
+    """Integer register file; x0 reads as zero and ignores writes."""
+
+    def __init__(self) -> None:
+        self._regs = [0] * 32
+
+    def read(self, index: int) -> int:
+        return 0 if index == 0 else self._regs[index]
+
+    def write(self, index: int, value: int) -> None:
+        if index:
+            value &= _I64_MASK
+            if value >= 1 << 63:
+                value -= 1 << 64
+            self._regs[index] = value
+
+    def read_unsigned(self, index: int) -> int:
+        return self.read(index) & _I64_MASK
+
+    def snapshot(self) -> list[int]:
+        return list(self._regs)
+
+
+class FpRegs:
+    """Floating-point register file holding float64 values."""
+
+    def __init__(self) -> None:
+        self._regs = np.zeros(32, dtype=np.float64)
+
+    def read(self, index: int) -> float:
+        return float(self._regs[index])
+
+    def write(self, index: int, value: float) -> None:
+        self._regs[index] = np.float64(value)
+
+    def snapshot(self) -> np.ndarray:
+        return self._regs.copy()
+
+
+class VectorRegFile:
+    """32 vector registers of ``vlen_bits`` each, byte-backed."""
+
+    def __init__(self, vlen_bits: int) -> None:
+        if vlen_bits % 64:
+            raise ExecutionError("VLEN must be a multiple of 64 bits")
+        self.vlen_bits = vlen_bits
+        self.vlen_bytes = vlen_bits // 8
+        self._data = np.zeros(32 * self.vlen_bytes, dtype=np.uint8)
+
+    def _group_bytes(self, base: int, emul: int) -> np.ndarray:
+        """Byte view of an EMUL-register group (zero-copy)."""
+        if not 0 <= base < 32:
+            raise IllegalInstructionError(f"v{base} out of range")
+        emul = max(1, emul)
+        if base % emul:
+            raise IllegalInstructionError(
+                f"v{base} not aligned to EMUL={emul} register group"
+            )
+        if base + emul > 32:
+            raise IllegalInstructionError(
+                f"group v{base}..v{base + emul - 1} exceeds the register file"
+            )
+        start = base * self.vlen_bytes
+        return self._data[start:start + emul * self.vlen_bytes]
+
+    def read_elems(self, base: int, vl: int, dtype: np.dtype,
+                   emul: int = 1) -> np.ndarray:
+        """First ``vl`` elements of a register group as a copy."""
+        dtype = np.dtype(dtype)
+        view = self._group_bytes(base, emul).view(dtype)
+        if vl > view.size:
+            raise IllegalInstructionError(
+                f"vl={vl} exceeds group capacity {view.size} for v{base}"
+            )
+        return view[:vl].copy()
+
+    def write_elems(self, base: int, values: np.ndarray, emul: int = 1,
+                    mask: np.ndarray | None = None) -> None:
+        """Write elements 0..len(values); tail elements are undisturbed.
+
+        ``mask`` (bool per element) implements mask-undisturbed policy:
+        inactive destination elements keep their previous value.
+        """
+        values = np.ascontiguousarray(values)
+        view = self._group_bytes(base, emul).view(values.dtype)
+        if values.size > view.size:
+            raise IllegalInstructionError(
+                f"writing {values.size} elements into group capacity {view.size}"
+            )
+        if mask is None:
+            view[:values.size] = values
+        else:
+            np.copyto(view[:values.size], values, where=mask)
+
+    # ------------------------------------------------------------------
+    # Mask register layout: bit i of v0 (RVV 1.0 mask layout)
+    # ------------------------------------------------------------------
+    def read_mask(self, reg: int, vl: int) -> np.ndarray:
+        """Mask bits 0..vl-1 of ``reg`` as a boolean array."""
+        nbytes = (vl + 7) // 8
+        raw = self._group_bytes(reg, 1)[:nbytes]
+        return np.unpackbits(raw, bitorder="little")[:vl].astype(bool)
+
+    def write_mask(self, reg: int, bits: np.ndarray) -> None:
+        """Write mask bits 0..len(bits)-1; tail bits undisturbed."""
+        bits = np.asarray(bits, dtype=bool)
+        vl = bits.size
+        nbytes = (vl + 7) // 8
+        view = self._group_bytes(reg, 1)
+        packed = np.packbits(bits, bitorder="little")
+        if vl % 8:
+            # Merge the partial last byte with existing tail bits.
+            keep = view[nbytes - 1] & np.uint8((0xFF << (vl % 8)) & 0xFF)
+            packed[-1] |= keep
+        view[:nbytes] = packed
+
+    def raw_register(self, reg: int) -> np.ndarray:
+        """Whole-register byte copy (for tests and reshuffle modelling)."""
+        return self._group_bytes(reg, 1).copy()
+
+    def write_raw(self, reg: int, data: np.ndarray) -> None:
+        view = self._group_bytes(reg, 1)
+        data = np.asarray(data, dtype=np.uint8)
+        if data.size != view.size:
+            raise ExecutionError("raw write must cover the whole register")
+        view[:] = data
+
+
+class ArchState:
+    """Complete architectural state of the scalar core + vector unit."""
+
+    def __init__(self, vlen_bits: int) -> None:
+        self.x = ScalarRegs()
+        self.f = FpRegs()
+        self.v = VectorRegFile(vlen_bits)
+        self.vtype = VType(vill=True)  # reset state: vill set, vl = 0
+        self.vl = 0
+        self.pc = 0
+
+    @property
+    def vlen_bits(self) -> int:
+        return self.v.vlen_bits
+
+    def require_legal_vtype(self) -> VType:
+        if self.vtype.vill:
+            raise IllegalInstructionError(
+                "vector instruction executed with vill set (no vsetvli yet?)"
+            )
+        return self.vtype

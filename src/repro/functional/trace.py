@@ -1,0 +1,112 @@
+"""Dynamic execution trace: the contract between functional and timing.
+
+The functional executor emits one event per retired instruction.  The
+timing engine replays the event stream against a machine model — it never
+re-executes semantics, so functional correctness and cycle estimation stay
+decoupled (the classic functional/timing split of architecture simulators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..isa.instructions import Instruction, MemPattern
+
+
+@dataclass(frozen=True)
+class MemAccess:
+    """Shape of a vector memory access (addresses, not data)."""
+
+    base: int
+    stride: int  # bytes between consecutive elements
+    count: int  # number of elements transferred
+    ew_bytes: int  # element width in bytes
+    pattern: MemPattern
+    is_store: bool
+
+    @property
+    def total_bytes(self) -> int:
+        return self.count * self.ew_bytes
+
+    @property
+    def is_unit_stride(self) -> bool:
+        return self.pattern in (MemPattern.UNIT, MemPattern.MASK)
+
+
+@dataclass(frozen=True)
+class ScalarEvent:
+    """A retired scalar instruction, classified for the CVA6 timing model."""
+
+    kind: str  # alu | mul | div | fp | load | store | branch | branch_taken
+    addr: Optional[int] = None
+    nbytes: int = 0
+
+
+@dataclass(frozen=True)
+class VsetvlEvent:
+    """A vsetvli: costs a scalar cycle and reconfigures the vector unit."""
+
+    vl: int
+    sew: int
+    lmul: int
+
+
+@dataclass(frozen=True)
+class VectorEvent:
+    """A retired vector instruction with its dynamic configuration."""
+
+    instr: Instruction
+    vl: int
+    sew: int
+    lmul: int
+    mem: Optional[MemAccess] = None
+    #: For slides: the dynamic slide amount in elements.
+    slide_amount: int = 0
+
+    @property
+    def spec(self):
+        return self.instr.spec
+
+    @property
+    def flops(self) -> float:
+        return self.spec.flops * self.vl
+
+    @property
+    def result_bytes(self) -> int:
+        return self.vl * (self.sew // 8)
+
+
+TraceEvent = object  # union of the three event types
+
+
+@dataclass
+class DynamicTrace:
+    """Ordered event stream plus cheap aggregate counters."""
+
+    events: list = field(default_factory=list)
+    scalar_count: int = 0
+    vector_count: int = 0
+    total_flops: float = 0.0
+
+    def add_scalar(self, event: ScalarEvent) -> None:
+        self.events.append(event)
+        self.scalar_count += 1
+
+    def add_vsetvl(self, event: VsetvlEvent) -> None:
+        self.events.append(event)
+        self.scalar_count += 1
+
+    def add_vector(self, event: VectorEvent) -> None:
+        self.events.append(event)
+        self.vector_count += 1
+        self.total_flops += event.flops
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def vector_events(self) -> Iterator[VectorEvent]:
+        return (e for e in self.events if isinstance(e, VectorEvent))

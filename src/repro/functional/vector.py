@@ -1,0 +1,512 @@
+"""The functional vector engine: RVV state handling + dispatch.
+
+Fetches operands from the VRF, applies the pure semantics from
+:mod:`repro.functional.vector_ops`, handles masking (mask-undisturbed) and
+tail policy (tail-undisturbed, legal under agnosticism), and emits one
+:class:`~repro.functional.trace.VectorEvent` per retired instruction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ExecutionError, IllegalInstructionError
+from ..isa.instructions import ExecUnit, Instruction, MemPattern
+from .memory import FunctionalMemory
+from .state import ArchState, fp_dtype, int_dtype
+from .trace import MemAccess, VectorEvent
+from .vector_ops import arith, fp, mask as maskops, mem as memops, permute
+from .vector_ops.reduce import REDUCTIONS
+
+
+class VectorUnit:
+    """Executes one vector instruction against the architectural state."""
+
+    def __init__(self, state: ArchState, mem: FunctionalMemory) -> None:
+        self.state = state
+        self.mem = mem
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def execute(self, instr: Instruction) -> VectorEvent:
+        spec = instr.spec
+        vt = self.state.require_legal_vtype()
+        vl = self.state.vl
+        sew = int(vt.sew)
+        lmul = int(vt.lmul)
+        mask_bits = self.state.v.read_mask(0, vl) if instr.masked else None
+
+        mem_access: Optional[MemAccess] = None
+        slide_amount = 0
+        if spec.is_mem:
+            mem_access = self._mem(instr, vl, sew, lmul, mask_bits)
+        elif spec.is_reduction:
+            self._reduction(instr, vl, sew, lmul, mask_bits)
+        elif spec.is_slide:
+            slide_amount = self._permute(instr, vl, sew, lmul, mask_bits)
+        elif spec.unit is ExecUnit.MASKU:
+            self._masku(instr, vl, sew, lmul, mask_bits)
+        elif spec.mask_producer:
+            self._compare(instr, vl, sew, lmul, mask_bits)
+        else:
+            self._arith(instr, vl, sew, lmul, mask_bits)
+
+        return VectorEvent(
+            instr=instr, vl=vl, sew=sew, lmul=lmul,
+            mem=mem_access, slide_amount=slide_amount,
+        )
+
+    # ------------------------------------------------------------------
+    # Operand helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _base(instr: Instruction) -> str:
+        """Mnemonic base without the form suffix (vadd_vv -> vadd)."""
+        return instr.mnemonic.rsplit("_", 1)[0]
+
+    def _fetch_op1(self, instr: Instruction, vl: int, dtype: np.dtype):
+        """vs1 / rs1 / imm / frs1 operand resolved to an array or scalar."""
+        fmt = instr.spec.fmt
+        if fmt.endswith("vv") or fmt in ("vvv", "mm", "red_vs"):
+            emul = self._emul_for(instr)
+            return self.state.v.read_elems(
+                instr.op("vs1").index, vl, dtype, emul)
+        if "x" in fmt.rsplit("_", 1)[-1] or fmt == "vvx":
+            raw = self.state.x.read(instr.op("rs1").index)
+            return self._splat_int(raw, dtype, vl)
+        if fmt in ("vvi",):
+            return self._splat_int(int(instr.op("imm")), dtype, vl)
+        if fmt in ("vvf", "fma_vf"):
+            return np.full(vl, self.state.f.read(instr.op("frs1").index),
+                           dtype=dtype)
+        raise ExecutionError(f"cannot fetch op1 for format {fmt}")
+
+    @staticmethod
+    def _splat_int(value: int, dtype: np.dtype, vl: int) -> np.ndarray:
+        bits = dtype.itemsize * 8
+        value &= (1 << bits) - 1
+        return np.full(vl, value, dtype=np.dtype(f"u{dtype.itemsize}")) \
+            .view(dtype).copy()
+
+    def _emul_for(self, instr: Instruction) -> int:
+        return int(self.state.vtype.lmul)
+
+    # ------------------------------------------------------------------
+    # Integer / FP element-wise
+    # ------------------------------------------------------------------
+    def _arith(self, instr: Instruction, vl: int, sew: int, lmul: int,
+               mask_bits) -> None:
+        spec = instr.spec
+        mnemonic = instr.mnemonic
+        base = self._base(instr)
+
+        # Splats and scalar moves first (they have unusual formats).
+        if mnemonic in ("vmv_v_v",):
+            src = self.state.v.read_elems(
+                instr.op("vs2").index, vl, int_dtype(sew), lmul)
+            self._write(instr, src, lmul, mask_bits)
+            return
+        if mnemonic in ("vmv_v_x", "vmv_v_i", "vfmv_v_f"):
+            dtype = fp_dtype(sew) if mnemonic == "vfmv_v_f" else int_dtype(sew)
+            if mnemonic == "vmv_v_x":
+                value = self._splat_int(
+                    self.state.x.read(instr.op("rs1").index), dtype, vl)
+            elif mnemonic == "vmv_v_i":
+                value = self._splat_int(int(instr.op("imm")), dtype, vl)
+            else:
+                value = np.full(vl, self.state.f.read(instr.op("frs1").index),
+                                dtype=dtype)
+            self._write(instr, value, lmul, mask_bits)
+            return
+        if mnemonic == "vmv_s_x":
+            self.state.v.write_elems(
+                instr.op("vd").index,
+                self._splat_int(self.state.x.read(instr.op("rs1").index),
+                                int_dtype(sew), 1),
+                emul=1)
+            return
+        if mnemonic == "vmv_x_s":
+            value = self.state.v.read_elems(
+                instr.op("vs2").index, 1, int_dtype(sew, signed=True), 1)[0]
+            self.state.x.write(instr.op("rd").index, int(value))
+            return
+        if mnemonic == "vfmv_s_f":
+            self.state.v.write_elems(
+                instr.op("vd").index,
+                np.array([self.state.f.read(instr.op("frs1").index)],
+                         dtype=fp_dtype(sew)),
+                emul=1)
+            return
+        if mnemonic == "vfmv_f_s":
+            value = self.state.v.read_elems(
+                instr.op("vs2").index, 1, fp_dtype(sew), 1)[0]
+            self.state.f.write(instr.op("frd").index, float(value))
+            return
+
+        # Merges read v0 as selector regardless of `masked`.
+        if base in ("vmerge", "vfmerge"):
+            self._merge(instr, vl, sew, lmul)
+            return
+
+        if spec.unit is ExecUnit.VMFPU:
+            self._fp_arith(instr, vl, sew, lmul, mask_bits, base)
+        else:
+            self._int_arith(instr, vl, sew, lmul, mask_bits, base)
+
+    def _int_arith(self, instr, vl, sew, lmul, mask_bits, base) -> None:
+        spec = instr.spec
+        if base in arith.FMA:
+            dtype = int_dtype(sew)
+            vd = self.state.v.read_elems(instr.op("vd").index, vl, dtype, lmul)
+            op1 = self._fetch_op1(instr, vl, dtype)
+            vs2 = self.state.v.read_elems(instr.op("vs2").index, vl, dtype, lmul)
+            with np.errstate(over="ignore"):
+                result = arith.FMA[base](vd, op1, vs2).astype(dtype)
+            self._write(instr, result, lmul, mask_bits)
+            return
+        if spec.widens:
+            op = arith.WIDENING[base]
+            narrow = int_dtype(sew, signed=True)
+            wide = int_dtype(2 * sew, signed=True)
+            vs2 = self.state.v.read_elems(
+                instr.op("vs2").index, vl, narrow, lmul).astype(wide)
+            op1 = self._fetch_op1(instr, vl, narrow).astype(wide)
+            result = op(vs2, op1).astype(wide)
+            self._write(instr, result, 2 * lmul, mask_bits)
+            return
+        if spec.narrows:  # vnsrl
+            wide_u = int_dtype(2 * sew)
+            vs2 = self.state.v.read_elems(
+                instr.op("vs2").index, vl, wide_u, 2 * lmul)
+            op1 = self._fetch_op1(instr, vl, wide_u)
+            shift = (op1.astype(np.uint64) & np.uint64(2 * sew - 1)) \
+                .astype(wide_u)
+            result = np.right_shift(vs2, shift).astype(int_dtype(sew))
+            self._write(instr, result, lmul, mask_bits)
+            return
+        op = arith.BINOPS[base]
+        dtype = int_dtype(sew, signed=op.signed)
+        vs2 = self.state.v.read_elems(instr.op("vs2").index, vl, dtype, lmul)
+        op1 = self._fetch_op1(instr, vl, dtype)
+        with np.errstate(over="ignore"):
+            result = op.func(vs2, op1).astype(dtype)
+        self._write(instr, result, lmul, mask_bits)
+
+    def _fp_arith(self, instr, vl, sew, lmul, mask_bits, base) -> None:
+        spec = instr.spec
+        if instr.mnemonic in fp.UNARY:
+            vs2 = self.state.v.read_elems(
+                instr.op("vs2").index, vl, fp_dtype(sew), lmul)
+            self._write(instr, fp.UNARY[instr.mnemonic](vs2), lmul, mask_bits)
+            return
+        if instr.mnemonic.startswith("vfcvt") or instr.mnemonic.startswith(
+                "vfwcvt") or instr.mnemonic.startswith("vfncvt"):
+            self._convert(instr, vl, sew, lmul, mask_bits)
+            return
+        if base in fp.FMA:
+            if spec.widens:  # vfwmacc
+                wide = fp_dtype(2 * sew)
+                vd = self.state.v.read_elems(
+                    instr.op("vd").index, vl, wide, 2 * lmul)
+                op1 = np.asarray(
+                    self._fetch_op1(instr, vl, fp_dtype(sew)), dtype=wide)
+                vs2 = self.state.v.read_elems(
+                    instr.op("vs2").index, vl, fp_dtype(sew), lmul).astype(wide)
+                result = fp.FMA[base](vd, op1, vs2)
+                self._write(instr, result, 2 * lmul, mask_bits)
+                return
+            dtype = fp_dtype(sew)
+            vd = self.state.v.read_elems(instr.op("vd").index, vl, dtype, lmul)
+            op1 = self._fetch_op1(instr, vl, dtype)
+            vs2 = self.state.v.read_elems(instr.op("vs2").index, vl, dtype, lmul)
+            self._write(instr, fp.FMA[base](vd, op1, vs2), lmul, mask_bits)
+            return
+        if spec.widens:  # vfwadd/vfwmul
+            wide = fp_dtype(2 * sew)
+            vs2 = self.state.v.read_elems(
+                instr.op("vs2").index, vl, fp_dtype(sew), lmul).astype(wide)
+            op1 = np.asarray(
+                self._fetch_op1(instr, vl, fp_dtype(sew)), dtype=wide)
+            result = fp.WIDENING[base](vs2, op1)
+            self._write(instr, result, 2 * lmul, mask_bits)
+            return
+        op = fp.BINOPS[base]
+        dtype = fp_dtype(sew)
+        vs2 = self.state.v.read_elems(instr.op("vs2").index, vl, dtype, lmul)
+        op1 = self._fetch_op1(instr, vl, dtype)
+        self._write(instr, np.asarray(op(vs2, op1), dtype=dtype), lmul, mask_bits)
+
+    def _convert(self, instr, vl, sew, lmul, mask_bits) -> None:
+        mnem = instr.mnemonic
+        if mnem == "vfcvt_x_f_v":
+            vs2 = self.state.v.read_elems(
+                instr.op("vs2").index, vl, fp_dtype(sew), lmul)
+            result = np.rint(vs2).astype(int_dtype(sew, signed=True))
+            self._write(instr, result, lmul, mask_bits)
+        elif mnem == "vfcvt_rtz_x_f_v":
+            vs2 = self.state.v.read_elems(
+                instr.op("vs2").index, vl, fp_dtype(sew), lmul)
+            result = np.trunc(vs2).astype(int_dtype(sew, signed=True))
+            self._write(instr, result, lmul, mask_bits)
+        elif mnem == "vfcvt_f_x_v":
+            vs2 = self.state.v.read_elems(
+                instr.op("vs2").index, vl, int_dtype(sew, signed=True), lmul)
+            self._write(instr, vs2.astype(fp_dtype(sew)), lmul, mask_bits)
+        elif mnem == "vfwcvt_f_f_v":
+            vs2 = self.state.v.read_elems(
+                instr.op("vs2").index, vl, fp_dtype(sew), lmul)
+            self._write(instr, vs2.astype(fp_dtype(2 * sew)), 2 * lmul, mask_bits)
+        elif mnem == "vfncvt_f_f_w":
+            vs2 = self.state.v.read_elems(
+                instr.op("vs2").index, vl, fp_dtype(2 * sew), 2 * lmul)
+            self._write(instr, vs2.astype(fp_dtype(sew)), lmul, mask_bits)
+        else:  # pragma: no cover
+            raise ExecutionError(f"unhandled conversion {mnem}")
+
+    def _merge(self, instr, vl, sew, lmul) -> None:
+        selector = self.state.v.read_mask(0, vl)
+        is_fp = instr.mnemonic.startswith("vf")
+        dtype = fp_dtype(sew) if is_fp else int_dtype(sew)
+        vs2 = self.state.v.read_elems(instr.op("vs2").index, vl, dtype, lmul)
+        op1 = self._fetch_op1(instr, vl, dtype)
+        result = np.where(selector, op1, vs2).astype(dtype)
+        self._write(instr, result, lmul, None)
+
+    def _compare(self, instr, vl, sew, lmul, mask_bits) -> None:
+        base = self._base(instr)
+        if instr.spec.unit is ExecUnit.VMFPU and base in fp.COMPARES:
+            dtype = fp_dtype(sew)
+            func = fp.COMPARES[base]
+        else:
+            op = arith.COMPARES[base]
+            dtype = int_dtype(sew, signed=op.signed)
+            func = op.func
+        vs2 = self.state.v.read_elems(instr.op("vs2").index, vl, dtype, lmul)
+        op1 = self._fetch_op1(instr, vl, dtype)
+        bits = np.asarray(func(vs2, op1), dtype=bool)
+        if mask_bits is not None:
+            old = self.state.v.read_mask(instr.op("vd").index, vl)
+            bits = np.where(mask_bits, bits, old)
+        self.state.v.write_mask(instr.op("vd").index, bits)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def _reduction(self, instr, vl, sew, lmul, mask_bits) -> None:
+        mnem = instr.mnemonic
+        is_fp = mnem.startswith("vf")
+        signed = not is_fp and mnem not in ("vredand_vs", "vredor_vs",
+                                            "vredxor_vs")
+        dtype = fp_dtype(sew) if is_fp else int_dtype(sew, signed=signed)
+        values = self.state.v.read_elems(instr.op("vs2").index, vl, dtype, lmul)
+        if mask_bits is not None:
+            values = values[mask_bits]
+        seed = self.state.v.read_elems(instr.op("vs1").index, 1, dtype, 1)[0]
+        result = REDUCTIONS[mnem](values, seed)
+        self.state.v.write_elems(
+            instr.op("vd").index, np.array([result], dtype=dtype), emul=1)
+
+    # ------------------------------------------------------------------
+    # Slides / gathers
+    # ------------------------------------------------------------------
+    def _permute(self, instr, vl, sew, lmul, mask_bits) -> int:
+        mnem = instr.mnemonic
+        dtype = fp_dtype(sew) if mnem.startswith("vf") else int_dtype(sew)
+        vlmax = self.state.vtype.vlmax(self.state.vlen_bits)
+        vd_idx = instr.op("vd").index
+
+        if mnem in ("vslideup_vx", "vslideup_vi", "vslidedown_vx",
+                    "vslidedown_vi"):
+            if instr.spec.fmt == "slide_vx":
+                offset = self.state.x.read_unsigned(instr.op("rs1").index)
+            else:
+                offset = int(instr.op("imm"))
+            offset = min(offset, vlmax)
+            if mnem.startswith("vslideup"):
+                dest = self.state.v.read_elems(vd_idx, vl, dtype, lmul)
+                vs2 = self.state.v.read_elems(
+                    instr.op("vs2").index, vl, dtype, lmul)
+                result = permute.slideup(vs2, dest, offset)
+                write_mask = np.arange(vl) >= offset
+                if mask_bits is not None:
+                    write_mask &= mask_bits
+                self.state.v.write_elems(vd_idx, result, lmul, write_mask)
+            else:
+                vs2_full = self.state.v.read_elems(
+                    instr.op("vs2").index, vlmax, dtype, lmul)
+                result = permute.slidedown(vs2_full, vl, offset)
+                self._write(instr, result, lmul, mask_bits)
+            return offset
+
+        if mnem in ("vslide1up_vx", "vslide1down_vx",
+                    "vfslide1up_vf", "vfslide1down_vf"):
+            if instr.spec.fmt == "slide1_vx":
+                raw = self.state.x.read(instr.op("rs1").index)
+                scalar = self._splat_int(raw, int_dtype(sew), 1).view(dtype)[0]
+            else:
+                scalar = dtype.type(self.state.f.read(instr.op("frs1").index))
+            vs2 = self.state.v.read_elems(instr.op("vs2").index, vl, dtype, lmul)
+            if "up" in mnem:
+                result = permute.slide1up(vs2, scalar, vl)
+            else:
+                result = permute.slide1down(vs2, scalar, vl)
+            self._write(instr, result, lmul, mask_bits)
+            return 1
+
+        if mnem == "vrgather_vv":
+            vs2_full = self.state.v.read_elems(
+                instr.op("vs2").index, vlmax, dtype, lmul)
+            indices = self.state.v.read_elems(
+                instr.op("vs1").index, vl, int_dtype(sew), lmul)
+            result = permute.rgather(vs2_full, indices, vlmax)
+            self._write(instr, result, lmul, mask_bits)
+            return 0
+
+        if mnem == "vcompress_vm":
+            select = self.state.v.read_mask(instr.op("vs1").index, vl)
+            vs2 = self.state.v.read_elems(instr.op("vs2").index, vl, dtype, lmul)
+            dest = self.state.v.read_elems(vd_idx, vl, dtype, lmul)
+            result = permute.compress(vs2, select, dest)
+            self.state.v.write_elems(vd_idx, result, lmul)
+            return 0
+
+        raise ExecutionError(f"unhandled permute {mnem}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Mask unit
+    # ------------------------------------------------------------------
+    def _masku(self, instr, vl, sew, lmul, mask_bits) -> None:
+        mnem = instr.mnemonic
+        if instr.spec.mask_logical:
+            base = self._base(instr)
+            a = self.state.v.read_mask(instr.op("vs2").index, vl)
+            b = self.state.v.read_mask(instr.op("vs1").index, vl)
+            self.state.v.write_mask(
+                instr.op("vd").index, maskops.LOGICAL[base](a, b))
+            return
+        if mnem == "vcpop_m":
+            bits = self.state.v.read_mask(instr.op("vs2").index, vl)
+            if mask_bits is not None:
+                bits = bits & mask_bits
+            self.state.x.write(instr.op("rd").index, maskops.cpop(bits))
+            return
+        if mnem == "vfirst_m":
+            bits = self.state.v.read_mask(instr.op("vs2").index, vl)
+            if mask_bits is not None:
+                bits = bits & mask_bits
+            self.state.x.write(instr.op("rd").index, maskops.first(bits))
+            return
+        if mnem in maskops.M_UNARY:
+            bits = self.state.v.read_mask(instr.op("vs2").index, vl)
+            result = maskops.M_UNARY[mnem](bits)
+            if mask_bits is not None:
+                old = self.state.v.read_mask(instr.op("vd").index, vl)
+                result = np.where(mask_bits, result, old)
+            self.state.v.write_mask(instr.op("vd").index, result)
+            return
+        if mnem == "viota_m":
+            bits = self.state.v.read_mask(instr.op("vs2").index, vl)
+            if mask_bits is not None:
+                bits = bits & mask_bits
+            result = maskops.iota(bits).astype(int_dtype(sew))
+            self._write(instr, result, lmul, mask_bits)
+            return
+        if mnem == "vid_v":
+            result = np.arange(vl, dtype=np.int64).astype(int_dtype(sew))
+            self._write(instr, result, lmul, mask_bits)
+            return
+        raise ExecutionError(f"unhandled mask op {mnem}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def _mem(self, instr, vl, sew, lmul, mask_bits) -> MemAccess:
+        spec = instr.spec
+        pattern = spec.mem_pattern
+        shape = memops.data_shape(instr.mnemonic, pattern, vl, sew, lmul)
+        base = self.state.x.read_unsigned(instr.op("rs1").index)
+        dtype = memops.unit_dtype(shape.ew_bytes)
+
+        if pattern is MemPattern.MASK:
+            if spec.is_load:
+                raw = self.mem.read_bytes(base, shape.count)
+                view = self.state.v._group_bytes(instr.op("vd").index, 1)
+                view[:shape.count] = raw
+            else:
+                view = self.state.v._group_bytes(instr.op("vs3").index, 1)
+                self.mem.write_bytes(base, view[:shape.count])
+            return MemAccess(base, 1, shape.count, 1, pattern, spec.is_store)
+
+        if pattern is MemPattern.UNIT:
+            stride = shape.ew_bytes
+            if spec.is_load:
+                data = self.mem.read_array(base, vl, dtype)
+                self.state.v.write_elems(
+                    instr.op("vd").index, data, shape.emul, mask_bits)
+            else:
+                data = self.state.v.read_elems(
+                    instr.op("vs3").index, vl, dtype, shape.emul)
+                if mask_bits is None:
+                    self.mem.write_array(base, data)
+                else:
+                    offsets = np.flatnonzero(mask_bits) * stride
+                    self.mem.write_scatter(base, offsets, data[mask_bits])
+            return MemAccess(base, stride, vl, shape.ew_bytes, pattern,
+                             spec.is_store)
+
+        if pattern is MemPattern.STRIDED:
+            stride = self.state.x.read(instr.op("rs2").index)
+            if spec.is_load:
+                data = self.mem.read_strided(base, vl, stride, dtype)
+                self.state.v.write_elems(
+                    instr.op("vd").index, data, shape.emul, mask_bits)
+            else:
+                data = self.state.v.read_elems(
+                    instr.op("vs3").index, vl, dtype, shape.emul)
+                if mask_bits is None:
+                    self.mem.write_strided(base, data, stride)
+                else:
+                    offsets = np.flatnonzero(mask_bits).astype(np.int64) * stride
+                    self.mem.write_scatter(base, offsets, data[mask_bits])
+            return MemAccess(base, stride, vl, shape.ew_bytes, pattern,
+                             spec.is_store)
+
+        # Indexed: mnemonic width is the index EEW; data uses SEW.
+        index_eew = memops.eew_from_mnemonic(instr.mnemonic)
+        index_emul = max(1, index_eew * lmul // sew)
+        offsets = self.state.v.read_elems(
+            instr.op("vs2").index, vl, memops.unit_dtype(index_eew // 8),
+            index_emul).astype(np.int64)
+        data_dtype = memops.unit_dtype(sew // 8)
+        if spec.is_load:
+            if mask_bits is None:
+                data = self.mem.read_gather(base, offsets, data_dtype)
+                self.state.v.write_elems(
+                    instr.op("vd").index, data, lmul, None)
+            else:
+                dest = self.state.v.read_elems(
+                    instr.op("vd").index, vl, data_dtype, lmul)
+                active = self.mem.read_gather(
+                    base, offsets[mask_bits], data_dtype)
+                dest[mask_bits] = active
+                self.state.v.write_elems(instr.op("vd").index, dest, lmul)
+        else:
+            data = self.state.v.read_elems(
+                instr.op("vs3").index, vl, data_dtype, lmul)
+            if mask_bits is not None:
+                offsets = offsets[mask_bits]
+                data = data[mask_bits]
+            self.mem.write_scatter(base, offsets, data)
+        return MemAccess(base, 0, vl, sew // 8, pattern, spec.is_store)
+
+    # ------------------------------------------------------------------
+    def _write(self, instr: Instruction, values: np.ndarray, emul: int,
+               mask_bits) -> None:
+        """Write the destination body with the mask-undisturbed policy."""
+        vd = instr.get("vd")
+        if vd is None:
+            raise IllegalInstructionError(f"{instr.mnemonic} has no vd")
+        self.state.v.write_elems(vd.index, values, emul, mask_bits)

@@ -1,0 +1,11 @@
+"""Pure element-wise semantics of the RVV subset, grouped per family.
+
+Each module exports plain functions / tables over NumPy arrays; all state
+handling (operand fetch, masking, register writeback) lives in
+:mod:`repro.functional.vector`.  Keeping semantics pure makes them directly
+reusable as golden references in property-based tests.
+"""
+
+from . import arith, fp, mask, mem, permute, reduce as reduce_ops
+
+__all__ = ["arith", "fp", "mask", "mem", "permute", "reduce_ops"]

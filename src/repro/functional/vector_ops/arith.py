@@ -1,0 +1,131 @@
+"""Integer vector arithmetic semantics (VALU instructions).
+
+All binary functions take ``(vs2, op1)`` where ``op1`` is the vs1 array or
+a splatted scalar/immediate, matching the RVV assembly operand order
+``vop.vv vd, vs2, vs1`` (so ``vsub`` computes ``vs2 - op1`` and ``vrsub``
+computes ``op1 - vs2``).  Wrapping arithmetic uses unsigned dtypes; ordered
+comparisons and arithmetic shifts declare ``signed=True`` so the engine
+fetches operands in the signed view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class IntOp:
+    func: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    signed: bool = False
+
+
+def _shift_amount(op1: np.ndarray, sew_bits: int) -> np.ndarray:
+    return (op1.astype(np.uint64) & np.uint64(sew_bits - 1)).astype(op1.dtype)
+
+
+def _sll(vs2: np.ndarray, op1: np.ndarray) -> np.ndarray:
+    return np.left_shift(vs2, _shift_amount(op1, vs2.dtype.itemsize * 8))
+
+
+def _srl(vs2: np.ndarray, op1: np.ndarray) -> np.ndarray:
+    return np.right_shift(vs2, _shift_amount(op1, vs2.dtype.itemsize * 8))
+
+
+def _sra(vs2: np.ndarray, op1: np.ndarray) -> np.ndarray:
+    # vs2 arrives signed (signed=True); numpy's >> on signed ints is
+    # arithmetic.  The shift amount must be cast back to the signed dtype.
+    amount = _shift_amount(op1.view(f"u{vs2.dtype.itemsize}"),
+                           vs2.dtype.itemsize * 8)
+    return np.right_shift(vs2, amount.astype(vs2.dtype))
+
+
+def _elementwise(pyfunc: Callable[[int, int], int]) -> Callable:
+    """Lift an exact Python-int binary function to arrays.
+
+    Used for div/rem/mulh, whose RISC-V corner cases (division by zero,
+    signed overflow, full-width products) are awkward to express safely in
+    fixed-width NumPy arithmetic.  These ops are rare in real kernels, so
+    the per-element cost is acceptable.
+    """
+
+    def apply(vs2: np.ndarray, op1: np.ndarray) -> np.ndarray:
+        values = [pyfunc(int(a), int(b))
+                  for a, b in zip(vs2.tolist(), op1.tolist())]
+        bits = vs2.dtype.itemsize * 8
+        lo, hi = -(1 << (bits - 1)), 1 << bits
+        wrapped = [v & (hi - 1) for v in values]
+        signed = [v + 2 * lo if v >= -lo else v for v in wrapped]
+        return np.array(signed, dtype=vs2.dtype)
+
+    return apply
+
+
+def _py_div(a: int, b: int) -> int:
+    """RISC-V signed division: x/0 = -1, overflow returns the dividend."""
+    if b == 0:
+        return -1
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _py_rem(a: int, b: int) -> int:
+    if b == 0:
+        return a
+    return a - _py_div(a, b) * b
+
+
+def _mulh_signed(vs2: np.ndarray, op1: np.ndarray) -> np.ndarray:
+    bits = vs2.dtype.itemsize * 8
+    return _elementwise(lambda a, b: (a * b) >> bits)(vs2, op1)
+
+
+_div_signed = _elementwise(_py_div)
+_rem_signed = _elementwise(_py_rem)
+
+
+BINOPS: dict[str, IntOp] = {
+    "vadd": IntOp(np.add),
+    "vsub": IntOp(np.subtract),
+    "vrsub": IntOp(lambda vs2, op1: np.subtract(op1, vs2)),
+    "vand": IntOp(np.bitwise_and),
+    "vor": IntOp(np.bitwise_or),
+    "vxor": IntOp(np.bitwise_xor),
+    "vsll": IntOp(_sll),
+    "vsrl": IntOp(_srl),
+    "vsra": IntOp(_sra, signed=True),
+    "vmin": IntOp(np.minimum, signed=True),
+    "vmax": IntOp(np.maximum, signed=True),
+    "vminu": IntOp(np.minimum),
+    "vmaxu": IntOp(np.maximum),
+    "vmul": IntOp(np.multiply),
+    "vmulh": IntOp(_mulh_signed, signed=True),
+    "vdiv": IntOp(_div_signed, signed=True),
+    "vrem": IntOp(_rem_signed, signed=True),
+}
+
+#: Integer compares producing mask bits; all ordered ones are signed except
+#: the explicit unsigned variants.
+COMPARES: dict[str, IntOp] = {
+    "vmseq": IntOp(np.equal),
+    "vmsne": IntOp(np.not_equal),
+    "vmslt": IntOp(np.less, signed=True),
+    "vmsle": IntOp(np.less_equal, signed=True),
+    "vmsgt": IntOp(np.greater, signed=True),
+    "vmsltu": IntOp(np.less),
+    "vmsleu": IntOp(np.less_equal),
+}
+
+#: Integer multiply-accumulate: func(vd, op1, vs2).
+FMA: dict[str, Callable] = {
+    "vmacc": lambda vd, a, b: vd + a * b,
+    "vnmsac": lambda vd, a, b: vd - a * b,
+}
+
+#: Widening integer ops (operands SEW, result 2*SEW, signed).
+WIDENING: dict[str, Callable] = {
+    "vwadd": lambda vs2, op1: vs2 + op1,
+    "vwmul": lambda vs2, op1: vs2 * op1,
+}

@@ -1,0 +1,70 @@
+"""Mask-register semantics (MASKU instructions).
+
+All functions operate on boolean arrays of the first ``vl`` mask bits; the
+engine handles packing to/from the RVV bit layout.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+LOGICAL: dict[str, Callable] = {
+    "vmand": np.logical_and,
+    "vmor": np.logical_or,
+    "vmxor": np.logical_xor,
+    "vmnand": lambda a, b: ~np.logical_and(a, b),
+    "vmnor": lambda a, b: ~np.logical_or(a, b),
+    "vmxnor": lambda a, b: ~np.logical_xor(a, b),
+    "vmandn": lambda a, b: np.logical_and(a, ~b),
+    "vmorn": lambda a, b: np.logical_or(a, ~b),
+}
+
+
+def cpop(bits: np.ndarray) -> int:
+    """Population count of the active mask bits."""
+    return int(np.count_nonzero(bits))
+
+
+def first(bits: np.ndarray) -> int:
+    """Index of the first set bit, or -1 when none is set."""
+    hits = np.flatnonzero(bits)
+    return int(hits[0]) if hits.size else -1
+
+
+def set_before_first(bits: np.ndarray) -> np.ndarray:
+    """vmsbf: 1 on all elements strictly before the first set bit."""
+    idx = first(bits)
+    out = np.zeros(bits.size, dtype=bool)
+    out[: bits.size if idx < 0 else idx] = True
+    return out
+
+
+def set_including_first(bits: np.ndarray) -> np.ndarray:
+    """vmsif: 1 on all elements up to and including the first set bit."""
+    idx = first(bits)
+    out = np.zeros(bits.size, dtype=bool)
+    out[: bits.size if idx < 0 else idx + 1] = True
+    return out
+
+
+def set_only_first(bits: np.ndarray) -> np.ndarray:
+    """vmsof: 1 only on the first set bit."""
+    idx = first(bits)
+    out = np.zeros(bits.size, dtype=bool)
+    if idx >= 0:
+        out[idx] = True
+    return out
+
+
+def iota(bits: np.ndarray) -> np.ndarray:
+    """viota: exclusive prefix sum of the mask bits (as int64)."""
+    return np.concatenate(([0], np.cumsum(bits.astype(np.int64))[:-1]))
+
+
+M_UNARY: dict[str, Callable] = {
+    "vmsbf_m": set_before_first,
+    "vmsif_m": set_including_first,
+    "vmsof_m": set_only_first,
+}

@@ -1,0 +1,34 @@
+"""RISC-V scalar IR + RVV 1.0 subset used by the AraXL reproduction.
+
+The ISA layer is deliberately assembly-shaped rather than binary-encoded:
+instructions are small dataclasses carrying named operands, and programs are
+built with :class:`~repro.isa.asm.Assembler`, whose method names are the RVV
+mnemonics.  The functional simulator gives them exact semantics and the
+timing engine gives them cycles.
+"""
+
+from .vtype import SEW, LMUL, VType, vsetvl_result
+from .registers import XReg, FReg, VReg, x, f, v
+from .instructions import Instruction, InstrSpec, SPEC_TABLE, spec_for, ExecUnit
+from .program import Program
+from .asm import Assembler
+
+__all__ = [
+    "SEW",
+    "LMUL",
+    "VType",
+    "vsetvl_result",
+    "XReg",
+    "FReg",
+    "VReg",
+    "x",
+    "f",
+    "v",
+    "Instruction",
+    "InstrSpec",
+    "SPEC_TABLE",
+    "spec_for",
+    "ExecUnit",
+    "Program",
+    "Assembler",
+]

@@ -1,0 +1,146 @@
+"""Assembler DSL: build programs by calling mnemonics as methods.
+
+Every mnemonic in :data:`~repro.isa.instructions.SPEC_TABLE` is available as
+a method whose positional arguments follow the RVV assembly operand order
+for that instruction's format (see ``FORMAT_ROLES``).  Dots in mnemonics
+become underscores, and Python keywords get a trailing underscore::
+
+    a = Assembler("axpy")
+    a.vsetvli("x1", "x2", sew=64, lmul=4)
+    a.vle64_v("v8", "x10")
+    a.vfmacc_vf("v16", "f0", "v8")       # v16 += f0 * v8
+    a.vse64_v("v16", "x11")
+    a.halt()
+    prog = a.build()
+
+Vector instructions accept ``masked=True`` to execute under ``v0.t``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import AssemblerError
+from .instructions import (FORMAT_ROLES, Instruction, InstrSpec, SPEC_TABLE,
+                           spec_for)
+from .program import Program
+from .registers import FReg, VReg, XReg, expect
+from .vtype import LMUL, SEW
+
+#: Which register class each operand role must hold.
+_ROLE_KIND: dict[str, type] = {
+    "rd": XReg, "rs1": XReg, "rs2": XReg,
+    "frd": FReg, "frs1": FReg, "frs2": FReg, "frs3": FReg,
+    "vd": VReg, "vs1": VReg, "vs2": VReg, "vs3": VReg,
+}
+_INT_ROLES = frozenset({"imm"})
+_LABEL_ROLES = frozenset({"target", "name"})
+
+
+class Assembler:
+    """Incrementally builds a :class:`~repro.isa.program.Program`."""
+
+    def __init__(self, name: str = "program") -> None:
+        self._name = name
+        self._instructions: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Structural helpers
+    # ------------------------------------------------------------------
+    def label(self, name: str) -> None:
+        """Define a branch target at the current position."""
+        if not isinstance(name, str) or not name:
+            raise AssemblerError(f"label name must be a non-empty string: {name!r}")
+        if name in self._labels:
+            raise AssemblerError(f"label {name!r} defined twice")
+        self._labels[name] = len(self._instructions)
+
+    def emit(self, instr: Instruction) -> Instruction:
+        """Append an already-constructed instruction (escape hatch)."""
+        self._instructions.append(instr)
+        return instr
+
+    def build(self) -> Program:
+        """Finalize; the assembler can keep being used afterwards."""
+        return Program(
+            instructions=tuple(self._instructions),
+            labels=dict(self._labels),
+            name=self._name,
+        )
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    # ------------------------------------------------------------------
+    # Mnemonic dispatch
+    # ------------------------------------------------------------------
+    def __getattr__(self, mnemonic: str) -> Callable[..., Instruction]:
+        if mnemonic.startswith("_") or mnemonic not in SPEC_TABLE:
+            raise AttributeError(mnemonic)
+        spec = spec_for(mnemonic)
+
+        def emit(*args: Any, **kwargs: Any) -> Instruction:
+            return self._assemble(spec, args, kwargs)
+
+        emit.__name__ = mnemonic
+        return emit
+
+    def _assemble(
+        self, spec: InstrSpec, args: tuple[Any, ...], kwargs: dict[str, Any]
+    ) -> Instruction:
+        roles = FORMAT_ROLES[spec.fmt]
+        masked = bool(kwargs.pop("masked", False))
+        if masked and not spec.is_vector:
+            raise AssemblerError(f"{spec.mnemonic} cannot be masked")
+        values: dict[str, Any] = {}
+        # vsetvli keeps sew/lmul keyword-only for readability at call sites.
+        if spec.fmt == "vsetvli":
+            if len(args) != 2:
+                raise AssemblerError("vsetvli takes (rd, rs1, sew=, lmul=)")
+            values["rd"] = expect(args[0], XReg, "rd")
+            values["rs1"] = expect(args[1], XReg, "rs1")
+            values["sew"] = SEW.from_bits(int(kwargs.pop("sew", 64)))
+            values["lmul"] = LMUL.from_int(int(kwargs.pop("lmul", 1)))
+        else:
+            merged = list(args)
+            for role in roles[len(args):]:
+                if role in kwargs:
+                    merged.append(kwargs.pop(role))
+            if len(merged) != len(roles):
+                raise AssemblerError(
+                    f"{spec.mnemonic} expects operands {roles}, got {len(merged)}"
+                )
+            for role, value in zip(roles, merged):
+                values[role] = self._check_operand(spec, role, value)
+        if kwargs:
+            raise AssemblerError(
+                f"{spec.mnemonic}: unexpected keyword(s) {sorted(kwargs)}"
+            )
+        if masked:
+            values["masked"] = True
+            if values.get("vd") == VReg(0) and not spec.mask_producer:
+                raise AssemblerError(
+                    f"{spec.mnemonic}: masked op cannot overwrite v0"
+                )
+        instr = Instruction(spec=spec, ops=values)
+        self._instructions.append(instr)
+        return instr
+
+    @staticmethod
+    def _check_operand(spec: InstrSpec, role: str, value: Any) -> Any:
+        if role in _ROLE_KIND:
+            return expect(value, _ROLE_KIND[role], role)
+        if role in _INT_ROLES:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise AssemblerError(
+                    f"{spec.mnemonic}: operand {role} must be an int, got {value!r}"
+                )
+            return value
+        if role in _LABEL_ROLES:
+            if not isinstance(value, str) or not value:
+                raise AssemblerError(
+                    f"{spec.mnemonic}: operand {role} must be a label name"
+                )
+            return value
+        raise AssemblerError(f"unhandled operand role {role!r}")  # pragma: no cover

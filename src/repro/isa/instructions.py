@@ -1,0 +1,414 @@
+"""Instruction metadata: formats, execution units, FLOP accounting.
+
+Every supported mnemonic has an :class:`InstrSpec` row describing
+
+* ``fmt`` — its operand signature, used by the assembler to validate and by
+  the simulators to pull operands out by role;
+* ``unit`` — which execution unit runs it (Ara's VALU / MFPU share a lane
+  slot; VLSU / SLDU / MASKU are the units whose interconnects the paper
+  redesigns);
+* ``flops`` — DP-FLOP per active element, the quantity behind every
+  GFLOPs and utilization number in the evaluation (FMA counts 2);
+* structural flags used by the timing engine (loads, stores, slides,
+  reductions, widening, mask production).
+
+The table is the single source of truth: the assembler exposes exactly
+these mnemonics as methods, and both simulators refuse anything absent
+from it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..errors import IsaError
+
+
+class ExecUnit(enum.Enum):
+    """Execution unit classes of the Ara/AraXL microarchitecture."""
+
+    SCALAR = "scalar"  # CVA6 pipeline
+    VALU = "valu"  # per-lane integer SIMD ALU
+    VMFPU = "vmfpu"  # per-lane FPU (the 'FPU' of every paper metric)
+    VLSU = "vlsu"  # vector load/store unit
+    SLDU = "sldu"  # slide unit (+ ring interface in AraXL)
+    MASKU = "masku"  # mask unit
+    NONE = "none"  # pseudo-ops: label/halt/nop
+
+
+class MemPattern(enum.Enum):
+    NONE = "none"
+    UNIT = "unit"  # unit-stride: full-bandwidth path
+    STRIDED = "strided"  # low-throughput path (1 elem/cycle/cluster)
+    INDEXED = "indexed"  # low-throughput path, index vector operand
+    MASK = "mask"  # vlm/vsm mask loads
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    mnemonic: str
+    fmt: str
+    unit: ExecUnit
+    flops: float = 0.0
+    is_load: bool = False
+    is_store: bool = False
+    is_reduction: bool = False
+    is_slide: bool = False
+    slide1: bool = False
+    widens: bool = False
+    narrows: bool = False
+    mask_producer: bool = False
+    mask_logical: bool = False
+    mem_pattern: MemPattern = MemPattern.NONE
+    #: Peak throughput in elements per lane per cycle (1.0 for everything
+    #: pipelined; strided/indexed memory ops are limited elsewhere).
+    throughput: float = 1.0
+    #: True when the scalar core must wait for a result coming back from
+    #: the vector unit (vfmv.f.s, vmv.x.s, vcpop, vfirst, and reductions
+    #: read through them).
+    scalar_result: bool = False
+
+    @property
+    def is_vector(self) -> bool:
+        return self.unit not in (ExecUnit.SCALAR, ExecUnit.NONE)
+
+    @property
+    def is_mem(self) -> bool:
+        return self.is_load or self.is_store
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One assembled instruction: a spec reference plus named operands."""
+
+    spec: InstrSpec
+    ops: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def mnemonic(self) -> str:
+        return self.spec.mnemonic
+
+    def op(self, role: str) -> Any:
+        try:
+            return self.ops[role]
+        except KeyError:
+            raise IsaError(
+                f"{self.mnemonic} has no operand {role!r} (has {sorted(self.ops)})"
+            ) from None
+
+    def get(self, role: str, default: Any = None) -> Any:
+        return self.ops.get(role, default)
+
+    @property
+    def masked(self) -> bool:
+        return bool(self.ops.get("masked", False))
+
+    def __str__(self) -> str:
+        shown = {k: v for k, v in self.ops.items() if k != "masked"}
+        body = ", ".join(f"{k}={v}" for k, v in shown.items())
+        suffix = ", v0.t" if self.masked else ""
+        return f"{self.mnemonic} {body}{suffix}"
+
+
+SPEC_TABLE: dict[str, InstrSpec] = {}
+
+
+def _add(spec: InstrSpec) -> None:
+    if spec.mnemonic in SPEC_TABLE:
+        raise IsaError(f"duplicate spec {spec.mnemonic}")
+    SPEC_TABLE[spec.mnemonic] = spec
+
+
+def spec_for(mnemonic: str) -> InstrSpec:
+    try:
+        return SPEC_TABLE[mnemonic]
+    except KeyError:
+        raise IsaError(f"unknown instruction {mnemonic!r}") from None
+
+
+# ----------------------------------------------------------------------
+# Scalar IR (CVA6 side)
+# ----------------------------------------------------------------------
+def _scalar(mnemonic: str, fmt: str, **kw: Any) -> None:
+    _add(InstrSpec(mnemonic, fmt, ExecUnit.SCALAR, **kw))
+
+
+for _m in ("nop", "halt"):
+    _add(InstrSpec(_m, "none", ExecUnit.NONE))
+_add(InstrSpec("label", "label", ExecUnit.NONE))
+
+_scalar("li", "rd_imm")
+_scalar("mv", "rd_rs")
+for _m in ("add", "sub", "mul", "mulh", "div", "rem", "and_", "or_", "xor",
+           "sll", "srl", "sra", "slt", "sltu", "min_", "max_"):
+    _scalar(_m, "rd_rs_rs")
+for _m in ("addi", "andi", "ori", "xori", "slli", "srli", "srai", "slti"):
+    _scalar(_m, "rd_rs_imm")
+for _m in ("ld", "lw", "lh", "lb"):
+    _scalar(_m, "load", is_load=True)
+for _m in ("sd", "sw", "sh", "sb"):
+    _scalar(_m, "store", is_store=True)
+for _m in ("fld", "flw"):
+    _scalar(_m, "fload", is_load=True)
+for _m in ("fsd", "fsw"):
+    _scalar(_m, "fstore", is_store=True)
+for _m in ("fadd_d", "fsub_d", "fmul_d", "fdiv_d", "fmin_d", "fmax_d", "fsgnj_d"):
+    _scalar(_m, "frd_frs_frs")
+for _m in ("fmadd_d", "fmsub_d", "fnmadd_d", "fnmsub_d"):
+    _scalar(_m, "frd_frs_frs_frs")
+_scalar("fsqrt_d", "frd_frs")
+_scalar("fmv_d", "frd_frs")
+_scalar("fneg_d", "frd_frs")
+_scalar("fabs_d", "frd_frs")
+_scalar("fmv_d_x", "frd_rs")
+_scalar("fcvt_d_l", "frd_rs")
+_scalar("fmv_x_d", "rd_frs")
+_scalar("fcvt_l_d", "rd_frs")
+for _m in ("feq_d", "flt_d", "fle_d"):
+    _scalar(_m, "rd_frs_frs")
+for _m in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+    _scalar(_m, "branch")
+for _m in ("beqz", "bnez", "bltz", "bgez", "blez", "bgtz"):
+    _scalar(_m, "branchz")
+_scalar("j", "jump")
+
+# ----------------------------------------------------------------------
+# Vector configuration
+# ----------------------------------------------------------------------
+_add(InstrSpec("vsetvli", "vsetvli", ExecUnit.SCALAR))
+
+# ----------------------------------------------------------------------
+# Vector memory
+# ----------------------------------------------------------------------
+for _ew in (8, 16, 32, 64):
+    _add(InstrSpec(f"vle{_ew}_v", "vl_unit", ExecUnit.VLSU, is_load=True,
+                   mem_pattern=MemPattern.UNIT))
+    _add(InstrSpec(f"vse{_ew}_v", "vs_unit", ExecUnit.VLSU, is_store=True,
+                   mem_pattern=MemPattern.UNIT))
+    _add(InstrSpec(f"vlse{_ew}_v", "vl_strided", ExecUnit.VLSU, is_load=True,
+                   mem_pattern=MemPattern.STRIDED))
+    _add(InstrSpec(f"vsse{_ew}_v", "vs_strided", ExecUnit.VLSU, is_store=True,
+                   mem_pattern=MemPattern.STRIDED))
+    _add(InstrSpec(f"vluxei{_ew}_v", "vl_indexed", ExecUnit.VLSU, is_load=True,
+                   mem_pattern=MemPattern.INDEXED))
+    _add(InstrSpec(f"vsuxei{_ew}_v", "vs_indexed", ExecUnit.VLSU, is_store=True,
+                   mem_pattern=MemPattern.INDEXED))
+_add(InstrSpec("vlm_v", "vl_unit", ExecUnit.VLSU, is_load=True,
+               mem_pattern=MemPattern.MASK))
+_add(InstrSpec("vsm_v", "vs_unit", ExecUnit.VLSU, is_store=True,
+               mem_pattern=MemPattern.MASK))
+
+# ----------------------------------------------------------------------
+# Vector integer arithmetic (VALU)
+# ----------------------------------------------------------------------
+def _int_op(base: str, forms: str = "vxi") -> None:
+    if "v" in forms:
+        _add(InstrSpec(f"{base}_vv", "vvv", ExecUnit.VALU))
+    if "x" in forms:
+        _add(InstrSpec(f"{base}_vx", "vvx", ExecUnit.VALU))
+    if "i" in forms:
+        _add(InstrSpec(f"{base}_vi", "vvi", ExecUnit.VALU))
+
+
+_int_op("vadd")
+_int_op("vsub", "vx")
+_int_op("vrsub", "xi")
+_int_op("vand")
+_int_op("vor")
+_int_op("vxor")
+_int_op("vsll")
+_int_op("vsrl")
+_int_op("vsra")
+_int_op("vmin", "vx")
+_int_op("vmax", "vx")
+_int_op("vminu", "vx")
+_int_op("vmaxu", "vx")
+_int_op("vmul", "vx")
+_int_op("vmulh", "vx")
+_int_op("vdiv", "vx")
+_int_op("vrem", "vx")
+_add(InstrSpec("vmacc_vv", "fma_vv", ExecUnit.VALU))
+_add(InstrSpec("vmacc_vx", "fma_vx", ExecUnit.VALU))
+_add(InstrSpec("vnmsac_vv", "fma_vv", ExecUnit.VALU))
+_add(InstrSpec("vmv_v_v", "v_unary", ExecUnit.VALU))
+_add(InstrSpec("vmv_v_x", "vx_splat", ExecUnit.VALU))
+_add(InstrSpec("vmv_v_i", "vi_splat", ExecUnit.VALU))
+_add(InstrSpec("vmv_s_x", "sx", ExecUnit.VALU))
+_add(InstrSpec("vmv_x_s", "xs", ExecUnit.VALU, scalar_result=True))
+# widening integer
+_add(InstrSpec("vwadd_vv", "vvv", ExecUnit.VALU, widens=True))
+_add(InstrSpec("vwmul_vv", "vvv", ExecUnit.VALU, widens=True))
+_add(InstrSpec("vnsrl_wx", "vvx", ExecUnit.VALU, narrows=True))
+_add(InstrSpec("vnsrl_wi", "vvi", ExecUnit.VALU, narrows=True))
+
+# integer compares -> mask register destination
+for _base, _forms in (
+    ("vmseq", "vxi"), ("vmsne", "vxi"), ("vmslt", "vx"),
+    ("vmsle", "vxi"), ("vmsgt", "xi"), ("vmsltu", "vx"), ("vmsleu", "vxi"),
+):
+    if "v" in _forms:
+        _add(InstrSpec(f"{_base}_vv", "vvv", ExecUnit.VALU, mask_producer=True))
+    if "x" in _forms:
+        _add(InstrSpec(f"{_base}_vx", "vvx", ExecUnit.VALU, mask_producer=True))
+    if "i" in _forms:
+        _add(InstrSpec(f"{_base}_vi", "vvi", ExecUnit.VALU, mask_producer=True))
+
+# merges (read v0 as the selector)
+_add(InstrSpec("vmerge_vvm", "vvv", ExecUnit.VALU))
+_add(InstrSpec("vmerge_vxm", "vvx", ExecUnit.VALU))
+_add(InstrSpec("vmerge_vim", "vvi", ExecUnit.VALU))
+_add(InstrSpec("vfmerge_vfm", "vvf", ExecUnit.VMFPU))
+
+# ----------------------------------------------------------------------
+# Vector floating point (VMFPU) — the FLOP counters of the evaluation
+# ----------------------------------------------------------------------
+def _fp_op(base: str, forms: str = "vf", flops: float = 1.0, **kw: Any) -> None:
+    if "v" in forms:
+        _add(InstrSpec(f"{base}_vv", "vvv", ExecUnit.VMFPU, flops=flops, **kw))
+    if "f" in forms:
+        _add(InstrSpec(f"{base}_vf", "vvf", ExecUnit.VMFPU, flops=flops, **kw))
+
+
+_fp_op("vfadd")
+_fp_op("vfsub")
+_fp_op("vfrsub", "f")
+_fp_op("vfmul")
+_fp_op("vfdiv")
+_fp_op("vfrdiv", "f")
+_fp_op("vfmin")
+_fp_op("vfmax")
+_fp_op("vfsgnj", flops=0.0)
+_fp_op("vfsgnjn", flops=0.0)
+_fp_op("vfsgnjx", flops=0.0)
+_add(InstrSpec("vfsqrt_v", "v_unary", ExecUnit.VMFPU, flops=1.0))
+_add(InstrSpec("vfabs_v", "v_unary", ExecUnit.VMFPU, flops=0.0))
+_add(InstrSpec("vfneg_v", "v_unary", ExecUnit.VMFPU, flops=0.0))
+
+for _base in ("vfmacc", "vfnmacc", "vfmsac", "vfnmsac",
+              "vfmadd", "vfmsub", "vfnmadd", "vfnmsub"):
+    _add(InstrSpec(f"{_base}_vv", "fma_vv", ExecUnit.VMFPU, flops=2.0))
+    _add(InstrSpec(f"{_base}_vf", "fma_vf", ExecUnit.VMFPU, flops=2.0))
+
+_add(InstrSpec("vfmv_v_f", "vf_splat", ExecUnit.VMFPU))
+_add(InstrSpec("vfmv_s_f", "sf", ExecUnit.VMFPU))
+_add(InstrSpec("vfmv_f_s", "fv", ExecUnit.VMFPU, scalar_result=True))
+
+# FP compares -> mask destination
+for _base, _forms in (("vmfeq", "vf"), ("vmfne", "vf"), ("vmflt", "vf"),
+                      ("vmfle", "vf"), ("vmfgt", "f"), ("vmfge", "f")):
+    if "v" in _forms:
+        _add(InstrSpec(f"{_base}_vv", "vvv", ExecUnit.VMFPU, flops=1.0,
+                       mask_producer=True))
+    if "f" in _forms:
+        _add(InstrSpec(f"{_base}_vf", "vvf", ExecUnit.VMFPU, flops=1.0,
+                       mask_producer=True))
+
+# conversions
+_add(InstrSpec("vfcvt_x_f_v", "v_unary", ExecUnit.VMFPU, flops=1.0))
+_add(InstrSpec("vfcvt_f_x_v", "v_unary", ExecUnit.VMFPU, flops=1.0))
+_add(InstrSpec("vfcvt_rtz_x_f_v", "v_unary", ExecUnit.VMFPU, flops=1.0))
+_add(InstrSpec("vfwcvt_f_f_v", "v_unary", ExecUnit.VMFPU, flops=1.0, widens=True))
+_add(InstrSpec("vfncvt_f_f_w", "v_unary", ExecUnit.VMFPU, flops=1.0, narrows=True))
+
+# widening FP
+_add(InstrSpec("vfwadd_vv", "vvv", ExecUnit.VMFPU, flops=1.0, widens=True))
+_add(InstrSpec("vfwmul_vv", "vvv", ExecUnit.VMFPU, flops=1.0, widens=True))
+_add(InstrSpec("vfwmacc_vv", "fma_vv", ExecUnit.VMFPU, flops=2.0, widens=True))
+_add(InstrSpec("vfwmacc_vf", "fma_vf", ExecUnit.VMFPU, flops=2.0, widens=True))
+
+# ----------------------------------------------------------------------
+# Reductions (VMFPU/VALU + SLDU tree; timing handled by the engine)
+# ----------------------------------------------------------------------
+for _m in ("vredsum", "vredmax", "vredmin", "vredand", "vredor", "vredxor"):
+    _add(InstrSpec(f"{_m}_vs", "red_vs", ExecUnit.VALU, is_reduction=True))
+for _m, _fl in (("vfredusum", 1.0), ("vfredosum", 1.0),
+                ("vfredmax", 1.0), ("vfredmin", 1.0)):
+    _add(InstrSpec(f"{_m}_vs", "red_vs", ExecUnit.VMFPU, flops=_fl,
+                   is_reduction=True))
+
+# ----------------------------------------------------------------------
+# Slides and permutations (SLDU / RINGI)
+# ----------------------------------------------------------------------
+_add(InstrSpec("vslideup_vx", "slide_vx", ExecUnit.SLDU, is_slide=True))
+_add(InstrSpec("vslideup_vi", "slide_vi", ExecUnit.SLDU, is_slide=True))
+_add(InstrSpec("vslidedown_vx", "slide_vx", ExecUnit.SLDU, is_slide=True))
+_add(InstrSpec("vslidedown_vi", "slide_vi", ExecUnit.SLDU, is_slide=True))
+_add(InstrSpec("vslide1up_vx", "slide1_vx", ExecUnit.SLDU, is_slide=True, slide1=True))
+_add(InstrSpec("vslide1down_vx", "slide1_vx", ExecUnit.SLDU, is_slide=True, slide1=True))
+_add(InstrSpec("vfslide1up_vf", "slide1_vf", ExecUnit.SLDU, is_slide=True, slide1=True))
+_add(InstrSpec("vfslide1down_vf", "slide1_vf", ExecUnit.SLDU, is_slide=True, slide1=True))
+_add(InstrSpec("vrgather_vv", "vvv", ExecUnit.SLDU, is_slide=True, throughput=0.25))
+_add(InstrSpec("vcompress_vm", "vvv", ExecUnit.SLDU, is_slide=True, throughput=0.25))
+
+# ----------------------------------------------------------------------
+# Mask instructions (MASKU)
+# ----------------------------------------------------------------------
+for _m in ("vmand", "vmor", "vmxor", "vmnand", "vmnor", "vmxnor",
+           "vmandn", "vmorn"):
+    _add(InstrSpec(f"{_m}_mm", "mm", ExecUnit.MASKU, mask_logical=True,
+                   mask_producer=True))
+_add(InstrSpec("vcpop_m", "xm", ExecUnit.MASKU, scalar_result=True))
+_add(InstrSpec("vfirst_m", "xm", ExecUnit.MASKU, scalar_result=True))
+_add(InstrSpec("vmsbf_m", "m_unary", ExecUnit.MASKU, mask_producer=True))
+_add(InstrSpec("vmsif_m", "m_unary", ExecUnit.MASKU, mask_producer=True))
+_add(InstrSpec("vmsof_m", "m_unary", ExecUnit.MASKU, mask_producer=True))
+_add(InstrSpec("vid_v", "vid", ExecUnit.MASKU))
+_add(InstrSpec("viota_m", "m_unary", ExecUnit.MASKU))
+
+
+#: Operand roles for every format, used by the assembler for validation and
+#: by tools that want to introspect instructions generically.
+FORMAT_ROLES: dict[str, tuple[str, ...]] = {
+    "none": (),
+    "label": ("name",),
+    "rd_imm": ("rd", "imm"),
+    "rd_rs": ("rd", "rs1"),
+    "rd_rs_rs": ("rd", "rs1", "rs2"),
+    "rd_rs_imm": ("rd", "rs1", "imm"),
+    "load": ("rd", "rs1", "imm"),
+    "store": ("rs2", "rs1", "imm"),
+    "fload": ("frd", "rs1", "imm"),
+    "fstore": ("frs2", "rs1", "imm"),
+    "frd_frs": ("frd", "frs1"),
+    "frd_frs_frs": ("frd", "frs1", "frs2"),
+    "frd_frs_frs_frs": ("frd", "frs1", "frs2", "frs3"),
+    "rd_frs_frs": ("rd", "frs1", "frs2"),
+    "rd_frs": ("rd", "frs1"),
+    "frd_rs": ("frd", "rs1"),
+    "branch": ("rs1", "rs2", "target"),
+    "branchz": ("rs1", "target"),
+    "jump": ("target",),
+    "vsetvli": ("rd", "rs1", "sew", "lmul"),
+    "vl_unit": ("vd", "rs1"),
+    "vs_unit": ("vs3", "rs1"),
+    "vl_strided": ("vd", "rs1", "rs2"),
+    "vs_strided": ("vs3", "rs1", "rs2"),
+    "vl_indexed": ("vd", "rs1", "vs2"),
+    "vs_indexed": ("vs3", "rs1", "vs2"),
+    "vvv": ("vd", "vs2", "vs1"),
+    "vvx": ("vd", "vs2", "rs1"),
+    "vvi": ("vd", "vs2", "imm"),
+    "vvf": ("vd", "vs2", "frs1"),
+    "v_unary": ("vd", "vs2"),
+    "vx_splat": ("vd", "rs1"),
+    "vi_splat": ("vd", "imm"),
+    "vf_splat": ("vd", "frs1"),
+    "sx": ("vd", "rs1"),
+    "xs": ("rd", "vs2"),
+    "sf": ("vd", "frs1"),
+    "fv": ("frd", "vs2"),
+    "fma_vv": ("vd", "vs1", "vs2"),
+    "fma_vx": ("vd", "rs1", "vs2"),
+    "fma_vf": ("vd", "frs1", "vs2"),
+    "red_vs": ("vd", "vs2", "vs1"),
+    "mm": ("vd", "vs2", "vs1"),
+    "xm": ("rd", "vs2"),
+    "m_unary": ("vd", "vs2"),
+    "vid": ("vd",),
+    "slide_vx": ("vd", "vs2", "rs1"),
+    "slide_vi": ("vd", "vs2", "imm"),
+    "slide1_vx": ("vd", "vs2", "rs1"),
+    "slide1_vf": ("vd", "vs2", "frs1"),
+}

@@ -1,0 +1,64 @@
+"""Program container: an instruction list plus resolved labels.
+
+A :class:`Program` is immutable once built.  Branch targets are stored as
+label names inside instructions; the program resolves them to instruction
+indices, so the interpreters never do string lookups in their hot loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..errors import AssemblerError
+from .instructions import Instruction
+
+
+@dataclass(frozen=True)
+class Program:
+    instructions: tuple[Instruction, ...]
+    labels: dict[str, int] = field(default_factory=dict)
+    name: str = "program"
+
+    def __post_init__(self) -> None:
+        for instr in self.instructions:
+            target = instr.get("target")
+            if target is not None and target not in self.labels:
+                raise AssemblerError(
+                    f"branch to undefined label {target!r} in {self.name}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def target_index(self, label: str) -> int:
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise AssemblerError(f"undefined label {label!r}") from None
+
+    def count(self, predicate) -> int:
+        """Number of instructions satisfying ``predicate`` (static count)."""
+        return sum(1 for instr in self.instructions if predicate(instr))
+
+    @property
+    def static_vector_instructions(self) -> int:
+        return self.count(lambda i: i.spec.is_vector)
+
+    def listing(self) -> str:
+        """Human-readable disassembly with label annotations."""
+        by_index: dict[int, list[str]] = {}
+        for name, idx in self.labels.items():
+            by_index.setdefault(idx, []).append(name)
+        lines = []
+        for idx, instr in enumerate(self.instructions):
+            for name in by_index.get(idx, ()):
+                lines.append(f"{name}:")
+            lines.append(f"  {idx:5d}  {instr}")
+        return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Register name model for the assembly-level IR.
+
+Registers are represented as small frozen dataclasses rather than raw
+strings so operand kinds are checked at assembly time, not deep inside the
+simulator.  The ``x()``, ``f()`` and ``v()`` helpers build them from indices
+and the parser accepts the usual textual names ("x5", "f1", "v8").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import IsaError
+
+
+@dataclass(frozen=True)
+class _Reg:
+    index: int
+
+    PREFIX = "?"
+    COUNT = 32
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < self.COUNT:
+            raise IsaError(f"{self.PREFIX}{self.index} is out of range")
+
+    def __str__(self) -> str:
+        return f"{self.PREFIX}{self.index}"
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+class XReg(_Reg):
+    """Integer register x0..x31 (x0 is hardwired to zero)."""
+
+    PREFIX = "x"
+
+
+class FReg(_Reg):
+    """Floating-point register f0..f31."""
+
+    PREFIX = "f"
+
+
+class VReg(_Reg):
+    """Vector register v0..v31 (v0 doubles as the mask register)."""
+
+    PREFIX = "v"
+
+
+def x(index: int) -> XReg:
+    return XReg(index)
+
+
+def f(index: int) -> FReg:
+    return FReg(index)
+
+
+def v(index: int) -> VReg:
+    return VReg(index)
+
+
+_KINDS = {"x": XReg, "f": FReg, "v": VReg}
+
+
+def parse_reg(name: object) -> _Reg:
+    """Accept a register object or a textual name like ``"x5"``."""
+    if isinstance(name, _Reg):
+        return name
+    if isinstance(name, str) and len(name) >= 2 and name[0] in _KINDS:
+        try:
+            return _KINDS[name[0]](int(name[1:]))
+        except ValueError:
+            pass
+    raise IsaError(f"not a register: {name!r}")
+
+
+def expect(reg: object, kind: type, what: str) -> _Reg:
+    """Parse ``reg`` and require a particular register file."""
+    parsed = parse_reg(reg)
+    if not isinstance(parsed, kind):
+        raise IsaError(f"{what} must be a {kind.__name__}, got {parsed}")
+    return parsed

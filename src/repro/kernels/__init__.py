@@ -1,0 +1,49 @@
+"""The paper's benchmark kernels (Table I), written in RVV assembly.
+
+Each module builds a :class:`~repro.kernels.common.KernelRun`: the vector
+program, input placement, a golden-model check, the analytic FLOP count
+and the Table-I peak-performance bound used to normalize utilization.
+
+============  =========================  ======  =====================
+kernel        problem (Table I)          LMUL    max perf [DP-FLOP/cyc]
+============  =========================  ======  =====================
+fmatmul       A=64x256, B=256xN          1,2,4   2 * lanes
+fconv2d       A=256xN, f=7x7             2       2 * lanes
+jacobi2d      A=256xN                    4       lanes
+fdotproduct   A=B=N                      8       lanes
+exp           A=N                        1       28/21 * lanes
+softmax       A=N                        1       32/25 * lanes
+============  =========================  ======  =====================
+"""
+
+from .common import KernelRun, vl_and_lmul, run_kernel
+from .fmatmul import build_fmatmul
+from .fconv2d import build_fconv2d
+from .jacobi2d import build_jacobi2d
+from .fdotproduct import build_fdotproduct, build_fdotproduct_strips
+from .expk import build_exp
+from .softmax import build_softmax
+
+#: Kernel registry keyed by the paper's benchmark names.
+KERNELS = {
+    "fmatmul": build_fmatmul,
+    "fconv2d": build_fconv2d,
+    "jacobi2d": build_jacobi2d,
+    "fdotproduct": build_fdotproduct,
+    "exp": build_exp,
+    "softmax": build_softmax,
+}
+
+__all__ = [
+    "KernelRun",
+    "KERNELS",
+    "vl_and_lmul",
+    "run_kernel",
+    "build_fmatmul",
+    "build_fconv2d",
+    "build_jacobi2d",
+    "build_fdotproduct",
+    "build_fdotproduct_strips",
+    "build_exp",
+    "build_softmax",
+]

@@ -1,0 +1,125 @@
+"""Shared kernel infrastructure: strip sizing, run container, harness.
+
+The evaluation indexes problem sizes by **bytes per lane** (B/lane): the
+number of bytes of vector length each lane holds, ``vl * 8 / lanes`` for
+DP elements.  Weak scaling keeps B/lane constant while lanes grow, which
+is exactly how Fig 6 sweeps 64 -> 512 B/lane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..isa.program import Program
+from ..params import SystemConfig
+from ..sim import RunResult, Simulator
+
+
+def vl_and_lmul(config: SystemConfig, bytes_per_lane: int,
+                sew: int = 64) -> tuple[int, int]:
+    """Vector length and the smallest LMUL that holds it in one strip.
+
+    The paper's sweeps use B/lane in {64, 128, 256, 512}; with the VLEN
+    law (1024 bit/lane) those map to LMUL {1, 1, 2, 4} — matching the
+    LMUL column of Table I.
+    """
+    vl = config.vl_for_bytes_per_lane(bytes_per_lane, sew)
+    lmul = config.lmul_for_vl(vl, sew)
+    return vl, lmul
+
+
+@dataclass
+class KernelRun:
+    """A fully-prepared benchmark: program + data + golden check."""
+
+    name: str
+    program: Program
+    setup: Callable[[Simulator], None]
+    check: Callable[[Simulator], float]  # returns max |error|; raises on fail
+    dp_flops: float
+    max_flops_per_cycle: float
+    problem: dict = field(default_factory=dict)
+
+    def run(self, config: SystemConfig, verify: bool = True,
+            sim: Simulator | None = None) -> RunResult:
+        if sim is None:
+            sim = Simulator(config)
+        self.setup(sim)
+        result = sim.run(self.program)
+        if verify:
+            self.check(sim)
+        return result
+
+    def utilization(self, result: RunResult) -> float:
+        """Fig 6 utilization: achieved / kernel peak FLOP-per-cycle."""
+        return result.timing.fpu_utilization(self.max_flops_per_cycle)
+
+
+def run_kernel(builder: Callable, config: SystemConfig,
+               bytes_per_lane: int, verify: bool = True,
+               **kwargs) -> tuple[KernelRun, RunResult]:
+    """Build and execute one kernel at one operating point."""
+    kernel = builder(config, bytes_per_lane, **kwargs)
+    result = kernel.run(config, verify=verify)
+    return kernel, result
+
+
+def check_array(sim: Simulator, addr: int, expected: np.ndarray,
+                what: str, rtol: float = 1e-9, atol: float = 1e-9) -> float:
+    """Compare a memory region against a golden array; raise on mismatch."""
+    actual = sim.mem.read_array(addr, expected.size, expected.dtype)
+    expected = expected.reshape(-1)
+    if not np.allclose(actual, expected, rtol=rtol, atol=atol):
+        bad = np.flatnonzero(~np.isclose(actual, expected, rtol=rtol,
+                                         atol=atol))
+        i = int(bad[0])
+        raise AssertionError(
+            f"{what}: {bad.size}/{expected.size} elements mismatch, first at "
+            f"[{i}]: got {actual[i]!r}, want {expected[i]!r}"
+        )
+    err = np.max(np.abs(actual - expected)) if expected.size else 0.0
+    return float(err)
+
+
+class Layout:
+    """Static memory layout planner used at program-build time.
+
+    Kernels must know buffer addresses while assembling (addresses are
+    immediates), so allocation happens before the simulator exists.
+    """
+
+    def __init__(self, base: int = 0, align: int = 64) -> None:
+        self._cursor = base
+        self._align = align
+        self.regions: dict[str, tuple[int, int]] = {}
+
+    def alloc(self, name: str, nbytes: int) -> int:
+        if name in self.regions:
+            raise ConfigError(f"region {name!r} allocated twice")
+        base = -(-self._cursor // self._align) * self._align
+        self._cursor = base + nbytes
+        self.regions[name] = (base, nbytes)
+        return base
+
+    def alloc_f64(self, name: str, count: int) -> int:
+        return self.alloc(name, count * 8)
+
+    @property
+    def total_bytes(self) -> int:
+        return self._cursor
+
+
+def rng_for(name: str, *shape_parts: int) -> np.random.Generator:
+    """Deterministic per-kernel RNG so golden checks are reproducible.
+
+    Uses CRC32 rather than ``hash`` because string hashing is randomized
+    per interpreter run.
+    """
+    import zlib
+
+    seed = zlib.crc32(repr((name,) + shape_parts).encode())
+    return np.random.default_rng(seed)

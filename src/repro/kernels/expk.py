@@ -1,0 +1,147 @@
+"""exp — vectorized exponential with basic mask-free FP ops (Table I).
+
+The element-wise pipeline is the classic range-reduction + polynomial:
+
+    k  = round(x * log2(e))
+    r  = x - k*ln2_hi - k*ln2_lo          (2-term Cody-Waite)
+    p  = 1 + c1 r + c2 r^2 + ... + c6 r^6 (powers + vfmacc.vf)
+    e  = p * 2^(k/2) * 2^(k - k/2)        (split scale avoids overflow)
+
+The VMFPU op budget is *exactly* the paper's Table I ratio: 21 FPU ops
+carrying 28 DP-FLOP per element (8 FMAs = 16, 12 single-FLOP ops, and one
+0-FLOP splat), so peak = 28/21 * lanes DP-FLOP/cycle.  Integer support
+work (scale construction, register moves) runs on the VALU in parallel
+and does not consume FPU slots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.asm import Assembler
+from ..params import SystemConfig
+from .common import KernelRun, Layout, check_array, rng_for, vl_and_lmul
+
+#: FP constants loaded into f10..f20 by :func:`emit_exp_consts`.
+EXP_CONSTS = (
+    709.782712893384,          # f10: clamp high (exp overflow threshold)
+    -708.396418532264,         # f11: clamp low
+    1.4426950408889634,        # f12: log2(e)
+    0.6931471803691238,        # f13: ln2_hi (top bits)
+    1.9082149292705877e-10,    # f14: ln2_lo
+    1.0,                       # f15: 1 and c1
+    1.0 / 2,                   # f16: c2
+    1.0 / 6,                   # f17: c3
+    1.0 / 24,                  # f18: c4
+    1.0 / 120,                 # f19: c5
+    1.0 / 720,                 # f20: c6
+)
+
+#: VMFPU ops and DP-FLOP per element of the exp body (Table I: 21 and 28).
+EXP_FPU_OPS = 21
+EXP_FLOPS = 28
+
+
+def emit_exp_consts(asm: Assembler, const_base: int, ptr: str = "x20") -> None:
+    """Load the constant table into f10..f20."""
+    asm.li(ptr, const_base)
+    for i in range(len(EXP_CONSTS)):
+        asm.fld(f"f{10 + i}", ptr, i * 8)
+
+
+def emit_exp_body(asm: Assembler, lmul: int, bias_reg: str = "x21") -> str:
+    """Emit exp over the register group at v0; returns the result group.
+
+    Register plan (7 groups of ``lmul``, fits LMUL=4 exactly):
+    g1=v0 input/clamped, g2 scratch (t/ki/k2/scale2), g3 k, g4 (k1/scale1),
+    g5 r, g6 accumulator/result, g7 running power of r.
+    The caller must have loaded the constants (:func:`emit_exp_consts`)
+    and set ``bias_reg`` to 1023.
+    """
+    g1, g2, g3, g4, g5, g6, g7 = (f"v{i * lmul}" for i in range(7))
+
+    asm.vfmin_vf(g1, g1, "f10")          # clamp high
+    asm.vfmax_vf(g1, g1, "f11")          # clamp low
+    # r = x issued first on the VALU so the Cody-Waite FMAs are not stuck
+    # behind the (independent) scale-construction chain in the VALU queue.
+    asm.vmv_v_v(g5, g1)                  # r = x (VALU move)
+    asm.vfmul_vf(g2, g1, "f12")          # t = x * log2e
+    asm.vfcvt_x_f_v(g2, g2)              # ki = round(t)   (in place)
+    asm.vfcvt_f_x_v(g3, g2)              # k = double(ki)
+    # Scale construction on the VALU: 2^k1 and 2^k2 as raw f64 bits.
+    asm.vsra_vi(g4, g2, 1)               # k1 = ki >> 1
+    asm.vsub_vv(g2, g2, g4)              # k2 = ki - k1
+    asm.vadd_vx(g4, g4, bias_reg)
+    asm.vsll_vi(g4, g4, 52)              # scale1 bits
+    asm.vadd_vx(g2, g2, bias_reg)
+    asm.vsll_vi(g2, g2, 52)              # scale2 bits
+    # Cody-Waite reduction on the FPU.
+    asm.vfnmsac_vf(g5, "f13", g3)        # r -= ln2_hi * k
+    asm.vfnmsac_vf(g5, "f14", g3)        # r -= ln2_lo * k
+    # Polynomial: acc = 1 + sum c_i * r^i via running powers.
+    asm.vfmv_v_f(g6, "f15")              # acc = 1        (FPU splat)
+    asm.vfmacc_vf(g6, "f15", g5)         # + c1 * r
+    asm.vfmul_vv(g7, g5, g5)             # r^2
+    asm.vfmacc_vf(g6, "f16", g7)
+    asm.vfmul_vv(g7, g7, g5)             # r^3
+    asm.vfmacc_vf(g6, "f17", g7)
+    asm.vfmul_vv(g7, g7, g5)             # r^4
+    asm.vfmacc_vf(g6, "f18", g7)
+    asm.vfmul_vv(g7, g7, g5)             # r^5
+    asm.vfmacc_vf(g6, "f19", g7)
+    asm.vfmul_vv(g7, g7, g5)             # r^6
+    asm.vfmacc_vf(g6, "f20", g7)
+    # Reconstruct: acc * 2^k1 * 2^k2.
+    asm.vfmul_vv(g6, g6, g4)
+    asm.vfmul_vv(g6, g6, g2)
+    return g6
+
+
+def exp_golden(x: np.ndarray) -> np.ndarray:
+    return np.exp(np.clip(x, EXP_CONSTS[1], EXP_CONSTS[0]))
+
+
+def build_exp(config: SystemConfig, bytes_per_lane: int) -> KernelRun:
+    vl, lmul = vl_and_lmul(config, bytes_per_lane)
+    n = vl
+
+    layout = Layout()
+    a_base = layout.alloc_f64("A", n)
+    o_base = layout.alloc_f64("O", n)
+    const_base = layout.alloc_f64("consts", len(EXP_CONSTS))
+
+    asm = Assembler(f"exp_{n}")
+    asm.li("x1", n)
+    asm.vsetvli("x2", "x1", sew=64, lmul=lmul)
+    emit_exp_consts(asm, const_base)
+    asm.li("x21", 1023)
+    asm.li("x5", a_base)
+    asm.li("x7", o_base)
+    asm.vle64_v("v0", "x5")
+    result = emit_exp_body(asm, lmul)
+    asm.vse64_v(result, "x7")
+    asm.halt()
+    program = asm.build()
+
+    rng = rng_for("exp", n)
+    x_vec = rng.uniform(-10.0, 10.0, size=n)
+    golden = exp_golden(x_vec)
+
+    def setup(sim) -> None:
+        sim.mem.write_array(a_base, x_vec)
+        sim.mem.write_array(const_base, np.array(EXP_CONSTS))
+
+    def check(sim) -> float:
+        # Degree-6 Taylor over |r| <= ln2/2: relative error ~2e-7.
+        return check_array(sim, o_base, golden, "exp O", rtol=2e-6, atol=0.0)
+
+    return KernelRun(
+        name="exp",
+        program=program,
+        setup=setup,
+        check=check,
+        dp_flops=float(EXP_FLOPS * n),
+        max_flops_per_cycle=EXP_FLOPS / EXP_FPU_OPS * config.lanes,
+        problem={"n": n, "vl": vl, "lmul": lmul,
+                 "bytes_per_lane": bytes_per_lane},
+    )

@@ -1,0 +1,146 @@
+"""fdotproduct — DP dot product with a vector reduction (Table I row 4).
+
+The memory-bound kernel: every element-pair costs 16 loaded bytes for
+2 DP-FLOP, so with the machine's load bandwidth of 8 bytes/lane/cycle the
+bound is ``lanes`` DP-FLOP/cycle — half of fmatmul's.  The reduction at
+the end exercises the inter-lane/inter-cluster tree, which is why this
+kernel scales worst in Fig 6 (6.1x on 64 lanes).
+
+Two builders:
+
+* :func:`build_fdotproduct` — the Fig 6 operating point: one strip,
+  ``vfmul`` + ``vfredusum``.
+* :func:`build_fdotproduct_strips` — the Section IV-B long-vector variant
+  (16384 B/lane over 16 strip-mined iterations) that amortizes the
+  reduction tail and recovers ~7.6x scaling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.asm import Assembler
+from ..params import SystemConfig
+from .common import KernelRun, Layout, check_array, rng_for, vl_and_lmul
+
+
+def build_fdotproduct(config: SystemConfig, bytes_per_lane: int) -> KernelRun:
+    vl, lmul = vl_and_lmul(config, bytes_per_lane)
+    n = vl
+
+    layout = Layout()
+    a_base = layout.alloc_f64("A", n)
+    b_base = layout.alloc_f64("B", n)
+    r_base = layout.alloc_f64("result", 1)
+
+    va, vb, vt = f"v{2 * lmul}", f"v{3 * lmul}", f"v{4 * lmul}"
+
+    asm = Assembler(f"fdotproduct_{n}")
+    asm.li("x1", n)
+    asm.vsetvli("x2", "x1", sew=64, lmul=lmul)
+    asm.li("x5", a_base)
+    asm.li("x6", b_base)
+    asm.li("x7", r_base)
+    asm.vle64_v(va, "x5")
+    asm.vle64_v(vb, "x6")
+    asm.vfmul_vv(vt, va, vb)
+    asm.vmv_s_x("v1", "x0")  # zero seed
+    asm.vfredusum_vs("v2", vt, "v1")
+    asm.vfmv_f_s("f1", "v2")
+    asm.fsd("f1", "x7", 0)
+    asm.halt()
+    program = asm.build()
+
+    rng = rng_for("fdotproduct", n)
+    a_vec = rng.uniform(-1.0, 1.0, size=n)
+    b_vec = rng.uniform(-1.0, 1.0, size=n)
+    golden = np.array([np.dot(a_vec, b_vec)])
+
+    def setup(sim) -> None:
+        sim.mem.write_array(a_base, a_vec)
+        sim.mem.write_array(b_base, b_vec)
+
+    def check(sim) -> float:
+        return check_array(sim, r_base, golden, "fdotproduct",
+                           rtol=1e-9, atol=1e-10 * n)
+
+    return KernelRun(
+        name="fdotproduct",
+        program=program,
+        setup=setup,
+        check=check,
+        dp_flops=2.0 * n,
+        max_flops_per_cycle=float(config.lanes),
+        problem={"n": n, "vl": vl, "lmul": lmul,
+                 "bytes_per_lane": bytes_per_lane},
+    )
+
+
+def build_fdotproduct_strips(config: SystemConfig, bytes_per_lane: int,
+                             strips: int = 16) -> KernelRun:
+    """Strip-mined long dot product (Section IV-B: 16384 B/lane over 16).
+
+    ``bytes_per_lane`` here is the per-strip size; the total problem is
+    ``strips`` times larger.  Partial products accumulate into a vector
+    register via ``vfmacc`` and a single reduction runs at the end, so the
+    non-ideal reduction phases amortize across the whole vector.
+    """
+    vl, lmul = vl_and_lmul(config, bytes_per_lane)
+    n_total = vl * strips
+
+    layout = Layout()
+    a_base = layout.alloc_f64("A", n_total)
+    b_base = layout.alloc_f64("B", n_total)
+    r_base = layout.alloc_f64("result", 1)
+
+    # Four groups (works up to LMUL=8) + two spare singles for the
+    # reduction seed and result, taken from the unused fourth group.
+    va, vb, vacc = "v0", f"v{lmul}", f"v{2 * lmul}"
+    vseed, vres = f"v{3 * lmul}", f"v{3 * lmul + 1}"
+
+    asm = Assembler(f"fdotproduct_strips_{n_total}")
+    asm.li("x1", vl)
+    asm.vsetvli("x2", "x1", sew=64, lmul=lmul)
+    asm.li("x5", a_base)
+    asm.li("x6", b_base)
+    asm.li("x7", r_base)
+    asm.li("x10", strips)
+    asm.vmv_v_i(vacc, 0)
+    asm.label("strip_loop")
+    asm.vle64_v(va, "x5")
+    asm.vle64_v(vb, "x6")
+    asm.vfmacc_vv(vacc, va, vb)
+    asm.addi("x5", "x5", vl * 8)
+    asm.addi("x6", "x6", vl * 8)
+    asm.addi("x10", "x10", -1)
+    asm.bnez("x10", "strip_loop")
+    asm.vmv_s_x(vseed, "x0")
+    asm.vfredusum_vs(vres, vacc, vseed)
+    asm.vfmv_f_s("f1", vres)
+    asm.fsd("f1", "x7", 0)
+    asm.halt()
+    program = asm.build()
+
+    rng = rng_for("fdotproduct_strips", n_total)
+    a_vec = rng.uniform(-1.0, 1.0, size=n_total)
+    b_vec = rng.uniform(-1.0, 1.0, size=n_total)
+    golden = np.array([np.dot(a_vec, b_vec)])
+
+    def setup(sim) -> None:
+        sim.mem.write_array(a_base, a_vec)
+        sim.mem.write_array(b_base, b_vec)
+
+    def check(sim) -> float:
+        return check_array(sim, r_base, golden, "fdotproduct_strips",
+                           rtol=1e-9, atol=1e-10 * n_total)
+
+    return KernelRun(
+        name="fdotproduct_strips",
+        program=program,
+        setup=setup,
+        check=check,
+        dp_flops=2.0 * n_total,
+        max_flops_per_cycle=float(config.lanes),
+        problem={"n": n_total, "vl": vl, "lmul": lmul, "strips": strips,
+                 "bytes_per_lane": bytes_per_lane * strips},
+    )

@@ -1,0 +1,88 @@
+"""softmax — numerically-stable softmax over one long vector (Table I).
+
+    softmax(x) = exp(x - max(x)) / sum(exp(x - max(x)))
+
+Exercises both reduction flavours (max and sum) around the exp pipeline:
+25 FPU op-slots carrying 32 DP-FLOP per element — exactly the Table I
+bound of 32/25 * lanes DP-FLOP/cycle:
+
+    vfredmax (1) + vfsub (1) + exp body (21/28) + vfredusum (1) + vfmul (1)
+
+The division by the sum happens once on the scalar core (1/sum) and is
+applied with ``vfmul.vf``, the standard strength reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.asm import Assembler
+from ..params import SystemConfig
+from .common import KernelRun, Layout, check_array, rng_for, vl_and_lmul
+from .expk import EXP_CONSTS, emit_exp_body, emit_exp_consts, exp_golden
+
+#: FPU op-slots and DP-FLOP per element (Table I row 6).
+SOFTMAX_FPU_OPS = 25
+SOFTMAX_FLOPS = 32
+
+
+def build_softmax(config: SystemConfig, bytes_per_lane: int) -> KernelRun:
+    vl, lmul = vl_and_lmul(config, bytes_per_lane)
+    n = vl
+
+    layout = Layout()
+    a_base = layout.alloc_f64("A", n)
+    o_base = layout.alloc_f64("O", n)
+    const_base = layout.alloc_f64("consts", len(EXP_CONSTS))
+    ninf_base = layout.alloc_f64("ninf", 1)
+
+    asm = Assembler(f"softmax_{n}")
+    asm.li("x1", n)
+    asm.vsetvli("x2", "x1", sew=64, lmul=lmul)
+    emit_exp_consts(asm, const_base)
+    asm.li("x21", 1023)
+    asm.li("x5", a_base)
+    asm.li("x7", o_base)
+    asm.li("x22", ninf_base)
+    asm.vle64_v("v0", "x5")
+    # max reduction (seed -inf in v29; groups v0..v27 belong to exp).
+    asm.fld("f4", "x22", 0)
+    asm.vfmv_s_f("v29", "f4")
+    asm.vfredmax_vs("v28", "v0", "v29")
+    asm.vfmv_f_s("f5", "v28")
+    asm.vfsub_vf("v0", "v0", "f5")  # x - max, in place
+    result = emit_exp_body(asm, lmul)
+    # sum reduction over the exp results.
+    asm.vmv_s_x("v29", "x0")
+    asm.vfredusum_vs("v28", result, "v29")
+    asm.vfmv_f_s("f6", "v28")
+    asm.fdiv_d("f7", "f15", "f6")  # 1 / sum  (f15 holds 1.0)
+    asm.vfmul_vf(result, result, "f7")
+    asm.vse64_v(result, "x7")
+    asm.halt()
+    program = asm.build()
+
+    rng = rng_for("softmax", n)
+    x_vec = rng.uniform(-8.0, 8.0, size=n)
+    shifted = exp_golden(x_vec - np.max(x_vec))
+    golden = shifted / np.sum(shifted)
+
+    def setup(sim) -> None:
+        sim.mem.write_array(a_base, x_vec)
+        sim.mem.write_array(const_base, np.array(EXP_CONSTS))
+        sim.mem.store_f64(ninf_base, -np.inf)
+
+    def check(sim) -> float:
+        return check_array(sim, o_base, golden, "softmax O",
+                           rtol=5e-6, atol=1e-12)
+
+    return KernelRun(
+        name="softmax",
+        program=program,
+        setup=setup,
+        check=check,
+        dp_flops=float(SOFTMAX_FLOPS * n),
+        max_flops_per_cycle=SOFTMAX_FLOPS / SOFTMAX_FPU_OPS * config.lanes,
+        problem={"n": n, "vl": vl, "lmul": lmul,
+                 "bytes_per_lane": bytes_per_lane},
+    )

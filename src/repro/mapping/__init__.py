@@ -1,0 +1,14 @@
+"""Memory-to-VRF byte mapping and register byte layouts (Section III-B-2/5)."""
+
+from .byte_mapping import (AraXLMapping, Ara2Mapping, element_home,
+                           shuffle_pattern)
+from .layouts import ByteLayout, reshuffle_cost_words
+
+__all__ = [
+    "AraXLMapping",
+    "Ara2Mapping",
+    "element_home",
+    "shuffle_pattern",
+    "ByteLayout",
+    "reshuffle_cost_words",
+]

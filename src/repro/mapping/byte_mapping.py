@@ -1,0 +1,113 @@
+"""Element-to-lane/cluster mapping laws (Section III-B-2, Fig 2).
+
+Ara2 maps element *i* to lane ``i mod L`` regardless of element width, so
+mixed-width operations never reshuffle bytes between lanes.  AraXL extends
+the law hierarchically:
+
+    element i  ->  cluster (i // L) mod C,  lane i mod L
+
+i.e. L-element blocks round-robin across clusters.  These functions are
+the ground truth the GLSU's Shuffle stage implements; the tests assert
+bijectivity, the mixed-width invariance, and the consistency of the
+two-stage (GLSU then local VLSU) mapping with the direct law.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Ara2Mapping:
+    """The flat Ara2 law: element i -> lane i mod L."""
+
+    lanes: int
+
+    def lane_of(self, element: int) -> int:
+        return element % self.lanes
+
+    def slot_of(self, element: int) -> int:
+        """Position of the element within its lane's VRF chunk."""
+        return element // self.lanes
+
+
+@dataclass(frozen=True)
+class AraXLMapping:
+    """The hierarchical AraXL law (clusters of L lanes)."""
+
+    clusters: int
+    lanes_per_cluster: int
+
+    def __post_init__(self) -> None:
+        if self.clusters < 1 or self.lanes_per_cluster < 1:
+            raise ConfigError("mapping needs at least one cluster and lane")
+
+    @property
+    def total_lanes(self) -> int:
+        return self.clusters * self.lanes_per_cluster
+
+    def cluster_of(self, element: int) -> int:
+        return (element // self.lanes_per_cluster) % self.clusters
+
+    def lane_of(self, element: int) -> int:
+        """Lane within the owning cluster."""
+        return element % self.lanes_per_cluster
+
+    def slot_of(self, element: int) -> int:
+        """Block index within the (cluster, lane) pair."""
+        return element // (self.lanes_per_cluster * self.clusters)
+
+    def home(self, element: int) -> tuple[int, int, int]:
+        """(cluster, lane, slot) of an element."""
+        return (self.cluster_of(element), self.lane_of(element),
+                self.slot_of(element))
+
+    def flat_lane(self, element: int) -> int:
+        """Global lane index, counting lanes cluster by cluster."""
+        return self.cluster_of(element) * self.lanes_per_cluster \
+            + self.lane_of(element)
+
+    # ------------------------------------------------------------------
+    def elements_per_cluster(self, vl: int) -> np.ndarray:
+        """How many of the first ``vl`` elements each cluster owns."""
+        counts = np.zeros(self.clusters, dtype=np.int64)
+        full_blocks, rem = divmod(vl, self.lanes_per_cluster)
+        base = full_blocks // self.clusters
+        counts[:] = base * self.lanes_per_cluster
+        for block in range(full_blocks % self.clusters):
+            counts[block] += self.lanes_per_cluster
+        if rem:
+            counts[full_blocks % self.clusters] += rem
+        return counts
+
+    def ring_crossings_slide1(self, vl: int) -> int:
+        """Elements a slide-by-1 moves between adjacent clusters.
+
+        One element crosses per lane-block boundary (every L elements),
+        which is what sizes the ring's 64 bit/cycle/direction budget.
+        """
+        if self.clusters <= 1:
+            return 0
+        return max(0, (vl - 1)) // self.lanes_per_cluster
+
+
+def element_home(element: int, clusters: int, lanes_per_cluster: int
+                 ) -> tuple[int, int, int]:
+    """Convenience wrapper over :class:`AraXLMapping`."""
+    return AraXLMapping(clusters, lanes_per_cluster).home(element)
+
+
+def shuffle_pattern(vl: int, clusters: int, lanes_per_cluster: int
+                    ) -> np.ndarray:
+    """Destination cluster of each of the first ``vl`` memory elements.
+
+    This is the control pattern of the GLSU Shuffle stage for one
+    unit-stride request.
+    """
+    mapping = AraXLMapping(clusters, lanes_per_cluster)
+    idx = np.arange(vl, dtype=np.int64)
+    return (idx // mapping.lanes_per_cluster) % mapping.clusters

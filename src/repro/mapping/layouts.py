@@ -1,0 +1,80 @@
+"""VRF byte layouts, including AraXL's dedicated mask encoding.
+
+Section III-B-5: Ara2's MASKU distributes single mask *bits* all-to-all
+across lanes, which cannot scale to 64 lanes.  AraXL instead adds a new
+VRF byte encoding that keeps each element's mask bit in the lane that owns
+the element, at the cost of an explicit *reshuffle* (run by the SLDU over
+the RINGI) whenever software reuses a register between mask and non-mask
+layouts.  This module models the layouts and the reshuffle cost so the
+"don't reuse mask registers for data" guidance of the paper is measurable.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+class ByteLayout(enum.Enum):
+    """Byte encodings a vector register can be in."""
+
+    #: Standard element layout for a given EW (8/16/32/64): the byte
+    #: encoding Ara2 uses for all data.
+    EW8 = "ew8"
+    EW16 = "ew16"
+    EW32 = "ew32"
+    EW64 = "ew64"
+    #: AraXL's mask layout: bit i stored with lane owning element i.
+    MASK = "mask"
+
+    @classmethod
+    def for_sew(cls, sew: int) -> "ByteLayout":
+        try:
+            return {8: cls.EW8, 16: cls.EW16, 32: cls.EW32, 64: cls.EW64}[sew]
+        except KeyError:
+            raise ConfigError(f"no element layout for SEW {sew}") from None
+
+
+@dataclass(frozen=True)
+class ReshuffleEstimate:
+    """Cost of converting a register between byte layouts."""
+
+    words_moved: int  # 64-bit words crossing the ring
+    cycles: float
+
+
+def reshuffle_cost_words(vlen_bits: int, clusters: int,
+                         src: ByteLayout, dst: ByteLayout) -> int:
+    """64-bit words that must cross clusters for a layout conversion.
+
+    Same layout: zero.  Element-to-element conversions move a fraction
+    (C-1)/C of the register (each byte's new home is uniformly random
+    across clusters to first order).  Mask conversions concentrate bits,
+    so effectively the whole register's worth of control traffic moves.
+    """
+    if src == dst:
+        return 0
+    words = vlen_bits // 64
+    if ByteLayout.MASK in (src, dst):
+        return words
+    return math.ceil(words * (clusters - 1) / max(1, clusters))
+
+
+def reshuffle_cycles(vlen_bits: int, clusters: int, src: ByteLayout,
+                     dst: ByteLayout, hop_cycles: int = 2) -> ReshuffleEstimate:
+    """Cycle estimate: words ride the ring at 1 word/cycle/direction.
+
+    Two directions halve the serialization; average hop distance is C/4.
+    Reshuffling is deliberately slow (the paper tells software to avoid
+    it), so a coarse model is sufficient.
+    """
+    words = reshuffle_cost_words(vlen_bits, clusters, src, dst)
+    if words == 0 or clusters <= 1:
+        return ReshuffleEstimate(words_moved=words, cycles=float(words and 2))
+    avg_hops = max(1.0, clusters / 4.0)
+    cycles = words / 2.0 * avg_hops / max(1, clusters) * hop_cycles \
+        + avg_hops * hop_cycles
+    return ReshuffleEstimate(words_moved=words, cycles=cycles)

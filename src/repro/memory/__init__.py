@@ -1,0 +1,21 @@
+"""Memory-system substrate: AXI-like port, banked L2, caches, coherence.
+
+These models back the machine-level memory parameters: the GLSU talks to
+the L2 through an :class:`~repro.memory.axi.AxiPort`, the scalar core's
+D$ timing lives in :mod:`repro.timing.frontend`, and the invalidation
+filter of Fig 2 keeps CVA6's caches coherent with vector stores.
+"""
+
+from .axi import AxiPort, AxiBurst, split_into_bursts
+from .l2 import BankedL2
+from .cache import DirectMappedCache
+from .invalidation import InvalidationFilter
+
+__all__ = [
+    "AxiPort",
+    "AxiBurst",
+    "split_into_bursts",
+    "BankedL2",
+    "DirectMappedCache",
+    "InvalidationFilter",
+]

@@ -1,0 +1,98 @@
+"""AXI-like memory port: burst splitting and bandwidth accounting.
+
+The GLSU's Addrgen stage splits vector memory requests into bus-width
+beats and protocol-legal bursts (AXI4: max 256 beats per burst, bursts
+must not cross 4 KiB boundaries).  This module provides that splitting
+plus a simple occupancy model used for cross-checks against the
+transaction-level engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MemoryAccessError
+
+#: AXI4 constraints.
+MAX_BEATS_PER_BURST = 256
+BOUNDARY_BYTES = 4096
+
+
+@dataclass(frozen=True)
+class AxiBurst:
+    """One protocol-legal burst."""
+
+    addr: int
+    beats: int
+    beat_bytes: int
+
+    @property
+    def bytes(self) -> int:
+        # First/last beats may be partial; the byte count is bounded by
+        # the beat span.  For the timing model only beats matter.
+        return self.beats * self.beat_bytes
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.bytes
+
+
+def split_into_bursts(addr: int, nbytes: int, beat_bytes: int) -> list[AxiBurst]:
+    """Split a transfer into 4 KiB-bounded, <=256-beat bursts."""
+    if beat_bytes <= 0 or beat_bytes & (beat_bytes - 1):
+        raise MemoryAccessError(f"beat width {beat_bytes} not a power of two")
+    if nbytes < 0:
+        raise MemoryAccessError("negative transfer size")
+    bursts: list[AxiBurst] = []
+    cursor = addr
+    end = addr + nbytes
+    while cursor < end:
+        boundary = (cursor // BOUNDARY_BYTES + 1) * BOUNDARY_BYTES
+        span = min(end, boundary) - cursor
+        first_beat = cursor - (cursor % beat_bytes)
+        beats = -(-(cursor + span - first_beat) // beat_bytes)
+        while beats > 0:
+            take = min(beats, MAX_BEATS_PER_BURST)
+            bursts.append(AxiBurst(addr=first_beat, beats=take,
+                                   beat_bytes=beat_bytes))
+            first_beat += take * beat_bytes
+            beats -= take
+        cursor += span
+    return bursts
+
+
+class AxiPort:
+    """Occupancy model of one AXI data channel.
+
+    Beats stream at one per cycle; independent read and write channels
+    are separate ports.  ``busy_until`` advances as transfers are issued,
+    giving a simple lower bound that the transaction engine's bandwidth
+    model must agree with (tested).
+    """
+
+    def __init__(self, beat_bytes: int, latency: int,
+                 max_outstanding: int = 8) -> None:
+        if max_outstanding < 1:
+            raise MemoryAccessError("need at least one outstanding txn")
+        self.beat_bytes = beat_bytes
+        self.latency = latency
+        self.max_outstanding = max_outstanding
+        self.busy_until = 0.0
+        self.beats_total = 0
+
+    def issue(self, now: float, addr: int, nbytes: int) -> tuple[float, float]:
+        """Issue a transfer; returns (first_data_time, last_data_time)."""
+        bursts = split_into_bursts(addr, nbytes, self.beat_bytes)
+        start = max(now, self.busy_until)
+        beats = sum(b.beats for b in bursts)
+        first = start + self.latency + 1
+        last = start + self.latency + beats
+        self.busy_until = start + beats
+        self.beats_total += beats
+        return first, last
+
+    def effective_bandwidth(self, nbytes: int, cycles: float) -> float:
+        """Bytes per cycle achieved for a transfer of ``nbytes``."""
+        if cycles <= 0:
+            return 0.0
+        return nbytes / cycles

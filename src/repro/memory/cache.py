@@ -1,0 +1,37 @@
+"""Scalar-core cache timing models.
+
+Only hit/miss behaviour matters to the evaluation (the D$ determines the
+scalar setup time the paper discusses for the medium-vector regime), so
+the model is tag-only: no data storage, no write-back traffic.
+"""
+
+from __future__ import annotations
+
+
+class DirectMappedCache:
+    """Tag-only direct-mapped cache (hit/miss timing, no data)."""
+
+    def __init__(self, size_bytes: int, line_bytes: int) -> None:
+        self.line_bytes = line_bytes
+        self.num_lines = max(1, size_bytes // line_bytes)
+        self._tags: list[int | None] = [None] * self.num_lines
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        """Touch ``addr``; returns True on hit and fills on miss."""
+        line = addr // self.line_bytes
+        index = line % self.num_lines
+        if self._tags[index] == line:
+            self.hits += 1
+            return True
+        self._tags[index] = line
+        self.misses += 1
+        return False
+
+    def invalidate_line(self, addr: int) -> None:
+        """Back-invalidation from the filter of Fig 2."""
+        line = addr // self.line_bytes
+        index = line % self.num_lines
+        if self._tags[index] == line:
+            self._tags[index] = None

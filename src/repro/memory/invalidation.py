@@ -1,0 +1,54 @@
+"""CVA6 cache invalidation filter (Fig 2).
+
+Vector stores bypass CVA6's write-back D$, so AraXL places an
+invalidation filter between the GLSU write path and the scalar core: the
+write address of every vector store probes a coarse set of line tags and
+invalidates matching D$ lines, keeping scalar loads coherent with vector
+results (the pattern every kernel's check path relies on: vector store
+then scalar read).
+
+The filter is conservative (a Bloom-style presence set): false positives
+only cost an unnecessary invalidation probe, never stale data.
+"""
+
+from __future__ import annotations
+
+from .cache import DirectMappedCache
+
+
+class InvalidationFilter:
+    """Tracks which line addresses might live in the scalar D$."""
+
+    def __init__(self, dcache: DirectMappedCache, filter_bits: int = 12) -> None:
+        self.dcache = dcache
+        self.filter_bits = filter_bits
+        self._present = bytearray(1 << filter_bits)
+        self.probes = 0
+        self.invalidations = 0
+
+    def _slot(self, addr: int) -> int:
+        line = addr // self.dcache.line_bytes
+        # Cheap multiplicative hash over the line number.
+        return (line * 0x9E3779B1 >> 16) & ((1 << self.filter_bits) - 1)
+
+    def note_scalar_fill(self, addr: int) -> None:
+        """Record that the D$ fetched this line."""
+        self._present[self._slot(addr)] = 1
+
+    def on_vector_store(self, addr: int, nbytes: int) -> int:
+        """Probe the store's address range; invalidate hits in the D$.
+
+        Returns the number of invalidation probes forwarded to the D$
+        (the quantity that would consume its tag-port bandwidth).
+        """
+        line_bytes = self.dcache.line_bytes
+        first = addr // line_bytes
+        last = (addr + max(0, nbytes - 1)) // line_bytes
+        forwarded = 0
+        for line in range(first, last + 1):
+            self.probes += 1
+            if self._present[self._slot(line * line_bytes)]:
+                self.dcache.invalidate_line(line * line_bytes)
+                forwarded += 1
+                self.invalidations += 1
+        return forwarded

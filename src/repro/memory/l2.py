@@ -1,0 +1,58 @@
+"""Banked L2 model: capacity, bank conflicts, zero-load latency.
+
+The paper assumes an L2 of at least 16 MiB (Table I).  The XBAR of Fig 2
+spreads consecutive cache lines across banks, so unit-stride vector
+traffic is conflict-free; strided patterns can hammer one bank, which
+this model surfaces as a throughput derating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class BankedL2:
+    size_bytes: int = 16 * 2 ** 20
+    banks: int = 8
+    line_bytes: int = 64
+    latency: int = 12
+    bytes_per_cycle_per_bank: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.banks < 1 or self.banks & (self.banks - 1):
+            raise ConfigError("bank count must be a power of two")
+        if self.line_bytes < 1:
+            raise ConfigError("line size must be positive")
+
+    def bank_of(self, addr: int) -> int:
+        return (addr // self.line_bytes) % self.banks
+
+    @property
+    def peak_bytes_per_cycle(self) -> float:
+        return self.banks * self.bytes_per_cycle_per_bank
+
+    def conflict_factor(self, stride_bytes: int) -> float:
+        """Fraction of peak bandwidth a strided stream can sustain.
+
+        A stride that is a multiple of ``banks * line_bytes`` lands every
+        access in one bank (factor 1/banks); unit stride or odd line
+        strides spread across all banks (factor 1).
+        """
+        if stride_bytes == 0:
+            return 1.0 / self.banks
+        lines = max(1, abs(stride_bytes) // self.line_bytes)
+        distinct = self.banks // self._gcd(lines % self.banks or self.banks,
+                                           self.banks)
+        return distinct / self.banks
+
+    @staticmethod
+    def _gcd(a: int, b: int) -> int:
+        while b:
+            a, b = b, a % b
+        return a
+
+    def sustained_bandwidth(self, stride_bytes: int) -> float:
+        return self.peak_bytes_per_cycle * self.conflict_factor(stride_bytes)

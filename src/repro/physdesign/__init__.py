@@ -1,0 +1,18 @@
+"""Physical-design substrate: hierarchical floorplan + wire estimates.
+
+Replaces the paper's IC Compiler 2 place-and-route step for the purposes
+of Fig 8 (the 16-lane floorplan) and the Section IV-D observation that
+the 64-lane design loses frequency to routing-congestion hotspots.
+"""
+
+from .floorplan import Floorplan, Block, build_floorplan
+from .wirelength import hpwl, ring_wirelength, congestion_score
+
+__all__ = [
+    "Floorplan",
+    "Block",
+    "build_floorplan",
+    "hpwl",
+    "ring_wirelength",
+    "congestion_score",
+]

@@ -1,0 +1,145 @@
+"""Hierarchical floorplan generator (Fig 8 analogue).
+
+The paper implements AraXL hierarchically: each 4-lane cluster is a
+hardened macro, placed in two columns with CVA6 and the top-level
+interfaces in the middle channel — visible in the Fig 8 die plot.  This
+module reproduces that arrangement from the area model alone: cluster
+macros are near-square blocks, stacked in two columns, with a central
+strait for CVA6 + GLSU + REQI and the ring snaking along the cluster
+perimeter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..params import AraXLConfig, LANES_PER_CLUSTER
+from ..ppa.area import araxl_area, kge_to_mm2
+
+
+@dataclass(frozen=True)
+class Block:
+    """A placed rectangle (mm)."""
+
+    name: str
+    x: float
+    y: float
+    w: float
+    h: float
+
+    @property
+    def area(self) -> float:
+        return self.w * self.h
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (self.x + self.w / 2, self.y + self.h / 2)
+
+    def overlaps(self, other: "Block") -> bool:
+        return not (self.x + self.w <= other.x or other.x + other.w <= self.x
+                    or self.y + self.h <= other.y
+                    or other.y + other.h <= self.y)
+
+
+@dataclass
+class Floorplan:
+    machine: str
+    die_w: float
+    die_h: float
+    blocks: list[Block] = field(default_factory=list)
+
+    @property
+    def die_area(self) -> float:
+        return self.die_w * self.die_h
+
+    @property
+    def block_area(self) -> float:
+        return sum(b.area for b in self.blocks)
+
+    @property
+    def utilization(self) -> float:
+        return self.block_area / self.die_area if self.die_area else 0.0
+
+    def block(self, name: str) -> Block:
+        for b in self.blocks:
+            if b.name == name:
+                return b
+        raise ConfigError(f"no block named {name!r}")
+
+    def clusters(self) -> list[Block]:
+        return [b for b in self.blocks if b.name.startswith("cluster")]
+
+    def ascii_art(self, cols: int = 64) -> str:
+        """Render the floorplan as ASCII (Fig 8 stand-in)."""
+        rows = max(8, int(cols * self.die_h / max(self.die_w, 1e-9) * 0.5))
+        canvas = [[" "] * cols for _ in range(rows)]
+        for idx, b in enumerate(self.blocks):
+            x0 = int(b.x / self.die_w * (cols - 1))
+            x1 = max(x0 + 1, int((b.x + b.w) / self.die_w * (cols - 1)))
+            y0 = int(b.y / self.die_h * (rows - 1))
+            y1 = max(y0 + 1, int((b.y + b.h) / self.die_h * (rows - 1)))
+            mark = b.name[0].upper() if not b.name.startswith("cluster") \
+                else str(idx % 10)
+            for y in range(y0, min(y1 + 1, rows)):
+                for x in range(x0, min(x1 + 1, cols)):
+                    canvas[y][x] = mark
+        legend = ", ".join(sorted({f"{b.name[0].upper()}={b.name.split('_')[0]}"
+                                   for b in self.blocks
+                                   if not b.name.startswith("cluster")}))
+        body = "\n".join("".join(row) for row in canvas)
+        return (f"{self.machine} floorplan "
+                f"({self.die_w:.2f} x {self.die_h:.2f} mm)\n{body}\n"
+                f"digits = clusters; {legend}")
+
+
+#: Macro placement utilization (block area / die area), typical for
+#: hierarchical hardened-macro flows.
+TARGET_UTILIZATION = 0.78
+
+
+def build_floorplan(config: AraXLConfig) -> Floorplan:
+    """Two cluster columns around a central interface strait (Fig 8)."""
+    area = araxl_area(config.lanes)
+    clusters = config.clusters
+    cluster_kge = (area.component("lanes") + area.component("masku")
+                   + area.component("sldu") + area.component("vlsu")
+                   + area.component("seq_disp")) / clusters
+    cluster_mm2 = kge_to_mm2(cluster_kge)
+    middle_kge = (area.component("cva6") + area.component("glsu")
+                  + area.component("reqi") + area.component("ringi"))
+    middle_mm2 = kge_to_mm2(middle_kge)
+
+    die_area = kge_to_mm2(area.total_kge) / TARGET_UTILIZATION
+    # Near-square die: two cluster columns beside a central strait.  At
+    # high cluster counts the macros stretch horizontally to keep the die
+    # square — the "floorplan inefficiency" of Section IV-D.
+    die_side = math.sqrt(die_area)
+    rows = max(1, math.ceil(clusters / 2))
+    cluster_h = die_side / rows
+    cluster_w = cluster_mm2 / cluster_h
+    col_h = rows * cluster_h
+    strait_w = max(middle_mm2 / max(col_h, 1e-9), 0.08 * cluster_w)
+    die_w = 2 * cluster_w + strait_w
+    die_h = col_h
+
+    fp = Floorplan(machine=config.name, die_w=die_w, die_h=die_h)
+    for c in range(clusters):
+        col = c % 2
+        row = c // 2
+        x = 0.0 if col == 0 else cluster_w + strait_w
+        fp.blocks.append(Block(name=f"cluster{c}", x=x, y=row * cluster_h,
+                               w=cluster_w, h=cluster_h))
+    # Middle strait: CVA6 at the bottom, GLSU trunk above, REQI spine top.
+    cva6_h = kge_to_mm2(area.component("cva6")) / strait_w
+    glsu_h = kge_to_mm2(area.component("glsu")) / strait_w
+    reqi_h = max(kge_to_mm2(area.component("reqi") + area.component("ringi"))
+                 / strait_w, 0.02)
+    fp.blocks.append(Block("cva6", cluster_w, 0.0, strait_w, cva6_h))
+    fp.blocks.append(Block("glsu", cluster_w, cva6_h, strait_w, glsu_h))
+    fp.blocks.append(Block("reqi_ringi", cluster_w, cva6_h + glsu_h,
+                           strait_w, reqi_h))
+    if config.lanes // LANES_PER_CLUSTER != clusters:  # pragma: no cover
+        raise ConfigError("inconsistent cluster count")
+    return fp

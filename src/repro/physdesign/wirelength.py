@@ -1,0 +1,68 @@
+"""Wirelength and congestion estimates over a floorplan.
+
+Half-perimeter wirelength (HPWL) for the broadcast nets, ring perimeter
+for the RINGI, and a congestion score for the central strait — the
+routing hotspot the paper blames for the 64-lane frequency drop
+(Section IV-D: "floorplan inefficiencies that result in routing
+congestion hotspots").
+"""
+
+from __future__ import annotations
+
+from .floorplan import Block, Floorplan
+
+
+def hpwl(blocks: list[Block]) -> float:
+    """Half-perimeter wirelength of a net connecting block centers (mm)."""
+    if not blocks:
+        return 0.0
+    xs = [b.center[0] for b in blocks]
+    ys = [b.center[1] for b in blocks]
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+def ring_wirelength(fp: Floorplan) -> float:
+    """Total RINGI length: neighbour-to-neighbour around the two columns."""
+    clusters = fp.clusters()
+    if len(clusters) < 2:
+        return 0.0
+    # Ring order: up one column, across, down the other (the snake of
+    # Fig 4 mapped onto the two-column floorplan).
+    left = sorted((b for i, b in enumerate(clusters) if i % 2 == 0),
+                  key=lambda b: b.y)
+    right = sorted((b for i, b in enumerate(clusters) if i % 2 == 1),
+                   key=lambda b: b.y, reverse=True)
+    order = left + right
+    total = 0.0
+    for a, b in zip(order, order[1:] + order[:1]):
+        total += abs(a.center[0] - b.center[0]) \
+            + abs(a.center[1] - b.center[1])
+    return total
+
+
+def reqi_wirelength(fp: Floorplan) -> float:
+    """Broadcast net: CVA6/REQI spine to every cluster."""
+    try:
+        spine = fp.block("reqi_ringi")
+    except Exception:
+        return 0.0
+    return sum(abs(spine.center[0] - c.center[0])
+               + abs(spine.center[1] - c.center[1]) for c in fp.clusters())
+
+
+def congestion_score(fp: Floorplan, bytes_per_cluster: int = 32) -> float:
+    """Routing demand over supply in the central strait.
+
+    Demand: every cluster's GLSU data bus (32L bits, Fig 2) plus the REQI
+    broadcast must traverse the strait; supply grows with the strait's
+    height (routing tracks).  Values above ~1 mean the router must detour
+    into the cluster channels — the congestion hotspot regime.
+    """
+    clusters = fp.clusters()
+    if not clusters:
+        return 0.0
+    demand = len(clusters) * bytes_per_cluster
+    supply = 118.0 * fp.die_h  # tracks per mm of strait height (fitted
+    #   so the 64-lane instance lands at the published 1.15 GHz while the
+    #   32-lane one still closes at 1.4 GHz)
+    return demand / max(supply, 1e-9)

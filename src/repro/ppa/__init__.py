@@ -1,0 +1,31 @@
+"""Analytical PPA models replacing the paper's 22-nm Synopsys flow.
+
+Calibration sources (all from the paper):
+
+* Fig 9 — 16-lane area breakdowns of Ara2 and AraXL (kGE);
+* Table II — AraXL area scaling 16/32/64 lanes, per interface;
+* Table III — frequency, peak GFLOPs, GFLOPs/W and GFLOPs/mm²;
+* Section IV-D — 1.4 GHz up to 32 lanes, 1.15 GHz at 64 (congestion).
+
+The *laws* are structural (linear lanes, quadratic A2A, log-level
+interfaces); the constants are fitted to the published numbers and every
+fitted value is asserted against its source in the test suite.
+"""
+
+from .area import AreaBreakdown, ara2_area, araxl_area, GE_PER_MM2, kge_to_mm2
+from .frequency import max_frequency_ghz
+from .power import power_watts, PowerEstimate
+from .efficiency import PpaPoint, ppa_point
+
+__all__ = [
+    "AreaBreakdown",
+    "ara2_area",
+    "araxl_area",
+    "GE_PER_MM2",
+    "kge_to_mm2",
+    "max_frequency_ghz",
+    "power_watts",
+    "PowerEstimate",
+    "PpaPoint",
+    "ppa_point",
+]

@@ -1,0 +1,70 @@
+"""PPA roll-up: GFLOPs, GFLOPs/W, GFLOPs/mm2 (Table III).
+
+A :class:`PpaPoint` combines the timing report of a workload with the
+area, frequency and power models into exactly the columns of Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..params import SystemConfig
+from ..timing.report import TimingReport
+from .area import AreaBreakdown
+from .frequency import max_frequency_ghz
+from .power import PowerEstimate, power_watts, _area_for
+
+
+@dataclass(frozen=True)
+class PpaPoint:
+    machine: str
+    lanes: int
+    freq_ghz: float
+    gflops: float
+    watts: float
+    area_mm2: float
+
+    @property
+    def gflops_per_watt(self) -> float:
+        return self.gflops / self.watts if self.watts else 0.0
+
+    @property
+    def gflops_per_mm2(self) -> float:
+        return self.gflops / self.area_mm2 if self.area_mm2 else 0.0
+
+    def row(self) -> dict[str, float]:
+        return {
+            "L": self.lanes,
+            "Freq [GHz]": round(self.freq_ghz, 2),
+            "Max Perf [GFLOPs]": round(self.gflops, 1),
+            "Energy Eff [GFLOPs/W]": round(self.gflops_per_watt, 1),
+            "Area Eff [GFLOPs/mm2]": round(self.gflops_per_mm2, 1),
+        }
+
+
+def ppa_point(config: SystemConfig, report: TimingReport,
+              freq_ghz: float | None = None) -> PpaPoint:
+    """Table III row for a machine running the workload in ``report``."""
+    freq = max_frequency_ghz(config) if freq_ghz is None else freq_ghz
+    area: AreaBreakdown = _area_for(config)
+    power: PowerEstimate = power_watts(config, report, freq)
+    return PpaPoint(
+        machine=config.name,
+        lanes=config.lanes,
+        freq_ghz=freq,
+        gflops=report.gflops(freq),
+        watts=power.total_watts,
+        area_mm2=area.total_mm2,
+    )
+
+
+#: Published reference row for Vitruvius+ [12] (Table III; the paper
+#: notes its energy metric excludes the scalar core and caches).
+VITRUVIUS_ROW = {
+    "machine": "8L-Vitruvius+",
+    "L": 8,
+    "Freq [GHz]": 1.40,
+    "Max Perf [GFLOPs]": 22.4,
+    "Energy Eff [GFLOPs/W]": 47.3,
+    "Area Eff [GFLOPs/mm2]": 17.23,
+}

@@ -1,0 +1,49 @@
+"""Maximum-frequency model (typical corner: 0.8 V, TT, 25 C).
+
+Calibration targets (Section IV-D, Table III):
+
+* the 4-lane cluster closes at 1.4 GHz — that is AraXL's ceiling;
+* Ara2 degrades with lane count as the A2A byte networks lengthen its
+  critical path: 1.08 GHz at 16 lanes;
+* AraXL holds 1.4 GHz to 32 lanes; at 64 lanes routing congestion in the
+  interface strait (see :mod:`repro.physdesign`) costs it ~18%,
+  landing at 1.15 GHz.
+"""
+
+from __future__ import annotations
+
+from ..params import Ara2Config, AraXLConfig, SystemConfig
+
+#: Frequency of the hardened 4-lane cluster (and small Ara2 instances).
+BASE_FREQ_GHZ = 1.40
+
+#: Ara2 critical-path growth per lane beyond the 4-lane sweet spot;
+#: fitted to 1.08 GHz at 16 lanes: 1.4 / (1 + a*(16-4)) = 1.08.
+ARA2_WIRE_SLOPE = (BASE_FREQ_GHZ / 1.08 - 1.0) / 12.0
+
+#: Congestion-to-frequency penalty; fitted to 1.15 GHz at 64 lanes.
+CONGESTION_SLOPE = 0.96
+
+
+def ara2_frequency_ghz(lanes: int) -> float:
+    if lanes <= 4:
+        return BASE_FREQ_GHZ
+    return BASE_FREQ_GHZ / (1.0 + ARA2_WIRE_SLOPE * (lanes - 4))
+
+
+def araxl_frequency_ghz(lanes: int) -> float:
+    from ..physdesign import build_floorplan, congestion_score
+
+    config = lanes if isinstance(lanes, AraXLConfig) else AraXLConfig(lanes=lanes)
+    score = congestion_score(build_floorplan(config))
+    overflow = max(0.0, score - 1.0)
+    return BASE_FREQ_GHZ / (1.0 + CONGESTION_SLOPE * overflow)
+
+
+def max_frequency_ghz(config: SystemConfig) -> float:
+    """Typical-corner fmax for any supported machine configuration."""
+    if isinstance(config, AraXLConfig):
+        return araxl_frequency_ghz(config.lanes)
+    if isinstance(config, Ara2Config):
+        return ara2_frequency_ghz(config.lanes)
+    raise TypeError(f"no frequency model for {type(config).__name__}")

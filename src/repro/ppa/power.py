@@ -1,0 +1,90 @@
+"""Power model (typical conditions: 0.8 V, TT, 25 C).
+
+Two-coefficient model per component: an idle/clock-tree term over the
+whole area and an activity term over the busy fraction of each unit,
+both linear in frequency.  Ara2's A2A units carry a wire-toggle factor
+(long all-to-all nets switch more capacitance per gate equivalent).
+
+Calibrated against Table III: 16L AraXL at 1.4 GHz running fmatmul
+burns ~1.12 W (44.3 GFLOPs / 39.6 GFLOPs/W); Ara2-16 ~1.13 W; the 64L
+instance ~3.6 W.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..params import Ara2Config, SystemConfig
+from ..timing.report import TimingReport
+from .area import AreaBreakdown, ara2_area, araxl_area
+
+#: Clock/idle power per kGE per GHz (W).
+IDLE_W_PER_KGE_GHZ = 15e-6
+#: Additional power per *active* kGE per GHz (W).
+ACTIVE_W_PER_KGE_GHZ = 56e-6
+#: Extra switching of Ara2's wire-dominated A2A units.
+A2A_TOGGLE_FACTOR = 1.5
+#: Extra clock/glue power of Ara2's A2A byte networks even when the unit
+#: is idle (the long wires toggle with every broadcast); fitted to the
+#: Table III 30.3 GFLOPs/W of the 16-lane Ara2.
+ARA2_A2A_IDLE_EXTRA_W_PER_KGE_GHZ = 70e-6
+
+#: Which area components each timing-report unit activates.
+_UNIT_COMPONENTS = {
+    "vmfpu": ("lanes",),
+    "valu": ("lanes",),
+    "sldu": ("sldu", "ringi"),
+    "masku": ("masku",),
+    "vlsu_load": ("vlsu", "glsu"),
+    "vlsu_store": ("vlsu", "glsu"),
+}
+
+
+@dataclass(frozen=True)
+class PowerEstimate:
+    machine: str
+    freq_ghz: float
+    idle_watts: float
+    active_watts: float
+
+    @property
+    def total_watts(self) -> float:
+        return self.idle_watts + self.active_watts
+
+
+def _area_for(config: SystemConfig) -> AreaBreakdown:
+    if isinstance(config, Ara2Config):
+        return ara2_area(config.lanes)
+    return araxl_area(config.lanes)
+
+
+def power_watts(config: SystemConfig, report: TimingReport,
+                freq_ghz: float) -> PowerEstimate:
+    """Average power of a workload characterized by ``report``."""
+    area = _area_for(config)
+    is_ara2 = isinstance(config, Ara2Config)
+    idle = area.total_kge * IDLE_W_PER_KGE_GHZ * freq_ghz
+    if is_ara2:
+        a2a_kge = sum(area.component(c) for c in ("masku", "vlsu", "sldu"))
+        idle += a2a_kge * ARA2_A2A_IDLE_EXTRA_W_PER_KGE_GHZ * freq_ghz
+
+    active = 0.0
+    cycles = max(report.cycles, 1.0)
+    seen: dict[str, float] = {}
+    for unit, comps in _UNIT_COMPONENTS.items():
+        duty = min(1.0, report.unit_busy.get(unit, 0.0) / cycles)
+        for comp in comps:
+            seen[comp] = max(seen.get(comp, 0.0), duty)
+    # CVA6 and sequencers toggle with the scalar stream.
+    scalar_duty = min(1.0, report.scalar_cycles / cycles)
+    seen["cva6"] = scalar_duty
+    seen["seq_disp"] = min(1.0, report.vector_instructions * 4.0 / cycles)
+    seen["reqi"] = seen["seq_disp"]
+
+    for comp, duty in seen.items():
+        kge = area.component(comp)
+        factor = A2A_TOGGLE_FACTOR if (
+            is_ara2 and comp in ("masku", "vlsu", "sldu")) else 1.0
+        active += kge * duty * factor * ACTIVE_W_PER_KGE_GHZ * freq_ghz
+    return PowerEstimate(machine=area.machine, freq_ghz=freq_ghz,
+                         idle_watts=idle, active_watts=active)

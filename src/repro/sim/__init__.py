@@ -1,0 +1,12 @@
+"""User-facing simulation facade.
+
+:class:`~repro.sim.simulator.Simulator` runs a program functionally and
+replays its trace on the timing model in one call, returning a
+:class:`~repro.sim.result.RunResult` with both the architectural outcome
+and the cycle-level report.
+"""
+
+from .simulator import Simulator, run_program
+from .result import RunResult
+
+__all__ = ["Simulator", "RunResult", "run_program"]

@@ -1,0 +1,63 @@
+"""The Simulator: functional execution + timing replay in one call.
+
+Typical use::
+
+    from repro.params import AraXLConfig
+    from repro.sim import Simulator
+
+    sim = Simulator(AraXLConfig(lanes=64))
+    sim.mem.write_array(addr, data)          # place inputs
+    result = sim.run(program)                # execute + time
+    print(result.cycles, result.flops_per_cycle)
+"""
+
+from __future__ import annotations
+
+from ..functional.executor import Executor
+from ..functional.memory import FunctionalMemory
+from ..isa.program import Program
+from ..params import SystemConfig
+from ..timing.engine import TimingEngine
+from ..uarch import build_model
+from .result import RunResult
+
+
+class Simulator:
+    """Binds a machine configuration to memory and architectural state."""
+
+    def __init__(self, config: SystemConfig,
+                 mem: FunctionalMemory | None = None,
+                 mem_size: int | None = None) -> None:
+        self.config = config
+        self.model = build_model(config)
+        if mem is None:
+            mem = (FunctionalMemory(mem_size) if mem_size is not None
+                   else FunctionalMemory())
+        self.mem = mem
+        self._executor = Executor(config.vlen_bits, mem=self.mem)
+
+    @property
+    def state(self):
+        return self._executor.state
+
+    def run(self, program: Program, functional_only: bool = False) -> RunResult:
+        """Execute ``program``; optionally skip the timing replay."""
+        exec_result = self._executor.run(program)
+        exec_result.extra["mem"] = self.mem
+        if functional_only:
+            from ..timing.report import TimingReport
+
+            timing = TimingReport(machine=self.model.name, cycles=0.0,
+                                  dp_flops=exec_result.trace.total_flops)
+        else:
+            timing = TimingEngine(self.model).replay(exec_result.trace)
+        return RunResult(functional=exec_result, timing=timing)
+
+
+def run_program(config: SystemConfig, program: Program,
+                setup=None) -> RunResult:
+    """One-shot convenience: build a simulator, run ``setup(sim)``, run."""
+    sim = Simulator(config)
+    if setup is not None:
+        setup(sim)
+    return sim.run(program)

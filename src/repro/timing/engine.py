@@ -1,0 +1,280 @@
+"""The timing engine: replays a dynamic trace against a machine model.
+
+One pass over the trace, O(1) work per instruction regardless of vector
+length.  The mechanisms modelled, and where the paper's effects come from:
+
+* **Issue path** — CVA6 issues one vector instruction per cycle at best,
+  gated by the acknowledgement round trip (``issue_gap``; REQI register
+  cuts lengthen it) and by per-unit instruction queues (back-pressure
+  when a unit falls behind).
+* **Chaining** — consumers start when the producer's first elements are
+  available and are rate-limited by the slower party (stream algebra in
+  :mod:`repro.timing.stream`).
+* **Memory** — separate load and store ports with the configured
+  bandwidth; loads see the request-to-first-data latency of the memory
+  interface (GLSU pipeline depth + L2 latency on AraXL).
+* **Slides** — local shuffle at lane rate plus the ring penalty on AraXL.
+* **Reductions** — streamed intra-lane phase plus the configuration-
+  dependent tail (inter-lane tree, inter-cluster ring tree, SIMD stage),
+  which is what bends the Fig 6 reduction curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TimingError
+from ..functional.trace import (DynamicTrace, MemAccess, ScalarEvent,
+                                VectorEvent, VsetvlEvent)
+from ..isa.instructions import ExecUnit, MemPattern
+from ..uarch.common import MachineModel
+from .frontend import ScalarFrontend
+from .report import TimingReport
+from .resources import Resource
+from .scoreboard import Scoreboard
+from .stream import Stream, consume
+
+#: Unit resource names.
+VMFPU, VALU, SLDU, MASKU, LOAD, STORE = (
+    "vmfpu", "valu", "sldu", "masku", "vlsu_load", "vlsu_store")
+
+
+@dataclass
+class _Groups:
+    """Register groups an instruction touches (base, emul) pairs."""
+
+    sources: list[tuple[int, int]]
+    dest: tuple[int, int] | None
+    dest_scalar: bool = False
+
+
+class TimingEngine:
+    def __init__(self, model: MachineModel) -> None:
+        self.model = model
+
+    # ------------------------------------------------------------------
+    def replay(self, trace: DynamicTrace) -> TimingReport:
+        model = self.model
+        cfg = model.config
+        frontend = ScalarFrontend(cfg.scalar, cfg.memory.l2_latency_cycles)
+        depth = model.unit_queue_depth
+        units = {name: Resource(name, queue_depth=depth)
+                 for name in (VMFPU, VALU, SLDU, MASKU, LOAD, STORE)}
+        sb = Scoreboard()
+
+        t_scalar = 0.0
+        next_vissue = 0.0
+        issue_stalls = 0.0
+        vec_count = 0
+        scalar_count = 0
+        flops = 0.0
+        bytes_read = 0.0
+        bytes_written = 0.0
+
+        for event in trace:
+            if isinstance(event, ScalarEvent):
+                t_scalar += frontend.cost(event)
+                scalar_count += 1
+                continue
+            if isinstance(event, VsetvlEvent):
+                t_scalar += model.vsetvli_cycles
+                next_vissue = max(next_vissue, t_scalar + model.issue_gap)
+                scalar_count += 1
+                continue
+            if not isinstance(event, VectorEvent):  # pragma: no cover
+                raise TimingError(f"unknown trace event {event!r}")
+
+            vec_count += 1
+            flops += event.flops
+            unit = units[self._unit_name(event)]
+
+            # --- issue: one cycle of frontend work, ack gap, queue slot
+            t_scalar += 1.0
+            t_ready = max(t_scalar, next_vissue)
+            t_admit = unit.admit(t_ready)
+            issue_stalls += t_admit - t_ready
+            t_issue = t_admit
+            t_scalar = t_issue
+            next_vissue = t_issue + model.issue_gap
+            arrive = t_issue + model.request_latency + model.dispatch_latency
+
+            # --- execute on the unit
+            end_scalar_sync = self._execute(event, unit, sb, arrive)
+            if end_scalar_sync is not None:
+                t_scalar = max(
+                    t_scalar, end_scalar_sync + model.scalar_result_latency)
+
+            if event.mem is not None:
+                if event.mem.is_store:
+                    bytes_written += event.mem.total_bytes
+                else:
+                    bytes_read += event.mem.total_bytes
+
+        total = max([t_scalar, sb.all_done()]
+                    + [u.ready_time for u in units.values()])
+        report = TimingReport(
+            machine=model.name,
+            cycles=max(total, 1.0),
+            dp_flops=flops,
+            unit_busy={n: u.busy_cycles for n, u in units.items()},
+            unit_ops={n: u.ops for n, u in units.items()},
+            scalar_cycles=t_scalar,
+            vector_instructions=vec_count,
+            scalar_instructions=scalar_count,
+            issue_stall_cycles=issue_stalls,
+            mem_bytes_read=bytes_read,
+            mem_bytes_written=bytes_written,
+            dcache_hits=frontend.dcache.hits,
+            dcache_misses=frontend.dcache.misses,
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    # Unit selection
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _unit_name(event: VectorEvent) -> str:
+        spec = event.spec
+        if spec.is_load:
+            return LOAD
+        if spec.is_store:
+            return STORE
+        return {
+            ExecUnit.VMFPU: VMFPU,
+            ExecUnit.VALU: VALU,
+            ExecUnit.SLDU: SLDU,
+            ExecUnit.MASKU: MASKU,
+        }[spec.unit]
+
+    # ------------------------------------------------------------------
+    # Register group extraction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _groups(event: VectorEvent) -> _Groups:
+        spec = event.spec
+        instr = event.instr
+        lmul = event.lmul
+        sources: list[tuple[int, int]] = []
+        dest: tuple[int, int] | None = None
+        dest_scalar = False
+
+        src_emul = 2 * lmul if spec.narrows else lmul
+        for role in ("vs1", "vs2", "vs3"):
+            reg = instr.get(role)
+            if reg is not None:
+                emul = src_emul if role != "vs1" or spec.fmt != "red_vs" else 1
+                sources.append((reg.index, emul))
+        # FMA accumulators read the destination.
+        if spec.fmt in ("fma_vv", "fma_vx", "fma_vf"):
+            vd = instr.get("vd")
+            if vd is not None:
+                acc_emul = 2 * lmul if spec.widens else lmul
+                sources.append((vd.index, acc_emul))
+        if instr.masked:
+            sources.append((0, 1))
+
+        vd = instr.get("vd")
+        if vd is not None:
+            if spec.mask_producer or spec.is_reduction:
+                dest = (vd.index, 1)
+            elif spec.widens:
+                dest = (vd.index, min(8, 2 * lmul))
+            else:
+                dest = (vd.index, lmul)
+        if spec.scalar_result:
+            dest_scalar = True
+        return _Groups(sources=sources, dest=dest, dest_scalar=dest_scalar)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _execute(self, event: VectorEvent, unit: Resource, sb: Scoreboard,
+                 arrive: float) -> float | None:
+        """Run one vector instruction; returns a scalar-sync time if the
+        scalar core must wait for the result."""
+        model = self.model
+        spec = event.spec
+        # Scalar<->vector moves touch a single element regardless of vl.
+        if spec.fmt in ("fv", "xs", "sf", "sx"):
+            n = 1
+        else:
+            n = max(1, event.vl)
+        groups = self._groups(event)
+        src_streams = tuple(
+            sb.source_stream(base, emul, n) for base, emul in groups.sources)
+
+        waw = sb.waw_war_bound(*groups.dest) if groups.dest else 0.0
+        earliest = max(arrive, waw)
+
+        if spec.is_mem:
+            end_exec, result, busy = self._mem_op(event, unit, src_streams,
+                                                  earliest, n)
+        elif spec.is_reduction:
+            rate = model.vfu_rate(event.sew)
+            start = unit.start(earliest)
+            end_intra, _ = consume(start, rate, n, src_streams, latency=0.0)
+            tail = model.reduction_tail_cycles(event.sew)
+            end_exec = end_intra + tail
+            result = Stream.instant(end_exec, 1)
+            busy = n / rate
+        elif spec.is_slide:
+            rate = model.sldu_rate(event.sew) * spec.throughput
+            latency = model.slide_extra_cycles(event.slide_amount, event.vl)
+            start = unit.start(earliest)
+            end_exec, result = consume(start, rate, n, src_streams,
+                                       latency=latency)
+            busy = n / rate
+        elif spec.unit is ExecUnit.MASKU:
+            if spec.mask_logical:
+                rate = model.masku_bit_rate()
+            else:
+                rate = model.vfu_rate(event.sew)
+            start = unit.start(earliest)
+            end_exec, result = consume(start, rate, n, src_streams,
+                                       latency=model.masku_latency)
+            busy = n / rate
+        else:
+            rate = model.vfu_rate(event.sew) * spec.throughput
+            latency = (model.fpu_latency if spec.unit is ExecUnit.VMFPU
+                       else model.valu_latency)
+            start = unit.start(earliest)
+            end_exec, result = consume(start, rate, n, src_streams,
+                                       latency=latency)
+            busy = n / rate
+
+        unit.retire(start if not spec.is_mem else end_exec - max(busy, 0.0),
+                    end_exec, busy)
+        for base, emul in groups.sources:
+            sb.record_read(base, emul, end_exec)
+        if groups.dest is not None:
+            sb.record_write(*groups.dest, result)
+        if groups.dest_scalar:
+            return result.t_last if result.n else end_exec
+        return None
+
+    # ------------------------------------------------------------------
+    def _mem_op(self, event: VectorEvent, unit: Resource,
+                src_streams: tuple[Stream, ...], earliest: float,
+                n: int) -> tuple[float, Stream, float]:
+        model = self.model
+        mem: MemAccess = event.mem  # type: ignore[assignment]
+        if mem is None:
+            raise TimingError(f"memory op {event.instr} lacks a MemAccess")
+        rate = model.mem_rate(mem.pattern, max(1, mem.ew_bytes), mem.is_store)
+        # Misaligned unit-stride requests pay one extra align-stage pass.
+        align_pen = 0.0
+        if mem.pattern is MemPattern.UNIT and mem.base % 64:
+            align_pen = 1.0
+        start = unit.start(earliest)
+        if mem.is_store:
+            latency = model.store_pipe_latency + align_pen
+        else:
+            latency = model.load_first_data_latency + align_pen
+        count = mem.count if mem.pattern is MemPattern.MASK else n
+        end_exec, result = consume(start, rate, count, src_streams,
+                                   latency=latency)
+        busy = count / rate
+        return end_exec, result, busy
+    # NOTE: unit.retire() in _execute receives (end_exec - busy) as the
+    # start bound for memory ops so port occupancy equals the transfer
+    # time even when chaining stretched the op.

@@ -1,0 +1,59 @@
+"""CVA6 frontend timing: scalar instruction costs and the D$ model.
+
+The scalar core matters to the evaluation only through the *setup time* it
+adds around vector instructions (Section IV-B: at 64 B/lane neither design
+can hide "the latency of scalar loads-stores through the data-cache").
+We model an in-order single-issue pipeline: one cycle per ALU op, a
+load-to-use latency through a direct-mapped D$, a taken-branch penalty,
+and a pipelined scalar FPU.
+"""
+
+from __future__ import annotations
+
+from ..functional.trace import ScalarEvent
+from ..memory.cache import DirectMappedCache
+from ..params import ScalarCoreConfig
+
+__all__ = ["ScalarFrontend", "DirectMappedCache"]
+
+
+class ScalarFrontend:
+    """Accumulates CVA6 cycles over the scalar event stream."""
+
+    def __init__(self, config: ScalarCoreConfig, l2_latency: int) -> None:
+        self.config = config
+        self.l2_latency = l2_latency
+        self.dcache = DirectMappedCache(config.dcache_bytes,
+                                        config.dcache_line_bytes)
+        self.cycles_by_kind: dict[str, float] = {}
+
+    def cost(self, event: ScalarEvent) -> float:
+        cfg = self.config
+        kind = event.kind
+        if kind == "alu":
+            cycles = float(cfg.alu_latency)
+        elif kind == "mul":
+            cycles = 2.0
+        elif kind == "div":
+            cycles = 10.0
+        elif kind == "fp":
+            # Pipelined FPU; dependent scalar FP chains are rare in the
+            # kernels, so charge half the latency as the average exposure.
+            cycles = max(1.0, cfg.fpu_latency / 2)
+        elif kind == "load":
+            hit = self.dcache.access(event.addr or 0)
+            cycles = float(cfg.dcache_hit_latency)
+            if not hit:
+                cycles += cfg.dcache_miss_penalty + self.l2_latency
+        elif kind == "store":
+            # Write-through store buffer: a cycle unless the line misses.
+            hit = self.dcache.access(event.addr or 0)
+            cycles = 1.0 if hit else 2.0
+        elif kind == "branch":
+            cycles = 1.0
+        elif kind == "branch_taken":
+            cycles = 1.0 + cfg.branch_penalty
+        else:
+            cycles = 1.0
+        self.cycles_by_kind[kind] = self.cycles_by_kind.get(kind, 0.0) + cycles
+        return cycles

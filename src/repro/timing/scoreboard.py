@@ -1,0 +1,75 @@
+"""Vector register scoreboard: RAW chaining, WAW/WAR ordering.
+
+Tracks, per architectural vector register, the availability stream of the
+last write plus the completion times needed for write-after-write and
+write-after-read ordering.  Register groups (LMUL > 1) update every member
+register; a reader of any member register chains on the group's stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .stream import Stream
+
+
+@dataclass
+class _RegState:
+    stream: Stream = field(default_factory=lambda: Stream.instant(0.0, 0))
+    write_end: float = 0.0  # when the last writer fully retired
+    read_end: float = 0.0  # when the last reader finished consuming
+
+
+class Scoreboard:
+    """Availability tracking for the 32 vector registers."""
+
+    def __init__(self) -> None:
+        self._regs = [_RegState() for _ in range(32)]
+
+    @staticmethod
+    def _group(base: int, emul: int) -> range:
+        return range(base, min(32, base + max(1, emul)))
+
+    # ------------------------------------------------------------------
+    def source_stream(self, base: int, emul: int, n: int) -> Stream:
+        """Combined availability of a source register group.
+
+        The group behaves as the *slowest* member: first element waits for
+        the latest first-availability, last element for the latest last-
+        availability.  For registers never written, elements are instant.
+        """
+        t_first = 0.0
+        t_last = 0.0
+        for reg in self._group(base, emul):
+            st = self._regs[reg].stream
+            if st.n == 0:
+                continue
+            t_first = max(t_first, st.t_first)
+            t_last = max(t_last, st.t_last)
+        if n <= 1 or t_last <= t_first:
+            return Stream.instant(t_first, n)
+        return Stream(t_first=t_first, rate=(n - 1) / (t_last - t_first), n=n)
+
+    def waw_war_bound(self, base: int, emul: int) -> float:
+        """Earliest start for a writer of this group (WAW + WAR)."""
+        bound = 0.0
+        for reg in self._group(base, emul):
+            state = self._regs[reg]
+            bound = max(bound, state.write_end, state.read_end)
+        return bound
+
+    # ------------------------------------------------------------------
+    def record_read(self, base: int, emul: int, end_exec: float) -> None:
+        for reg in self._group(base, emul):
+            state = self._regs[reg]
+            state.read_end = max(state.read_end, end_exec)
+
+    def record_write(self, base: int, emul: int, result: Stream) -> None:
+        for reg in self._group(base, emul):
+            state = self._regs[reg]
+            state.stream = result
+            state.write_end = max(state.write_end, result.t_end)
+
+    def all_done(self) -> float:
+        """Cycle at which every register write has landed."""
+        return max(s.write_end for s in self._regs)

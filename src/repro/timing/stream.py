@@ -1,0 +1,109 @@
+"""Element-availability streams: the chaining abstraction.
+
+Ara chains instructions at VRF-word granularity: a consumer may start as
+soon as the producer has written the first chunk of the destination, and
+thereafter proceeds no faster than the producer delivers.  At the
+abstraction level of this model a producer is summarized by a linear
+availability function
+
+    avail(i) = t_first + i / rate          for i in [0, n)
+
+which a consumer composes with its own start time and intrinsic rate.
+This captures the first-order behaviour (pipeline fill, rate limiting,
+stall-free chaining when the producer is faster) without per-element
+event simulation, keeping replay cost independent of vector length.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import TimingError
+
+
+@dataclass(frozen=True)
+class Stream:
+    """Availability of ``n`` elements starting at ``t_first``.
+
+    ``rate`` is in elements per cycle.  ``t_first`` is the cycle at which
+    element 0 can first be consumed.
+    """
+
+    t_first: float
+    rate: float
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise TimingError("stream cannot carry a negative element count")
+        if self.n > 0 and self.rate <= 0:
+            raise TimingError("stream rate must be positive")
+
+    @property
+    def t_last(self) -> float:
+        """Cycle at which the final element becomes available."""
+        if self.n == 0:
+            return self.t_first
+        return self.t_first + (self.n - 1) / self.rate
+
+    @property
+    def t_end(self) -> float:
+        """Cycle at which the whole stream has been delivered."""
+        if self.n == 0:
+            return self.t_first
+        return self.t_first + self.n / self.rate
+
+    def avail(self, index: int) -> float:
+        """Cycle at which element ``index`` is available."""
+        if not 0 <= index < max(self.n, 1):
+            raise TimingError(f"element {index} outside stream of {self.n}")
+        return self.t_first + index / self.rate
+
+    @classmethod
+    def instant(cls, t: float, n: int) -> "Stream":
+        """All elements available at once (an already-written register)."""
+        return cls(t_first=t, rate=math.inf, n=n)
+
+    @classmethod
+    def empty(cls, t: float = 0.0) -> "Stream":
+        return cls(t_first=t, rate=math.inf, n=0)
+
+
+def consume(start: float, own_rate: float, n: int,
+            sources: tuple[Stream, ...] = (),
+            latency: float = 0.0) -> tuple[float, Stream]:
+    """Run a streaming operation and derive its result stream.
+
+    The operation begins issuing at ``start`` (already resolved against
+    structural hazards), consumes ``n`` elements from every source stream
+    simultaneously, produces at most ``own_rate`` elements per cycle, and
+    adds ``latency`` pipeline cycles before results appear.
+
+    Returns ``(end_exec, result)`` where ``end_exec`` is the cycle at which
+    the last element has been accepted (the unit becomes free) and
+    ``result`` describes destination element availability.
+    """
+    if n == 0:
+        return start, Stream.empty(start + latency)
+    if own_rate <= 0:
+        raise TimingError("operation rate must be positive")
+    # First element: the unit needs its sources' element 0.
+    t0_in = start
+    for src in sources:
+        if src.n:
+            t0_in = max(t0_in, src.avail(0))
+    # Last element: limited by own throughput from t0 and by each source.
+    t_last_in = t0_in + (n - 1) / own_rate
+    for src in sources:
+        if src.n:
+            t_last_in = max(t_last_in, src.avail(min(n, src.n) - 1))
+    end_exec = t_last_in + 1.0 / own_rate
+    t_first_out = t0_in + latency + 1.0 / own_rate
+    t_last_out = t_last_in + latency + 1.0 / own_rate
+    if n == 1:
+        result = Stream(t_first=t_first_out, rate=own_rate, n=1)
+    else:
+        eff_rate = (n - 1) / max(t_last_out - t_first_out, 1e-12)
+        result = Stream(t_first=t_first_out, rate=eff_rate, n=n)
+    return end_exec, result

@@ -1,0 +1,37 @@
+"""Microarchitectural timing models: Ara2 baseline and AraXL.
+
+Each model turns a :class:`~repro.params.SystemConfig` into the set of
+latencies, rates and overheads the timing engine consults.  The three
+AraXL interfaces have dedicated sub-models (:mod:`repro.uarch.glsu`,
+:mod:`repro.uarch.reqi`, :mod:`repro.uarch.ringi`) mirroring Section III
+of the paper.
+"""
+
+from .common import MachineModel
+from .ara2 import Ara2Model
+from .araxl import AraXLModel
+from .glsu import GlsuModel
+from .reqi import ReqiModel
+from .ringi import RingiModel
+
+
+def build_model(config) -> MachineModel:
+    """Construct the right timing model for a configuration object."""
+    from ..params import Ara2Config, AraXLConfig
+
+    if isinstance(config, AraXLConfig):
+        return AraXLModel(config)
+    if isinstance(config, Ara2Config):
+        return Ara2Model(config)
+    raise TypeError(f"no timing model for {type(config).__name__}")
+
+
+__all__ = [
+    "MachineModel",
+    "Ara2Model",
+    "AraXLModel",
+    "GlsuModel",
+    "ReqiModel",
+    "RingiModel",
+    "build_model",
+]

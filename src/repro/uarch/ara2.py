@@ -1,0 +1,73 @@
+"""Ara2 baseline timing model [13].
+
+The lumped design: one sequencer, one VLSU/SLDU/MASKU, all-to-all
+single-cycle byte networks between the memory interface and the lanes.
+That makes every latency short — and every wire long, which is why the
+PPA model (not this file) charges Ara2 quadratic area in the A2A units
+and a lower achievable frequency at high lane counts.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..params import Ara2Config
+from .common import MachineModel
+
+
+class Ara2Model(MachineModel):
+    def __init__(self, config: Ara2Config) -> None:
+        if not isinstance(config, Ara2Config):
+            raise TypeError("Ara2Model requires an Ara2Config")
+        super().__init__(config)
+
+    # ------------------------------------------------------------------
+    # Issue path: CVA6 talks to the single dispatcher directly.
+    # ------------------------------------------------------------------
+    @property
+    def request_latency(self) -> int:
+        return self.config.accelerator_ack_latency
+
+    @property
+    def issue_gap(self) -> float:
+        return 1.0
+
+    @property
+    def scalar_result_latency(self) -> int:
+        return 2
+
+    # ------------------------------------------------------------------
+    # Memory: single-cycle A2A align+shuffle inside the VLSU.
+    # ------------------------------------------------------------------
+    @property
+    def load_first_data_latency(self) -> int:
+        return self.config.memory.l2_latency_cycles + 2
+
+    @property
+    def store_pipe_latency(self) -> int:
+        return 2
+
+    @property
+    def strided_elems_per_cycle(self) -> float:
+        # One address generator: one element per cycle.
+        return 1.0
+
+    @property
+    def indexed_elems_per_cycle(self) -> float:
+        return 0.5
+
+    # ------------------------------------------------------------------
+    # Slides: the lumped SLDU shuffles all lanes in one step.
+    # ------------------------------------------------------------------
+    def slide_extra_cycles(self, amount: int, vl: int) -> float:
+        return float(self.sldu_latency)
+
+    # ------------------------------------------------------------------
+    # Reductions: intra-lane, inter-lane (log tree via SLDU), SIMD.
+    # ------------------------------------------------------------------
+    def reduction_tail_cycles(self, sew: int) -> float:
+        inter_lane_steps = int(math.log2(self.lanes)) if self.lanes > 1 else 0
+        per_step = self.fpu_latency + self.sldu_latency
+        writeback = 3
+        return inter_lane_steps * per_step + self.simd_reduction_cycles(sew) \
+            + writeback

@@ -1,0 +1,106 @@
+"""AraXL timing model (Section III).
+
+Clusters of 4 lanes, each a streamlined Ara2 instance, joined by:
+
+* :class:`~repro.uarch.reqi.ReqiModel` — instruction broadcast + ack;
+* :class:`~repro.uarch.glsu.GlsuModel` — pipelined align/addrgen/shuffle
+  path to L2 (replaces the A2A byte network of Ara2's VLSU);
+* :class:`~repro.uarch.ringi.RingiModel` — ring between adjacent SLDUs
+  for slides and the inter-cluster reduction stage.
+
+Every latency here is longer than Ara2's — deliberately.  The architecture
+bets that long vectors hide latency, and the Fig 6/7 experiments verify
+the bet.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..params import AraXLConfig
+from .common import MachineModel
+from .glsu import GlsuModel
+from .reqi import ReqiModel
+from .ringi import RingiModel
+
+
+class AraXLModel(MachineModel):
+    def __init__(self, config: AraXLConfig) -> None:
+        if not isinstance(config, AraXLConfig):
+            raise TypeError("AraXLModel requires an AraXLConfig")
+        super().__init__(config)
+        self.reqi = ReqiModel(
+            broadcast_latency=config.reqi_broadcast_latency,
+            extra_regs=config.reqi_extra_regs,
+        )
+        self.glsu = GlsuModel(
+            clusters=config.clusters,
+            lanes_per_cluster=config.lanes_per_cluster,
+            base_stages=config.glsu_base_stages,
+            extra_regs=config.glsu_extra_regs,
+        )
+        self.ringi = RingiModel(
+            clusters=config.clusters,
+            hop_latency=config.ring_hop_latency,
+            extra_regs=config.ringi_extra_regs,
+        )
+
+    @property
+    def clusters(self) -> int:
+        return self.config.clusters
+
+    # ------------------------------------------------------------------
+    # Issue path through REQI
+    # ------------------------------------------------------------------
+    @property
+    def request_latency(self) -> int:
+        return self.reqi.request_latency
+
+    @property
+    def issue_gap(self) -> float:
+        return float(self.reqi.issue_gap)
+
+    @property
+    def scalar_result_latency(self) -> int:
+        return self.reqi.scalar_result_latency
+
+    # ------------------------------------------------------------------
+    # Memory through the GLSU pipeline
+    # ------------------------------------------------------------------
+    @property
+    def load_first_data_latency(self) -> int:
+        return self.glsu.first_data_latency(self.config.memory.l2_latency_cycles)
+
+    @property
+    def store_pipe_latency(self) -> int:
+        return self.glsu.store_latency()
+
+    @property
+    def strided_elems_per_cycle(self) -> float:
+        # Each cluster VLSU emits one element request per cycle; the GLSU
+        # addrgen merges them.  (The paper only promises "lower throughput"
+        # for these patterns.)
+        return float(self.clusters)
+
+    @property
+    def indexed_elems_per_cycle(self) -> float:
+        return self.clusters / 2.0
+
+    # ------------------------------------------------------------------
+    # Slides over the ring
+    # ------------------------------------------------------------------
+    def slide_extra_cycles(self, amount: int, vl: int) -> float:
+        return self.sldu_latency + self.ringi.slide_latency(amount, vl)
+
+    # ------------------------------------------------------------------
+    # Reductions: intra-lane, inter-lane (in-cluster), inter-cluster
+    # (ring log-tree), SIMD stage.
+    # ------------------------------------------------------------------
+    def reduction_tail_cycles(self, sew: int) -> float:
+        lanes_pc = self.config.lanes_per_cluster
+        inter_lane_steps = int(math.log2(lanes_pc)) if lanes_pc > 1 else 0
+        per_step = self.fpu_latency + self.sldu_latency
+        ring = self.ringi.reduction_ring_cycles(self.fpu_latency + 1.0)
+        writeback = 3
+        return inter_lane_steps * per_step + ring \
+            + self.simd_reduction_cycles(sew) + writeback

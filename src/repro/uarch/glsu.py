@@ -1,0 +1,63 @@
+"""GLSU — the Global Load-Store Unit (Section III-B-3, Fig 3).
+
+The GLSU sits between the clusters' local VLSUs and the L2, implementing
+the memory-to-VRF byte mapping in a *multi-level pipeline* instead of
+Ara2's single-cycle all-to-all network:
+
+* **Align** removes the misalignment of the request with power-of-2 shift
+  levels over the memory bus (log2 of the bus width in 64-bit words);
+* **Addrgen** splits requests and converts bandwidth;
+* **Shuffle** distributes aligned data to the right cluster per the
+  element-to-cluster mapping, again in log2(C) levels.
+
+Each level is register-guarded, so the round-trip latency grows with the
+cluster count — which the latency tolerance of long vectors absorbs.  The
+Fig 5/7 experiment adds 4 extra registers, +8 cycles request-to-response.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GlsuModel:
+    clusters: int
+    lanes_per_cluster: int
+    base_stages: int = 3  # addrgen + request/response handshake registers
+    extra_regs: int = 0
+
+    @property
+    def align_levels(self) -> int:
+        """Power-of-2 shift levels across the memory bus."""
+        bus_words = max(1, self.clusters * self.lanes_per_cluster)
+        return max(1, int(math.ceil(math.log2(bus_words))))
+
+    @property
+    def shuffle_levels(self) -> int:
+        """Levels of the cluster-distribution network."""
+        return max(1, int(math.ceil(math.log2(max(2, self.clusters)))))
+
+    @property
+    def pipeline_depth(self) -> int:
+        """One-way pipeline stages between a cluster VLSU and the L2 port."""
+        return self.base_stages + self.align_levels + self.shuffle_levels \
+            + self.extra_regs
+
+    @property
+    def round_trip_extra(self) -> int:
+        """Request-to-response cycles added on top of the raw L2 latency.
+
+        Extra register cuts appear on both the request and response paths,
+        hence the paper's "+4 registers -> +8 cycles".
+        """
+        return self.pipeline_depth + self.extra_regs
+
+    def first_data_latency(self, l2_latency: int) -> int:
+        """Load issue to first data beat landing in a cluster VLSU."""
+        return l2_latency + self.round_trip_extra
+
+    def store_latency(self) -> int:
+        """Store data path latency (posted writes: only the pipe depth)."""
+        return self.pipeline_depth

@@ -1,0 +1,49 @@
+"""REQI — the Request Interface (Section III-B-1).
+
+CVA6 broadcasts each vector instruction to every cluster; cluster-0 sends
+the acknowledgement (and scalar results / exceptions) back.  The interface
+is a pipelined broadcast tree whose register cuts trade issue latency for
+timing closure; the Fig 5/7 experiment adds one extra register, delaying
+the acknowledgement by 2 cycles (one on the way out, one on the way back).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ReqiModel:
+    """Timing of the CVA6-to-clusters request broadcast."""
+
+    broadcast_latency: int = 2  # CVA6 -> all clusters
+    extra_regs: int = 0
+
+    @property
+    def request_latency(self) -> int:
+        """Cycles from CVA6 issue to cluster dispatchers seeing the op."""
+        return self.broadcast_latency + self.extra_regs
+
+    @property
+    def ack_latency(self) -> int:
+        """Cycles from cluster acceptance back to CVA6.
+
+        With no extra registers the answer path is a single cycle; every
+        extra register adds one cycle in each direction, matching the
+        paper's "acknowledged back to CVA6 2 cycles later" for +1 register.
+        """
+        return 1 + self.extra_regs
+
+    @property
+    def issue_gap(self) -> int:
+        """Minimum cycles between two vector instruction issues.
+
+        CVA6 cannot issue the next vector instruction before the previous
+        one is acknowledged: out + back.
+        """
+        return self.extra_regs * 2 + 2
+
+    @property
+    def scalar_result_latency(self) -> int:
+        """Vector-to-scalar results ride the same answer path."""
+        return self.request_latency + self.ack_latency

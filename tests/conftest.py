@@ -1,0 +1,22 @@
+"""Shared fixtures: small machine configurations for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.params import Ara2Config, AraXLConfig
+
+
+@pytest.fixture
+def ara2_small() -> Ara2Config:
+    return Ara2Config(lanes=4)
+
+
+@pytest.fixture
+def araxl_small() -> AraXLConfig:
+    return AraXLConfig(lanes=8)
+
+
+@pytest.fixture
+def araxl_big() -> AraXLConfig:
+    return AraXLConfig(lanes=64)

@@ -1,0 +1,246 @@
+"""Integer vector semantics vs NumPy goldens (element-exact)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.vec_utils import VecEnv
+
+RNG = np.random.default_rng(7)
+
+
+def _env(vl=31, sew=64, lmul=1):
+    return VecEnv(vl, sew=sew, lmul=lmul)
+
+
+class TestBinops:
+    @pytest.mark.parametrize("sew", [8, 16, 32, 64])
+    def test_vadd_wraps(self, sew):
+        env = _env(sew=sew)
+        dt = np.dtype(f"u{sew // 8}")
+        a = env.rand_int(RNG, dt)
+        b = env.rand_int(RNG, dt)
+        env.set_v(8, a)
+        env.set_v(16, b)
+        env.run("vadd_vv", "v24", "v8", "v16")
+        assert np.array_equal(env.get_v(24, dtype=dt), a + b)
+
+    def test_vsub_operand_order(self):
+        env = _env(vl=4)
+        env.set_v(8, np.array([10, 10, 10, 10], dtype=np.uint64))
+        env.set_v(16, np.array([1, 2, 3, 4], dtype=np.uint64))
+        env.run("vsub_vv", "v24", "v8", "v16")  # vd = vs2 - vs1
+        assert np.array_equal(env.get_v(24, dtype=np.uint64), [9, 8, 7, 6])
+
+    def test_vrsub_vx(self):
+        env = _env(vl=3)
+        env.set_v(8, np.array([1, 2, 3], dtype=np.uint64))
+        env.state.x.write(5, 10)
+        env.run("vrsub_vx", "v24", "v8", "x5")  # rs1 - vs2
+        assert np.array_equal(env.get_v(24, dtype=np.uint64), [9, 8, 7])
+
+    def test_vmin_signed_vmax(self):
+        env = _env(vl=3)
+        env.set_v(8, np.array([-5, 0, 5], dtype=np.int64))
+        env.set_v(16, np.array([1, -1, 7], dtype=np.int64))
+        env.run("vmin_vv", "v24", "v8", "v16")
+        assert np.array_equal(env.get_v(24, dtype=np.int64), [-5, -1, 5])
+        env.run("vmaxu_vv", "v28", "v8", "v16")
+        # unsigned view: -5 and -1 are huge
+        a = np.array([-5, 0, 5], dtype=np.int64).view(np.uint64)
+        b = np.array([1, -1, 7], dtype=np.int64).view(np.uint64)
+        assert np.array_equal(env.get_v(28, dtype=np.uint64), np.maximum(a, b))
+
+    @pytest.mark.parametrize("mn,func", [
+        ("vand_vv", np.bitwise_and), ("vor_vv", np.bitwise_or),
+        ("vxor_vv", np.bitwise_xor), ("vmul_vv", np.multiply)])
+    def test_bitwise_and_mul(self, mn, func):
+        env = _env()
+        a = env.rand_int(RNG, np.uint64)
+        b = env.rand_int(RNG, np.uint64)
+        env.set_v(8, a)
+        env.set_v(16, b)
+        env.run(mn, "v24", "v8", "v16")
+        with np.errstate(over="ignore"):
+            assert np.array_equal(env.get_v(24, dtype=np.uint64), func(a, b))
+
+
+class TestShifts:
+    def test_vsll_masks_shift_amount(self):
+        env = _env(vl=2, sew=32)
+        env.set_v(8, np.array([1, 1], dtype=np.uint32))
+        env.set_v(16, np.array([33, 4], dtype=np.uint32))  # 33 & 31 = 1
+        env.run("vsll_vv", "v24", "v8", "v16")
+        assert np.array_equal(env.get_v(24, dtype=np.uint32), [2, 16])
+
+    def test_vsra_arithmetic(self):
+        env = _env(vl=2)
+        env.set_v(8, np.array([-8, 8], dtype=np.int64))
+        env.run("vsra_vi", "v24", "v8", 1)
+        assert np.array_equal(env.get_v(24, dtype=np.int64), [-4, 4])
+
+    def test_vsrl_logical(self):
+        env = _env(vl=1)
+        env.set_v(8, np.array([-8], dtype=np.int64))
+        env.run("vsrl_vi", "v24", "v8", 1)
+        got = env.get_v(24, dtype=np.uint64)[0]
+        assert got == np.uint64(2 ** 64 - 8) >> np.uint64(1)
+
+
+class TestDivRem:
+    def test_division_by_zero_gives_minus_one(self):
+        env = _env(vl=2)
+        env.set_v(8, np.array([7, -7], dtype=np.int64))
+        env.set_v(16, np.array([0, 0], dtype=np.int64))
+        env.run("vdiv_vv", "v24", "v8", "v16")
+        assert np.array_equal(env.get_v(24, dtype=np.int64), [-1, -1])
+
+    def test_overflow_returns_dividend(self):
+        env = _env(vl=1)
+        env.set_v(8, np.array([np.iinfo(np.int64).min], dtype=np.int64))
+        env.set_v(16, np.array([-1], dtype=np.int64))
+        env.run("vdiv_vv", "v24", "v8", "v16")
+        assert env.get_v(24, dtype=np.int64)[0] == np.iinfo(np.int64).min
+
+    def test_truncating_division(self):
+        env = _env(vl=2)
+        env.set_v(8, np.array([-7, 7], dtype=np.int64))
+        env.set_v(16, np.array([2, -2], dtype=np.int64))
+        env.run("vdiv_vv", "v24", "v8", "v16")
+        assert np.array_equal(env.get_v(24, dtype=np.int64), [-3, -3])
+
+    def test_rem_sign_follows_dividend(self):
+        env = _env(vl=2)
+        env.set_v(8, np.array([-7, 7], dtype=np.int64))
+        env.set_v(16, np.array([2, -2], dtype=np.int64))
+        env.run("vrem_vv", "v24", "v8", "v16")
+        assert np.array_equal(env.get_v(24, dtype=np.int64), [-1, 1])
+
+    def test_rem_by_zero_returns_dividend(self):
+        env = _env(vl=1)
+        env.set_v(8, np.array([42], dtype=np.int64))
+        env.set_v(16, np.array([0], dtype=np.int64))
+        env.run("vrem_vv", "v24", "v8", "v16")
+        assert env.get_v(24, dtype=np.int64)[0] == 42
+
+
+class TestFmaAndMoves:
+    def test_vmacc(self):
+        env = _env(vl=3)
+        env.set_v(8, np.array([1, 2, 3], dtype=np.uint64))   # vs1
+        env.set_v(16, np.array([10, 10, 10], dtype=np.uint64))  # vs2
+        env.set_v(24, np.array([5, 5, 5], dtype=np.uint64))   # vd
+        env.run("vmacc_vv", "v24", "v8", "v16")
+        assert np.array_equal(env.get_v(24, dtype=np.uint64), [15, 25, 35])
+
+    def test_vmv_v_x_splat(self):
+        env = _env(vl=5)
+        env.state.x.write(3, -1)
+        env.run("vmv_v_x", "v8", "x3")
+        assert np.array_equal(env.get_v(8, dtype=np.int64), [-1] * 5)
+
+    def test_vmv_s_x_and_x_s(self):
+        env = _env(vl=4)
+        env.state.x.write(3, 99)
+        env.run("vmv_s_x", "v8", "x3")
+        env.run("vmv_x_s", "x4", "v8")
+        assert env.state.x.read(4) == 99
+
+    def test_vid(self):
+        env = _env(vl=6)
+        env.run("vid_v", "v8")
+        assert np.array_equal(env.get_v(8, dtype=np.uint64), np.arange(6))
+
+
+class TestComparesAndMerge:
+    def test_vmslt_writes_mask(self):
+        env = _env(vl=4)
+        env.set_v(8, np.array([-1, 5, 3, 0], dtype=np.int64))
+        env.set_v(16, np.array([0, 0, 4, 0], dtype=np.int64))
+        env.run("vmslt_vv", "v2", "v8", "v16")  # vs2 < vs1
+        assert np.array_equal(env.get_mask(2), [True, False, True, False])
+
+    def test_masked_compare_preserves_inactive_bits(self):
+        env = _env(vl=4)
+        env.set_mask(0, [True, False, True, False])
+        env.set_mask(2, [True, True, True, True])
+        env.set_v(8, np.zeros(4, dtype=np.int64))
+        env.set_v(16, np.ones(4, dtype=np.int64))
+        env.run("vmslt_vv", "v2", "v16", "v8", masked=True)  # 1 < 0: false
+        assert np.array_equal(env.get_mask(2), [False, True, False, True])
+
+    def test_vmerge(self):
+        env = _env(vl=4)
+        env.set_mask(0, [True, False, True, False])
+        env.set_v(8, np.array([1, 2, 3, 4], dtype=np.uint64))   # vs2 (false)
+        env.set_v(16, np.array([9, 9, 9, 9], dtype=np.uint64))  # vs1 (true)
+        env.run("vmerge_vvm", "v24", "v8", "v16")
+        assert np.array_equal(env.get_v(24, dtype=np.uint64), [9, 2, 9, 4])
+
+
+class TestWideningNarrowing:
+    def test_vwmul(self):
+        env = _env(vl=3, sew=32)
+        a = np.array([-100000, 3, 65536], dtype=np.int32)
+        b = np.array([100000, -3, 65536], dtype=np.int32)
+        env.set_v(8, a)
+        env.set_v(16, b)
+        env.run("vwmul_vv", "v24", "v8", "v16")
+        got = env.get_v(24, dtype=np.int64, emul=2)
+        assert np.array_equal(got, a.astype(np.int64) * b.astype(np.int64))
+
+    def test_vwadd(self):
+        env = _env(vl=2, sew=32)
+        a = np.array([2**31 - 1, -2**31], dtype=np.int32)
+        env.set_v(8, a)
+        env.set_v(16, a)
+        env.run("vwadd_vv", "v24", "v8", "v16")
+        assert np.array_equal(env.get_v(24, dtype=np.int64, emul=2),
+                              2 * a.astype(np.int64))
+
+    def test_vnsrl(self):
+        env = _env(vl=2, sew=32)
+        wide = np.array([0x1_0000_0002, 0xFF_0000_0000], dtype=np.uint64)
+        env.set_v(8, wide, emul=2)
+        env.run("vnsrl_wi", "v24", "v8", 32)
+        assert np.array_equal(env.get_v(24, dtype=np.uint32),
+                              [1, 0xFF])
+
+
+class TestMaskedWrites:
+    def test_mask_undisturbed_policy(self):
+        env = _env(vl=4)
+        env.set_mask(0, [True, False, False, True])
+        env.set_v(8, np.array([1, 2, 3, 4], dtype=np.uint64))
+        env.set_v(16, np.array([10, 10, 10, 10], dtype=np.uint64))
+        env.set_v(24, np.array([7, 7, 7, 7], dtype=np.uint64))
+        env.run("vadd_vv", "v24", "v8", "v16", masked=True)
+        assert np.array_equal(env.get_v(24, dtype=np.uint64), [11, 7, 7, 14])
+
+    def test_tail_undisturbed(self):
+        env = _env(vl=4)
+        full = np.arange(8, dtype=np.uint64)
+        env.set_v(24, full)  # fill beyond vl
+        env.set_v(8, np.zeros(4, dtype=np.uint64))
+        env.set_v(16, np.ones(4, dtype=np.uint64))
+        env.run("vadd_vv", "v24", "v8", "v16")
+        got = env.state.v.read_elems(24, 8, np.dtype(np.uint64), 1)
+        assert np.array_equal(got[4:], full[4:])
+
+
+@given(st.integers(min_value=1, max_value=64),
+       st.sampled_from(["vadd_vv", "vand_vv", "vxor_vv", "vmul_vv"]))
+@settings(max_examples=40, deadline=None)
+def test_binop_property_random_vl(vl, mnemonic):
+    env = VecEnv(vl)
+    rng = np.random.default_rng(vl)
+    a = env.rand_int(rng, np.uint64)
+    b = env.rand_int(rng, np.uint64)
+    env.set_v(8, a)
+    env.set_v(16, b)
+    env.run(mnemonic, "v24", "v8", "v16")
+    func = {"vadd_vv": np.add, "vand_vv": np.bitwise_and,
+            "vxor_vv": np.bitwise_xor, "vmul_vv": np.multiply}[mnemonic]
+    with np.errstate(over="ignore"):
+        expected = func(a, b)
+    assert np.array_equal(env.get_v(24, dtype=np.uint64), expected)

@@ -1,0 +1,158 @@
+"""Vector memory instructions: unit/strided/indexed, masks, EEW != SEW."""
+
+import numpy as np
+import pytest
+
+from tests.vec_utils import VecEnv
+
+RNG = np.random.default_rng(13)
+
+
+def _env(vl=16, sew=64, lmul=1):
+    return VecEnv(vl, sew=sew, lmul=lmul)
+
+
+class TestUnitStride:
+    def test_load_store_roundtrip(self):
+        env = _env()
+        data = RNG.uniform(-5, 5, env.vl)
+        env.mem.write_array(256, data)
+        env.state.x.write(5, 256)
+        env.state.x.write(6, 1024)
+        env.run("vle64_v", "v8", "x5")
+        env.run("vse64_v", "v8", "x6")
+        assert np.array_equal(env.mem.read_array(1024, env.vl, np.float64),
+                              data)
+
+    def test_event_records_access_shape(self):
+        env = _env()
+        env.state.x.write(5, 64)
+        event = env.run("vle64_v", "v8", "x5")
+        assert event.mem is not None
+        assert event.mem.base == 64
+        assert event.mem.count == env.vl
+        assert event.mem.ew_bytes == 8
+        assert not event.mem.is_store
+
+    @pytest.mark.parametrize("ew", [8, 16, 32])
+    def test_narrow_eew_under_sew64(self, ew):
+        # vle<ew> under SEW=64 moves EEW-sized elements (EMUL rescaled).
+        env = _env(vl=8)
+        dt = np.dtype(f"u{ew // 8}")
+        data = RNG.integers(0, 200, 8).astype(dt)
+        env.mem.write_array(128, data)
+        env.state.x.write(5, 128)
+        env.run(f"vle{ew}_v", "v8", "x5")
+        assert np.array_equal(env.get_v(8, dtype=dt), data)
+
+    def test_masked_load_preserves_inactive(self):
+        env = _env(vl=4)
+        env.set_mask(0, [True, False, True, False])
+        env.set_v(8, np.array([9.0, 9.0, 9.0, 9.0]))
+        env.mem.write_array(0, np.array([1.0, 2.0, 3.0, 4.0]))
+        env.state.x.write(5, 0)
+        env.run("vle64_v", "v8", "x5", masked=True)
+        assert np.array_equal(env.get_v(8), [1.0, 9.0, 3.0, 9.0])
+
+    def test_masked_store_leaves_inactive_memory(self):
+        env = _env(vl=4)
+        env.set_mask(0, [False, True, False, True])
+        env.mem.write_array(0, np.array([1.0, 1.0, 1.0, 1.0]))
+        env.set_v(8, np.array([5.0, 6.0, 7.0, 8.0]))
+        env.state.x.write(5, 0)
+        env.run("vse64_v", "v8", "x5", masked=True)
+        assert np.array_equal(env.mem.read_array(0, 4, np.float64),
+                              [1.0, 6.0, 1.0, 8.0])
+
+
+class TestStrided:
+    def test_strided_load(self):
+        env = _env(vl=4)
+        data = np.arange(16, dtype=np.float64)
+        env.mem.write_array(0, data)
+        env.state.x.write(5, 0)
+        env.state.x.write(6, 24)  # every 3rd f64
+        env.run("vlse64_v", "v8", "x5", "x6")
+        assert np.array_equal(env.get_v(8, count=4), data[::3][:4])
+
+    def test_strided_store(self):
+        env = _env(vl=3)
+        env.set_v(8, np.array([1.0, 2.0, 3.0]))
+        env.state.x.write(5, 0)
+        env.state.x.write(6, 16)
+        env.run("vsse64_v", "v8", "x5", "x6")
+        assert env.mem.load_f64(0) == 1.0
+        assert env.mem.load_f64(16) == 2.0
+        assert env.mem.load_f64(32) == 3.0
+
+    def test_zero_stride_broadcast(self):
+        env = _env(vl=4)
+        env.mem.store_f64(8, 7.5)
+        env.state.x.write(5, 8)
+        env.state.x.write(6, 0)
+        env.run("vlse64_v", "v8", "x5", "x6")
+        assert np.array_equal(env.get_v(8, count=4), [7.5] * 4)
+
+
+class TestIndexed:
+    def test_gather_load(self):
+        env = _env(vl=4)
+        data = np.arange(32, dtype=np.float64)
+        env.mem.write_array(0, data)
+        env.set_v(16, np.array([0, 64, 8, 248], dtype=np.uint64))
+        env.state.x.write(5, 0)
+        env.run("vluxei64_v", "v8", "x5", "v16")
+        assert np.array_equal(env.get_v(8, count=4), [0.0, 8.0, 1.0, 31.0])
+
+    def test_scatter_store(self):
+        env = _env(vl=2)
+        env.set_v(8, np.array([3.5, 4.5]))
+        env.set_v(16, np.array([16, 160], dtype=np.uint64))
+        env.state.x.write(5, 0)
+        env.run("vsuxei64_v", "v8", "x5", "v16")
+        assert env.mem.load_f64(16) == 3.5
+        assert env.mem.load_f64(160) == 4.5
+
+    def test_masked_gather(self):
+        env = _env(vl=3)
+        env.set_mask(0, [True, False, True])
+        env.mem.write_array(0, np.array([1.0, 2.0, 3.0]))
+        env.set_v(8, np.array([9.0, 9.0, 9.0]))
+        env.set_v(16, np.array([0, 8, 16], dtype=np.uint64))
+        env.state.x.write(5, 0)
+        env.run("vluxei64_v", "v8", "x5", "v16", masked=True)
+        assert np.array_equal(env.get_v(8, count=3), [1.0, 9.0, 3.0])
+
+
+class TestMaskLoads:
+    def test_vlm_vsm_roundtrip(self):
+        env = _env(vl=19)
+        bits = RNG.integers(0, 2, 19).astype(bool)
+        env.set_mask(3, bits)
+        env.state.x.write(5, 512)
+        env.run("vsm_v", "v3", "x5")
+        env.run("vlm_v", "v4", "x5")
+        assert np.array_equal(env.get_mask(4, count=19), bits)
+
+    def test_vlm_moves_ceil_bytes(self):
+        env = _env(vl=19)
+        env.state.x.write(5, 0)
+        event = env.run("vlm_v", "v3", "x5")
+        assert event.mem.count == 3  # ceil(19 / 8) bytes
+
+
+class TestLmulGroups:
+    def test_lmul4_load_spans_groups(self):
+        env = _env(vl=64, lmul=4, vlen_bits=1024) if False else \
+            VecEnv(64, sew=64, lmul=4, vlen_bits=1024)
+        data = RNG.uniform(-1, 1, 64)
+        env.mem.write_array(0, data)
+        env.state.x.write(5, 0)
+        env.run("vle64_v", "v8", "x5")
+        assert np.array_equal(env.get_v(8, count=64), data)
+
+    def test_unaligned_group_rejected(self):
+        env = VecEnv(32, sew=64, lmul=4, vlen_bits=1024)
+        env.state.x.write(5, 0)
+        with pytest.raises(Exception):
+            env.run("vle64_v", "v6", "x5")  # v6 not 4-aligned

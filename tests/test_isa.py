@@ -1,0 +1,185 @@
+"""ISA layer: vtype semantics, the assembler DSL, program container."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AssemblerError, IsaError
+from repro.isa import Assembler, SPEC_TABLE, spec_for
+from repro.isa.instructions import ExecUnit, FORMAT_ROLES
+from repro.isa.registers import parse_reg, x, f, v
+from repro.isa.vtype import LMUL, SEW, VType, vsetvl_result
+
+
+class TestVType:
+    @given(st.sampled_from([8, 16, 32, 64]), st.sampled_from([1, 2, 4, 8]),
+           st.booleans(), st.booleans())
+    def test_encode_decode_roundtrip(self, sew, lmul, ta, ma):
+        vt = VType(sew=SEW(sew), lmul=LMUL(lmul), tail_agnostic=ta,
+                   mask_agnostic=ma)
+        assert VType.decode(vt.encode()) == vt
+
+    def test_vill_roundtrip(self):
+        assert VType.decode(VType(vill=True).encode()).vill
+
+    def test_vlmax(self):
+        vt = VType(sew=SEW.E64, lmul=LMUL.M4)
+        assert vt.vlmax(16384) == 1024
+
+    def test_vill_vlmax_is_zero(self):
+        assert VType(vill=True).vlmax(16384) == 0
+
+    def test_register_group_alignment(self):
+        vt = VType(sew=SEW.E64, lmul=LMUL.M4)
+        assert vt.register_group(8) == (8, 9, 10, 11)
+        with pytest.raises(Exception):
+            vt.register_group(6)
+
+    @given(st.integers(min_value=0, max_value=1 << 20),
+           st.sampled_from([8, 16, 32, 64]), st.sampled_from([1, 2, 4, 8]))
+    def test_vsetvl_never_exceeds_vlmax(self, avl, sew, lmul):
+        vt = VType(sew=SEW(sew), lmul=LMUL(lmul))
+        vl = vsetvl_result(avl, vt, 8192)
+        assert 0 <= vl <= vt.vlmax(8192)
+        if avl <= vt.vlmax(8192):
+            assert vl == avl
+
+    def test_vsetvl_negative_avl_rejected(self):
+        with pytest.raises(IsaError):
+            vsetvl_result(-1, VType(), 8192)
+
+    def test_unsupported_sew_lmul(self):
+        with pytest.raises(IsaError):
+            SEW.from_bits(128)
+        with pytest.raises(IsaError):
+            LMUL.from_int(3)
+
+
+class TestRegisters:
+    def test_parse_textual_names(self):
+        assert parse_reg("x5") == x(5)
+        assert parse_reg("f31") == f(31)
+        assert parse_reg("v0") == v(0)
+
+    def test_out_of_range(self):
+        with pytest.raises(IsaError):
+            x(32)
+        with pytest.raises(IsaError):
+            parse_reg("v99")
+
+    def test_non_register(self):
+        with pytest.raises(IsaError):
+            parse_reg(17)
+
+
+class TestSpecTable:
+    def test_every_spec_has_known_format(self):
+        for spec in SPEC_TABLE.values():
+            assert spec.fmt in FORMAT_ROLES, spec.mnemonic
+
+    def test_fma_flop_accounting(self):
+        assert spec_for("vfmacc_vf").flops == 2.0
+        assert spec_for("vfadd_vv").flops == 1.0
+        assert spec_for("vadd_vv").flops == 0.0
+
+    def test_unit_assignment(self):
+        assert spec_for("vle64_v").unit is ExecUnit.VLSU
+        assert spec_for("vfslide1down_vf").unit is ExecUnit.SLDU
+        assert spec_for("vmand_mm").unit is ExecUnit.MASKU
+        assert spec_for("vfmul_vv").unit is ExecUnit.VMFPU
+        assert spec_for("vsll_vi").unit is ExecUnit.VALU
+
+    def test_structural_flags(self):
+        assert spec_for("vfredusum_vs").is_reduction
+        assert spec_for("vslide1up_vx").slide1
+        assert spec_for("vfwmacc_vv").widens
+        assert spec_for("vnsrl_wx").narrows
+        assert spec_for("vmfeq_vv").mask_producer
+        assert spec_for("vcpop_m").scalar_result
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(IsaError):
+            spec_for("vbogus_vv")
+
+
+class TestAssembler:
+    def test_builds_program_with_labels(self):
+        a = Assembler("t")
+        a.li("x1", 4)
+        a.label("loop")
+        a.addi("x1", "x1", -1)
+        a.bnez("x1", "loop")
+        a.halt()
+        prog = a.build()
+        assert len(prog) == 4
+        assert prog.target_index("loop") == 1
+
+    def test_undefined_label_rejected_at_build(self):
+        a = Assembler()
+        a.bnez("x1", "nowhere")
+        with pytest.raises(AssemblerError):
+            a.build()
+
+    def test_duplicate_label_rejected(self):
+        a = Assembler()
+        a.label("x")
+        with pytest.raises(AssemblerError):
+            a.label("x")
+
+    def test_operand_kind_checked(self):
+        a = Assembler()
+        with pytest.raises(IsaError):
+            a.vfadd_vv("x1", "v2", "v3")  # dest must be a vreg
+        with pytest.raises(IsaError):
+            a.add("x1", "x2", "f3")
+
+    def test_operand_count_checked(self):
+        a = Assembler()
+        with pytest.raises(AssemblerError):
+            a.vadd_vv("v1", "v2")
+
+    def test_masked_flag(self):
+        a = Assembler()
+        instr = a.vadd_vv("v4", "v8", "v12", masked=True)
+        assert instr.masked
+
+    def test_masked_cannot_clobber_v0(self):
+        a = Assembler()
+        with pytest.raises(AssemblerError):
+            a.vadd_vv("v0", "v8", "v12", masked=True)
+
+    def test_scalar_cannot_be_masked(self):
+        a = Assembler()
+        with pytest.raises(AssemblerError):
+            a.add("x1", "x2", "x3", masked=True)
+
+    def test_unknown_mnemonic_is_attribute_error(self):
+        a = Assembler()
+        with pytest.raises(AttributeError):
+            a.vnosuch_vv("v0", "v1", "v2")
+
+    def test_vsetvli_keywords(self):
+        a = Assembler()
+        instr = a.vsetvli("x1", "x2", sew=32, lmul=2)
+        assert instr.op("sew") == SEW.E32
+        assert instr.op("lmul") == LMUL.M2
+
+    def test_immediate_must_be_int(self):
+        a = Assembler()
+        with pytest.raises(AssemblerError):
+            a.li("x1", 1.5)
+
+    def test_listing_renders(self):
+        a = Assembler()
+        a.label("start")
+        a.li("x1", 1)
+        a.halt()
+        listing = a.build().listing()
+        assert "start:" in listing and "li" in listing
+
+    def test_static_vector_count(self):
+        a = Assembler()
+        a.li("x1", 1)
+        a.vsetvli("x2", "x1", sew=64, lmul=1)
+        a.vadd_vv("v1", "v2", "v3")
+        a.halt()
+        assert a.build().static_vector_instructions == 1

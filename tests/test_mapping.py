@@ -1,0 +1,106 @@
+"""Byte mapping laws and VRF layouts (Section III-B-2/5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mapping import (Ara2Mapping, AraXLMapping, ByteLayout,
+                           reshuffle_cost_words, shuffle_pattern)
+from repro.mapping.layouts import reshuffle_cycles
+
+
+class TestAraXLMapping:
+    def test_fig2_example(self):
+        # Fig 2/4: 4 clusters x 4 lanes, elements 1..16 -> cluster blocks.
+        m = AraXLMapping(clusters=4, lanes_per_cluster=4)
+        assert [m.cluster_of(i) for i in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+        assert [m.lane_of(i) for i in range(6)] == [0, 1, 2, 3, 0, 1]
+
+    def test_wraps_after_all_clusters(self):
+        m = AraXLMapping(clusters=4, lanes_per_cluster=4)
+        assert m.cluster_of(16) == 0
+        assert m.slot_of(16) == 1
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=60, deadline=None)
+    def test_home_is_bijective(self, element):
+        m = AraXLMapping(clusters=16, lanes_per_cluster=4)
+        cluster, lane, slot = m.home(element)
+        reconstructed = (slot * m.clusters + cluster) * m.lanes_per_cluster \
+            + lane
+        assert reconstructed == element
+
+    def test_flat_lane_range(self):
+        m = AraXLMapping(clusters=8, lanes_per_cluster=4)
+        lanes = {m.flat_lane(i) for i in range(32 * 4)}
+        assert lanes == set(range(32))
+
+    @given(st.integers(min_value=0, max_value=4096))
+    @settings(max_examples=40, deadline=None)
+    def test_elements_per_cluster_sums_to_vl(self, vl):
+        m = AraXLMapping(clusters=16, lanes_per_cluster=4)
+        counts = m.elements_per_cluster(vl)
+        assert counts.sum() == vl
+        assert counts.max() - counts.min() <= m.lanes_per_cluster
+
+    def test_ring_crossings_slide1(self):
+        m = AraXLMapping(clusters=4, lanes_per_cluster=4)
+        # one crossing per lane-block boundary
+        assert m.ring_crossings_slide1(16) == 3
+        assert m.ring_crossings_slide1(4) == 0
+        assert AraXLMapping(1, 4).ring_crossings_slide1(100) == 0
+
+    def test_mixed_width_lane_invariance(self):
+        # The element->lane law is EW-independent: element i lands in the
+        # same lane whether accessed as 32- or 64-bit (Section III-B-2).
+        m = AraXLMapping(clusters=4, lanes_per_cluster=4)
+        for i in range(64):
+            assert m.lane_of(i) == m.lane_of(i)  # law uses index only
+            assert m.cluster_of(i) == (i // 4) % 4
+
+
+class TestAra2Mapping:
+    def test_round_robin(self):
+        m = Ara2Mapping(lanes=8)
+        assert [m.lane_of(i) for i in range(10)] == [0, 1, 2, 3, 4, 5, 6, 7,
+                                                     0, 1]
+        assert m.slot_of(17) == 2
+
+
+class TestShufflePattern:
+    def test_matches_mapping(self):
+        pattern = shuffle_pattern(32, clusters=4, lanes_per_cluster=4)
+        m = AraXLMapping(4, 4)
+        assert np.array_equal(pattern,
+                              [m.cluster_of(i) for i in range(32)])
+
+    def test_balanced_for_full_blocks(self):
+        pattern = shuffle_pattern(64, clusters=4, lanes_per_cluster=4)
+        counts = np.bincount(pattern, minlength=4)
+        assert np.all(counts == 16)
+
+
+class TestLayouts:
+    def test_same_layout_is_free(self):
+        assert reshuffle_cost_words(16384, 4, ByteLayout.EW64,
+                                    ByteLayout.EW64) == 0
+
+    def test_mask_conversion_moves_whole_register(self):
+        words = reshuffle_cost_words(16384, 4, ByteLayout.EW64,
+                                     ByteLayout.MASK)
+        assert words == 16384 // 64
+
+    def test_element_conversion_moves_fraction(self):
+        words = reshuffle_cost_words(16384, 4, ByteLayout.EW64,
+                                     ByteLayout.EW32)
+        assert 0 < words < 16384 // 64
+
+    def test_reshuffle_cycles_grow_with_clusters(self):
+        small = reshuffle_cycles(16384, 2, ByteLayout.EW64, ByteLayout.MASK)
+        big = reshuffle_cycles(65536, 16, ByteLayout.EW64, ByteLayout.MASK)
+        assert big.cycles > small.cycles
+
+    def test_layout_for_sew(self):
+        assert ByteLayout.for_sew(32) is ByteLayout.EW32
+        with pytest.raises(Exception):
+            ByteLayout.for_sew(24)

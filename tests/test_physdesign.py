@@ -1,0 +1,79 @@
+"""Floorplan substrate: geometry sanity, wire estimates, congestion."""
+
+import itertools
+
+import pytest
+
+from repro.params import AraXLConfig
+from repro.physdesign import (build_floorplan, congestion_score, hpwl,
+                              ring_wirelength)
+from repro.physdesign.wirelength import reqi_wirelength
+
+
+@pytest.mark.parametrize("lanes", [8, 16, 32, 64])
+class TestGeometry:
+    def test_no_block_overlaps(self, lanes):
+        fp = build_floorplan(AraXLConfig(lanes=lanes))
+        for a, b in itertools.combinations(fp.blocks, 2):
+            assert not a.overlaps(b), (a.name, b.name)
+
+    def test_blocks_inside_die(self, lanes):
+        fp = build_floorplan(AraXLConfig(lanes=lanes))
+        eps = 1e-9
+        for b in fp.blocks:
+            assert b.x >= -eps and b.y >= -eps
+            assert b.x + b.w <= fp.die_w + eps
+            assert b.y + b.h <= fp.die_h + eps
+
+    def test_cluster_count(self, lanes):
+        fp = build_floorplan(AraXLConfig(lanes=lanes))
+        assert len(fp.clusters()) == lanes // 4
+
+    def test_utilization_physical(self, lanes):
+        fp = build_floorplan(AraXLConfig(lanes=lanes))
+        assert 0.3 < fp.utilization <= 1.0 + 1e-9
+
+
+class TestWirelength:
+    def test_hpwl_of_single_block_is_zero(self):
+        fp = build_floorplan(AraXLConfig(lanes=16))
+        assert hpwl([fp.blocks[0]]) == 0.0
+
+    def test_ring_grows_with_clusters(self):
+        lengths = [ring_wirelength(build_floorplan(AraXLConfig(lanes=n)))
+                   for n in (16, 32, 64)]
+        assert lengths == sorted(lengths)
+        assert all(length > 0 for length in lengths)
+
+    def test_reqi_touches_all_clusters(self):
+        fp = build_floorplan(AraXLConfig(lanes=32))
+        assert reqi_wirelength(fp) > ring_wirelength(fp) / 8
+
+
+class TestCongestion:
+    def test_32_lane_is_clean(self):
+        assert congestion_score(
+            build_floorplan(AraXLConfig(lanes=32))) <= 1.0
+
+    def test_64_lane_is_hotspot(self):
+        assert congestion_score(
+            build_floorplan(AraXLConfig(lanes=64))) > 1.0
+
+    def test_monotone_in_clusters(self):
+        scores = [congestion_score(build_floorplan(AraXLConfig(lanes=n)))
+                  for n in (8, 16, 32, 64)]
+        assert scores == sorted(scores)
+
+
+class TestRendering:
+    def test_ascii_art_contains_all_blocks(self):
+        fp = build_floorplan(AraXLConfig(lanes=16))
+        art = fp.ascii_art()
+        assert "cva6" in art.lower() or "C" in art
+        assert "floorplan" in art
+
+    def test_block_lookup(self):
+        fp = build_floorplan(AraXLConfig(lanes=16))
+        assert fp.block("cva6").area > 0
+        with pytest.raises(Exception):
+            fp.block("nonexistent")

@@ -1,0 +1,138 @@
+"""PPA models vs the paper's published numbers (Fig 9, Tables II/III)."""
+
+import pytest
+
+from repro.eval.fig9_area import PAPER_FIG9
+from repro.eval.table2_area import PAPER_TABLE2
+from repro.eval.table3_ppa import PAPER_TABLE3
+from repro.kernels import build_fmatmul
+from repro.params import Ara2Config, AraXLConfig
+from repro.ppa import (ara2_area, araxl_area, kge_to_mm2, max_frequency_ghz,
+                       power_watts, ppa_point)
+from repro.ppa.area import clusters_row_kge
+
+
+class TestAreaVsFig9:
+    def test_ara2_components_within_2pct(self):
+        row = ara2_area(16).fig9_row()
+        paper = PAPER_FIG9["16L-Ara2"]
+        for comp in ("LANES", "MASKU", "SLDU", "VLSU", "SEQ+DISP"):
+            assert row[comp] == pytest.approx(paper[comp], rel=0.02), comp
+
+    def test_araxl_components_within_3pct(self):
+        row = araxl_area(16).fig9_row()
+        paper = PAPER_FIG9["16L-AraXL"]
+        for comp in ("LANES", "MASKU", "SLDU", "VLSU", "SEQ+DISP"):
+            assert row[comp] == pytest.approx(paper[comp], rel=0.03), comp
+
+    def test_totals(self):
+        assert ara2_area(16).total_kge == pytest.approx(14773, rel=0.01)
+        assert araxl_area(16).total_kge == pytest.approx(12641, rel=0.01)
+
+    def test_a2a_reduction_58pct(self):
+        reduction = 1 - araxl_area(16).a2a_units_kge \
+            / ara2_area(16).a2a_units_kge
+        assert reduction == pytest.approx(0.58, abs=0.03)
+
+    def test_total_reduction_14pct(self):
+        reduction = 1 - araxl_area(16).total_kge / ara2_area(16).total_kge
+        assert reduction == pytest.approx(0.14, abs=0.02)
+
+    def test_ara2_a2a_grows_superlinearly(self):
+        per_lane_8 = ara2_area(8).a2a_units_kge / 8
+        per_lane_32 = ara2_area(32).a2a_units_kge / 32
+        assert per_lane_32 > 2 * per_lane_8
+
+    def test_araxl_scales_linearly(self):
+        assert araxl_area(64).total_kge \
+            == pytest.approx(3.8 * araxl_area(16).total_kge, rel=0.02)
+
+
+class TestAreaVsTable2:
+    @pytest.mark.parametrize("lanes", [16, 32, 64])
+    def test_rows_within_tolerance(self, lanes):
+        b = araxl_area(lanes)
+        paper = PAPER_TABLE2[lanes]
+        assert clusters_row_kge(b) == pytest.approx(paper["Clusters"],
+                                                    rel=0.01)
+        assert b.component("glsu") == pytest.approx(paper["GLSU"], rel=0.05)
+        assert b.component("ringi") == pytest.approx(paper["RINGI"], rel=0.15)
+        assert b.component("reqi") == pytest.approx(paper["REQI"], rel=0.15)
+        assert b.total_kge == pytest.approx(paper["TOTAL"], rel=0.01)
+
+    def test_interfaces_are_three_percent(self):
+        b = araxl_area(64)
+        frac = (b.component("glsu") + b.component("ringi")
+                + b.component("reqi")) / b.total_kge
+        assert frac == pytest.approx(0.03, abs=0.01)
+
+    def test_doubling_lanes_doubles_area(self):
+        for small, big in ((16, 32), (32, 64)):
+            ratio = araxl_area(big).total_kge / araxl_area(small).total_kge
+            assert 1.85 <= ratio <= 2.05
+
+
+class TestFrequency:
+    def test_paper_corner_points(self):
+        assert max_frequency_ghz(Ara2Config(lanes=16)) \
+            == pytest.approx(1.08, abs=0.01)
+        assert max_frequency_ghz(AraXLConfig(lanes=16)) == 1.40
+        assert max_frequency_ghz(AraXLConfig(lanes=32)) == 1.40
+        assert max_frequency_ghz(AraXLConfig(lanes=64)) \
+            == pytest.approx(1.15, abs=0.02)
+
+    def test_small_ara2_reaches_cluster_frequency(self):
+        assert max_frequency_ghz(Ara2Config(lanes=4)) == 1.40
+
+    def test_ara2_monotone_decreasing(self):
+        freqs = [max_frequency_ghz(Ara2Config(lanes=n))
+                 for n in (4, 8, 16, 32)]
+        assert freqs == sorted(freqs, reverse=True)
+
+
+class TestPowerAndTable3:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        out = {}
+        for config in (Ara2Config(lanes=16), AraXLConfig(lanes=16),
+                       AraXLConfig(lanes=32), AraXLConfig(lanes=64)):
+            run = build_fmatmul(config, 512, m=16, k=64)
+            out[config.name] = (config, run.run(config, verify=False).timing)
+        return out
+
+    @pytest.mark.parametrize("machine", ["16L-Ara2", "16L-AraXL",
+                                         "32L-AraXL", "64L-AraXL"])
+    def test_table3_rows_within_10pct(self, reports, machine):
+        config, report = reports[machine]
+        pt = ppa_point(config, report)
+        paper = PAPER_TABLE3[machine]
+        assert pt.gflops == pytest.approx(paper["gflops"], rel=0.10)
+        assert pt.gflops_per_watt == pytest.approx(paper["gflops_w"],
+                                                   rel=0.10)
+        assert pt.gflops_per_mm2 == pytest.approx(paper["gflops_mm2"],
+                                                  rel=0.10)
+
+    def test_araxl_beats_ara2_efficiency_by_30pct(self, reports):
+        cfg2, rep2 = reports["16L-Ara2"]
+        cfgx, repx = reports["16L-AraXL"]
+        eff2 = ppa_point(cfg2, rep2).gflops_per_watt
+        effx = ppa_point(cfgx, repx).gflops_per_watt
+        assert effx / eff2 == pytest.approx(1.30, abs=0.10)
+
+    def test_power_splits_idle_and_active(self, reports):
+        config, report = reports["16L-AraXL"]
+        est = power_watts(config, report, 1.4)
+        assert est.idle_watts > 0 and est.active_watts > 0
+        assert est.total_watts == est.idle_watts + est.active_watts
+
+    def test_power_scales_with_frequency(self, reports):
+        config, report = reports["16L-AraXL"]
+        slow = power_watts(config, report, 0.7).total_watts
+        fast = power_watts(config, report, 1.4).total_watts
+        assert fast == pytest.approx(2 * slow, rel=1e-6)
+
+
+class TestUnits:
+    def test_kge_to_mm2_matches_table3_density(self):
+        # 12641 kGE at ~17.4 GFLOPs/mm2 and 44.3 GFLOPs -> ~2.55 mm2
+        assert kge_to_mm2(12641) == pytest.approx(2.55, abs=0.05)
