@@ -16,23 +16,31 @@ import pytest
 from repro.kernels import KERNELS
 from repro.params import AraXLConfig
 from repro.report import render_table
+from repro.sim import TraceCache
 
 from conftest import save_output
 
 
-def _util(config, kernel, bpl, **kw):
+def _util(config, kernel, bpl, cache=None, **kw):
+    """Utilization at one operating point.
+
+    All ablation sweeps vary pure timing knobs at a fixed lane count, so
+    passing a :class:`TraceCache` captures each kernel's trace once and
+    replays it per knob value.
+    """
     run = KERNELS[kernel](config, bpl, **kw)
-    return run.utilization(run.run(config, verify=False))
+    return run.utilization(run.run(config, verify=False, cache=cache))
 
 
 def test_ablation_ring_hop_latency(benchmark):
     def sweep():
+        cache = TraceCache()
         rows = []
         for hop in (1, 2, 4, 8):
             cfg = AraXLConfig(lanes=32, ring_hop_latency=hop)
             rows.append((hop,
-                         f"{_util(cfg, 'fconv2d', 512, rows=32) * 100:.1f}%",
-                         f"{_util(cfg, 'fdotproduct', 512) * 100:.1f}%"))
+                         f"{_util(cfg, 'fconv2d', 512, cache=cache, rows=32) * 100:.1f}%",
+                         f"{_util(cfg, 'fdotproduct', 512, cache=cache) * 100:.1f}%"))
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
@@ -47,12 +55,13 @@ def test_ablation_ring_hop_latency(benchmark):
 
 def test_ablation_glsu_depth(benchmark):
     def sweep():
+        cache = TraceCache()
         rows = []
         for extra in (0, 4, 8, 16):
             cfg = AraXLConfig(lanes=32, glsu_extra_regs=extra)
             rows.append((extra,
-                         f"{_util(cfg, 'fmatmul', 512, m=16, k=64) * 100:.1f}%",
-                         f"{_util(cfg, 'fdotproduct', 512) * 100:.1f}%"))
+                         f"{_util(cfg, 'fmatmul', 512, cache=cache, m=16, k=64) * 100:.1f}%",
+                         f"{_util(cfg, 'fdotproduct', 512, cache=cache) * 100:.1f}%"))
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
@@ -65,12 +74,13 @@ def test_ablation_glsu_depth(benchmark):
 
 def test_ablation_queue_depth(benchmark):
     def sweep():
+        cache = TraceCache()
         rows = []
         for depth in (1, 2, 4, 8):
             cfg = dataclasses.replace(AraXLConfig(lanes=32),
                                       unit_queue_depth=depth)
             rows.append((depth,
-                         f"{_util(cfg, 'fmatmul', 128, m=16, k=64) * 100:.1f}%"))
+                         f"{_util(cfg, 'fmatmul', 128, cache=cache, m=16, k=64) * 100:.1f}%"))
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)

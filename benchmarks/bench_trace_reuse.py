@@ -1,0 +1,70 @@
+"""Trace-cache effectiveness: cold vs warm sweep wall-clock + hit rate.
+
+Runs the Fig 7 interface-cut sweep (the heaviest replay consumer: four
+timing configurations per operating point) twice against one shared
+:class:`~repro.sim.trace_cache.TraceCache`:
+
+* **cold** — every (kernel, B/lane) point pays one functional capture;
+* **warm** — every capture is a cache hit, only timing replays run.
+
+The warm/cold ratio bounds what any further sweep over the same operating
+points costs, and the hit-rate column verifies the cache keying actually
+fires across the sweep.
+"""
+
+import time
+
+from repro.eval.fig7_latency import run_fig7
+from repro.report import render_table
+from repro.sim import TraceCache
+
+from conftest import save_output
+
+_KERNELS = ("fmatmul", "fconv2d", "fdotproduct", "softmax")
+_SIZES = (64, 128, 256)
+
+
+def test_trace_reuse_cold_vs_warm(benchmark):
+    cache = TraceCache()
+
+    def sweep():
+        return run_fig7(kernels=_KERNELS, bytes_per_lane=_SIZES,
+                        lanes=32, scale="reduced", trace_cache=cache)
+
+    t0 = time.perf_counter()
+    cold_points = sweep()
+    cold_s = time.perf_counter() - t0
+    cold_stats = dict(cache.stats)
+
+    warm_points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    t0 = time.perf_counter()
+    sweep()
+    warm_s = time.perf_counter() - t0
+    warm_stats = dict(cache.stats)
+
+    rows = [
+        ("cold (capture + replay)", f"{cold_s * 1000:.0f} ms",
+         cold_stats["misses"], cold_stats["hits"],
+         f"{cold_stats['hit_rate'] * 100:.0f}%"),
+        ("warm (replay only)", f"{warm_s * 1000:.0f} ms",
+         warm_stats["misses"] - cold_stats["misses"],
+         warm_stats["hits"] - cold_stats["hits"],
+         "100%"),
+        ("speedup", f"{cold_s / warm_s:.2f}x", "-", "-", "-"),
+    ]
+    save_output("trace_reuse", render_table(
+        ("sweep", "wall-clock", "captures", "cache hits", "hit rate"),
+        rows,
+        title="Trace reuse — Fig 7 sweep, cold vs warm "
+              f"({len(_KERNELS)} kernels x {len(_SIZES)} B/lane, 32L)"))
+
+    # Results must not depend on whether the trace was captured or reused.
+    assert [(p.kernel, p.bytes_per_lane, p.interface, p.drop)
+            for p in cold_points] == \
+        [(p.kernel, p.bytes_per_lane, p.interface, p.drop)
+         for p in warm_points]
+    # Cold pays exactly one capture per operating point; warm pays none.
+    assert cold_stats["misses"] == len(_KERNELS) * len(_SIZES)
+    assert warm_stats["misses"] == cold_stats["misses"]
+    # A warm sweep must be measurably faster than the cold one.
+    assert warm_s < cold_s

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from ..kernels import KERNELS
 from ..params import Ara2Config, AraXLConfig, SystemConfig
 from ..report.tables import render_table
+from ..sim import TraceCache
 
 DEFAULT_BYTES_PER_LANE = (64, 128, 256, 512)
 
@@ -60,11 +61,18 @@ def run_fig6(kernels: tuple[str, ...] | None = None,
              bytes_per_lane: tuple[int, ...] = DEFAULT_BYTES_PER_LANE,
              machines: list[SystemConfig] | None = None,
              scale: str = "paper",
-             verify: bool = False) -> list[Fig6Point]:
-    """Execute the Fig 6 sweep; returns one point per (kernel, machine, size)."""
+             verify: bool = False,
+             trace_cache: TraceCache | None = None) -> list[Fig6Point]:
+    """Execute the Fig 6 sweep; returns one point per (kernel, machine, size).
+
+    Machines sharing a VLEN (e.g. 8L-Ara2 and 8L-AraXL) execute the same
+    program over the same data, so the functional trace is captured once
+    per VLEN group and only the timing replay runs per machine.
+    """
     kernels = kernels or tuple(KERNELS)
     machines = machines if machines is not None else default_machines()
     kwargs_by_kernel = _SCALE_KWARGS[scale]
+    cache = trace_cache if trace_cache is not None else TraceCache()
     points: list[Fig6Point] = []
     for kernel_name in kernels:
         builder = KERNELS[kernel_name]
@@ -73,7 +81,7 @@ def run_fig6(kernels: tuple[str, ...] | None = None,
             base_perf: float | None = None
             for config in machines:
                 run = builder(config, bpl, **kw)
-                result = run.run(config, verify=verify)
+                result = run.run(config, verify=verify, cache=cache)
                 perf = result.flops_per_cycle
                 if config.name == "8L-Ara2":
                     base_perf = perf
@@ -95,6 +103,9 @@ def render_fig6(points: list[Fig6Point]) -> str:
     out = []
     kernels = sorted({p.kernel for p in points})
     sizes = sorted({p.bytes_per_lane for p in points})
+    # Index once: the triple render loop below would otherwise rescan the
+    # whole point list per cell (O(n^2) in sweep size).
+    by_key = {(p.kernel, p.machine, p.bytes_per_lane): p for p in points}
     for kernel in kernels:
         rows = []
         machines = []
@@ -104,8 +115,7 @@ def render_fig6(points: list[Fig6Point]) -> str:
         for machine in machines:
             row: list[object] = [machine]
             for bpl in sizes:
-                pt = next(p for p in points if p.kernel == kernel
-                          and p.machine == machine and p.bytes_per_lane == bpl)
+                pt = by_key[(kernel, machine, bpl)]
                 row.append(f"{pt.scaling_vs_8l_ara2:.2f}x/{pt.utilization * 100:.0f}%")
             rows.append(row)
         headers = ["machine"] + [f"{b} B/lane" for b in sizes]

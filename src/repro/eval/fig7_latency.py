@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from ..kernels import KERNELS
 from ..params import AraXLConfig
 from ..report.tables import render_table
+from ..sim import TraceCache
 from .fig6_scaling import _SCALE_KWARGS, DEFAULT_BYTES_PER_LANE
 
 #: Section IV-C claims: maximum utilization drop per interface in the
@@ -54,29 +55,39 @@ def run_fig7(kernels: tuple[str, ...] | None = None,
              bytes_per_lane: tuple[int, ...] = DEFAULT_BYTES_PER_LANE,
              lanes: int = 64,
              interfaces: tuple[str, ...] = ("glsu", "reqi", "ringi"),
-             scale: str = "paper") -> list[Fig7Point]:
+             scale: str = "paper",
+             trace_cache: TraceCache | None = None) -> list[Fig7Point]:
+    """Run the Fig 7 sweep as trace-once / replay-many.
+
+    The register-cut configurations change only the timing model — the
+    dynamic trace is identical across them — so each (kernel, B/lane)
+    point is executed functionally exactly once and the captured trace
+    is replayed on the baseline plus every interface-cut machine.
+    """
     kernels = kernels or tuple(KERNELS)
     kwargs_by_kernel = _SCALE_KWARGS[scale]
     base_config = AraXLConfig(lanes=lanes)
+    cache = trace_cache if trace_cache is not None else TraceCache()
     points: list[Fig7Point] = []
     for kernel_name in kernels:
         builder = KERNELS[kernel_name]
         kw = kwargs_by_kernel.get(kernel_name, {})
         for bpl in bytes_per_lane:
             base_run = builder(base_config, bpl, **kw)
-            base_res = base_run.run(base_config, verify=False)
+            captured = base_run.capture(base_config, cache=cache,
+                                        verify=False)
+            base_res = base_run.run(base_config, trace=captured)
             base_util = base_run.utilization(base_res)
             for interface in interfaces:
                 cut_config = dataclasses.replace(
                     base_config, **INTERFACE_SETUPS[interface])
-                cut_run = builder(cut_config, bpl, **kw)
-                cut_res = cut_run.run(cut_config, verify=False)
+                cut_res = base_run.run(cut_config, trace=captured)
                 points.append(Fig7Point(
                     interface=interface,
                     kernel=kernel_name,
                     bytes_per_lane=bpl,
                     base_utilization=base_util,
-                    cut_utilization=cut_run.utilization(cut_res),
+                    cut_utilization=base_run.utilization(cut_res),
                 ))
     return points
 

@@ -43,7 +43,8 @@ class Table1Row:
 
 def run_table1(config: SystemConfig | None = None,
                bytes_per_lane: int = 512,
-               scale: str = "paper") -> list[Table1Row]:
+               scale: str = "paper",
+               trace_cache=None) -> list[Table1Row]:
     from .fig6_scaling import _SCALE_KWARGS
 
     config = config if config is not None else AraXLConfig(lanes=64)
@@ -51,7 +52,7 @@ def run_table1(config: SystemConfig | None = None,
     for name, builder in KERNELS.items():
         kw = _SCALE_KWARGS[scale].get(name, {})
         run = builder(config, bytes_per_lane, **kw)
-        result = run.run(config, verify=False)
+        result = run.run(config, verify=False, cache=trace_cache)
         rows.append(Table1Row(
             kernel=name,
             lmul=run.problem["lmul"],

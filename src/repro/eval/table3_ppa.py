@@ -36,15 +36,20 @@ def default_configs() -> list[SystemConfig]:
 
 def run_table3(configs: list[SystemConfig] | None = None,
                bytes_per_lane: int = 512,
-               scale: str = "paper") -> list[PpaPoint]:
+               scale: str = "paper",
+               trace_cache=None) -> list[PpaPoint]:
+    from ..sim import TraceCache
     from .fig6_scaling import _SCALE_KWARGS
 
     configs = configs if configs is not None else default_configs()
     kw = _SCALE_KWARGS[scale].get("fmatmul", {})
+    # 16L-Ara2 and 16L-AraXL share a VLEN: capture fmatmul's trace once
+    # per VLEN group and only re-run the timing replay per machine.
+    cache = trace_cache if trace_cache is not None else TraceCache()
     points = []
     for config in configs:
         run = build_fmatmul(config, bytes_per_lane, **kw)
-        result = run.run(config, verify=False)
+        result = run.run(config, verify=False, cache=cache)
         points.append(ppa_point(config, result.timing))
     return points
 

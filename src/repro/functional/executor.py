@@ -5,6 +5,12 @@ scalar semantics to :class:`~repro.functional.scalar.ScalarUnit` and vector
 semantics to :class:`~repro.functional.vector.VectorUnit`.  It owns the
 ``vsetvli`` behaviour because that instruction couples scalar state (rd,
 rs1) with vector configuration state (vl, vtype).
+
+The hot loop runs over the program's pre-decoded
+:class:`~repro.functional.plan.InstrPlan` tuple (built once per program,
+cached on the program object): dispatch is an integer tag compare, branch
+targets are pre-resolved instruction indices, and scalar handlers are
+pre-bound callables — no per-retirement string or dict lookups.
 """
 
 from __future__ import annotations
@@ -13,8 +19,9 @@ from dataclasses import dataclass, field
 
 from ..errors import ExecutionError
 from ..isa.program import Program
-from ..isa.vtype import VType, vsetvl_result
+from ..isa.vtype import vsetvl_result
 from .memory import FunctionalMemory
+from .plan import K_HALT, K_SCALAR, K_VECTOR, K_VSETVLI, plans_for
 from .scalar import ScalarUnit
 from .state import ArchState
 from .trace import DynamicTrace, VsetvlEvent
@@ -57,53 +64,57 @@ class Executor:
         """Execute until ``halt`` or the end of the program."""
         state = self.state
         trace = DynamicTrace()
+        events = trace.events
+        plans = plans_for(program)
+        scalar_unit = self._scalar
+        vector_exec = self._vector.execute_plan
         pc = 0
         retired = 0
-        n = len(program)
+        n = len(plans)
         while pc < n:
             if retired >= max_instructions:
                 raise ExecutionError(
                     f"exceeded {max_instructions} retired instructions "
                     f"(runaway loop in {program.name}?)"
                 )
-            instr = program[pc]
-            mnemonic = instr.mnemonic
-            if mnemonic == "halt":
+            p = plans[pc]
+            kind = p.kind
+            if kind == K_VECTOR:
+                retired += 1
+                event = vector_exec(p)
+                events.append(event)
+                trace.vector_count += 1
+                trace.total_flops += p.flops * event.vl
+                pc += 1
+            elif kind == K_SCALAR:
+                retired += 1
+                taken, event = p.scalar_fn(scalar_unit, p)
+                events.append(event)
+                trace.scalar_count += 1
+                pc = p.target_idx if taken else pc + 1
+            elif kind == K_VSETVLI:
+                retired += 1
+                self._vsetvli(p, trace)
+                pc += 1
+            elif kind == K_HALT:
                 retired += 1
                 return ExecResult(state, trace, retired, program, halted=True)
-            if mnemonic == "label":  # pragma: no cover - labels aren't emitted
+            else:  # pragma: no cover - labels aren't emitted
                 pc += 1
-                continue
-            retired += 1
-            if mnemonic == "vsetvli":
-                self._vsetvli(instr, trace)
-                pc += 1
-                continue
-            if instr.spec.is_vector:
-                trace.add_vector(self._vector.execute(instr))
-                pc += 1
-                continue
-            target, event = self._scalar.execute(instr)
-            trace.add_scalar(event)
-            pc = program.target_index(target) if target is not None else pc + 1
         return ExecResult(state, trace, retired, program, halted=False)
 
     # ------------------------------------------------------------------
-    def _vsetvli(self, instr, trace: DynamicTrace) -> None:
+    def _vsetvli(self, p, trace: DynamicTrace) -> None:
         state = self.state
-        rd = instr.op("rd").index
-        rs1 = instr.op("rs1").index
-        vtype = VType(sew=instr.op("sew"), lmul=instr.op("lmul"))
-        vlmax = vtype.vlmax(state.vlen_bits)
-        if rs1 == 0:
+        vtype, sew_i, lmul_i = p.aux
+        vlmax = state.vlen_bits * lmul_i // sew_i
+        if p.rs1 == 0:
             # rs1=x0: rd!=x0 requests VLMAX; rd==x0 keeps vl (vtype change).
-            new_vl = vlmax if rd != 0 else min(state.vl, vlmax)
+            new_vl = vlmax if p.rd != 0 else min(state.vl, vlmax)
         else:
-            avl = state.x.read_unsigned(rs1)
+            avl = state.x.read_unsigned(p.rs1)
             new_vl = vsetvl_result(avl, vtype, state.vlen_bits)
         state.vtype = vtype
         state.vl = new_vl
-        state.x.write(rd, new_vl)
-        trace.add_vsetvl(
-            VsetvlEvent(vl=new_vl, sew=int(vtype.sew), lmul=int(vtype.lmul))
-        )
+        state.x.write(p.rd, new_vl)
+        trace.add_vsetvl(VsetvlEvent(vl=new_vl, sew=sew_i, lmul=lmul_i))

@@ -22,8 +22,22 @@ class FunctionalMemory:
             raise MemoryAccessError("memory size must be positive")
         self.size = int(size_bytes)
         self._data = np.zeros(self.size, dtype=np.uint8)
+        #: float64 view of the aligned prefix: fast path for the scalar
+        #: core's fld/fsd, which dominate kernel inner loops.
+        self._f64 = self._data[:self.size & ~7].view(np.float64)
         #: Simple bump allocator cursor for test/kernel buffer placement.
         self._alloc_cursor = 0
+
+    def __getstate__(self):
+        # The f64 view aliases _data only in-process; rebuild on load
+        # instead of pickling a detached copy.
+        state = self.__dict__.copy()
+        state.pop("_f64", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._f64 = self._data[:self.size & ~7].view(np.float64)
 
     # ------------------------------------------------------------------
     # Allocation helper (keeps kernels free of magic addresses)
@@ -132,9 +146,14 @@ class FunctionalMemory:
         self.write_bytes(addr, np.frombuffer(raw, dtype=np.uint8))
 
     def load_f64(self, addr: int) -> float:
+        if addr % 8 == 0 and 0 <= addr and addr + 8 <= self.size:
+            return float(self._f64[addr >> 3])
         return float(self.read_array(addr, 1, np.float64)[0])
 
     def store_f64(self, addr: int, value: float) -> None:
+        if addr % 8 == 0 and 0 <= addr and addr + 8 <= self.size:
+            self._f64[addr >> 3] = value
+            return
         self.write_array(addr, np.array([value], dtype=np.float64))
 
     def load_f32(self, addr: int) -> float:

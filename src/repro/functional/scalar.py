@@ -2,20 +2,26 @@
 
 Implements the RV64-flavoured scalar IR: integer ALU with 64-bit wrapping,
 M-extension multiply/divide with RISC-V division-by-zero semantics, D-
-extension scalar FP on float64, loads/stores, and branches.  Returns the
-branch target label when a branch is taken so the executor can redirect.
+extension scalar FP on float64, loads/stores, and branches.
+
+Handlers operate on pre-decoded :class:`~repro.functional.plan.InstrPlan`
+objects: operand indices and the per-mnemonic semantic callable are
+resolved once by :func:`resolve_scalar` (called at program decode time),
+so the hot path does no ``getattr`` or format-dict dispatch.  A handler
+returns ``(taken, event)`` where ``taken`` tells the executor to redirect
+to ``plan.target_idx``.
 """
 
 from __future__ import annotations
 
 import math
 import struct
-from typing import Optional
+from typing import Any, Callable
 
 import numpy as np
 
 from ..errors import ExecutionError
-from ..isa.instructions import Instruction
+from ..isa.instructions import Instruction, InstrSpec
 from .memory import FunctionalMemory
 from .state import ArchState
 from .trace import ScalarEvent
@@ -43,6 +49,16 @@ def _rem(a: int, b: int) -> int:
     return a - _div(a, b) * b
 
 
+#: Singleton events for kinds that carry no payload — the trace only ever
+#: reads them, so every ALU retirement can share one frozen instance.
+_EV_ALU = ScalarEvent("alu")
+_EV_MUL = ScalarEvent("mul")
+_EV_DIV = ScalarEvent("div")
+_EV_FP = ScalarEvent("fp")
+_EV_BRANCH = ScalarEvent("branch")
+_EV_TAKEN = ScalarEvent("branch_taken")
+
+
 class ScalarUnit:
     """Executes one scalar instruction against the architectural state."""
 
@@ -51,18 +67,17 @@ class ScalarUnit:
         self.mem = mem
 
     # ------------------------------------------------------------------
-    def execute(self, instr: Instruction) -> tuple[Optional[str], ScalarEvent]:
-        """Run ``instr``; return (taken-branch label or None, trace event)."""
-        handler = getattr(self, f"_op_{instr.mnemonic}", None)
-        if handler is not None:
-            return handler(instr)
-        fmt = instr.spec.fmt
-        generic = self._GENERIC.get(fmt)
-        if generic is None:
-            raise ExecutionError(
-                f"no scalar semantics for {instr.mnemonic} (fmt {fmt})"
-            )
-        return generic(self, instr)
+    def execute(self, instr: Instruction):
+        """Decode-on-the-fly single-instruction path (tests, tools).
+
+        Returns ``(taken-branch label or None, trace event)`` like the
+        pre-plan interpreter did.
+        """
+        from .plan import plan_for_instr
+
+        p = plan_for_instr(instr)
+        taken, event = p.scalar_fn(self, p)
+        return (p.target if taken else None), event
 
     # ------------------------------------------------------------------
     # Integer ALU
@@ -92,37 +107,29 @@ class ScalarUnit:
     _MUL_KINDS = frozenset({"mul", "mulh"})
     _DIV_KINDS = frozenset({"div", "rem"})
 
-    def _binop(self, instr: Instruction, b: int) -> tuple[None, ScalarEvent]:
-        name = instr.mnemonic
-        base = self._IMMOPS.get(name, name)
-        a = self.state.x.read(instr.op("rs1").index)
-        self.state.x.write(instr.op("rd").index, _wrap(self._BINOPS[base](a, b)))
-        if base in self._MUL_KINDS:
-            kind = "mul"
-        elif base in self._DIV_KINDS:
-            kind = "div"
-        else:
-            kind = "alu"
-        return None, ScalarEvent(kind)
+    def _h_alu_rr(self, p):
+        op, ev = p.aux
+        x = self.state.x
+        x.write(p.rd, _wrap(op(x.read(p.rs1), x.read(p.rs2))))
+        return False, ev
 
-    def _fmt_rd_rs_rs(self, instr: Instruction):
-        return self._binop(instr, self.state.x.read(instr.op("rs2").index))
+    def _h_alu_ri(self, p):
+        op, ev = p.aux
+        x = self.state.x
+        x.write(p.rd, _wrap(op(x.read(p.rs1), p.imm)))
+        return False, ev
 
-    def _fmt_rd_rs_imm(self, instr: Instruction):
-        return self._binop(instr, int(instr.op("imm")))
+    def _h_li(self, p):
+        self.state.x.write(p.rd, p.imm)
+        return False, _EV_ALU
 
-    def _op_li(self, instr: Instruction):
-        self.state.x.write(instr.op("rd").index, _wrap(int(instr.op("imm"))))
-        return None, ScalarEvent("alu")
+    def _h_mv(self, p):
+        x = self.state.x
+        x.write(p.rd, x.read(p.rs1))
+        return False, _EV_ALU
 
-    def _op_mv(self, instr: Instruction):
-        self.state.x.write(
-            instr.op("rd").index, self.state.x.read(instr.op("rs1").index)
-        )
-        return None, ScalarEvent("alu")
-
-    def _op_nop(self, instr: Instruction):
-        return None, ScalarEvent("alu")
+    def _h_nop(self, p):
+        return False, _EV_ALU
 
     # ------------------------------------------------------------------
     # Memory
@@ -130,115 +137,113 @@ class ScalarUnit:
     _LOAD_SIZES = {"ld": 8, "lw": 4, "lh": 2, "lb": 1}
     _STORE_SIZES = {"sd": 8, "sw": 4, "sh": 2, "sb": 1}
 
-    def _fmt_load(self, instr: Instruction):
-        nbytes = self._LOAD_SIZES[instr.mnemonic]
-        addr = self.state.x.read(instr.op("rs1").index) + int(instr.op("imm"))
-        value = self.mem.load_int(addr, nbytes, signed=True)
-        self.state.x.write(instr.op("rd").index, value)
-        return None, ScalarEvent("load", addr=addr, nbytes=nbytes)
+    def _h_load(self, p):
+        nbytes = p.aux
+        addr = self.state.x.read(p.rs1) + p.imm
+        self.state.x.write(p.rd, self.mem.load_int(addr, nbytes, signed=True))
+        return False, ScalarEvent("load", addr=addr, nbytes=nbytes)
 
-    def _fmt_store(self, instr: Instruction):
-        nbytes = self._STORE_SIZES[instr.mnemonic]
-        addr = self.state.x.read(instr.op("rs1").index) + int(instr.op("imm"))
-        self.mem.store_int(addr, self.state.x.read(instr.op("rs2").index), nbytes)
-        return None, ScalarEvent("store", addr=addr, nbytes=nbytes)
+    def _h_store(self, p):
+        nbytes = p.aux
+        addr = self.state.x.read(p.rs1) + p.imm
+        self.mem.store_int(addr, self.state.x.read(p.rs2), nbytes)
+        return False, ScalarEvent("store", addr=addr, nbytes=nbytes)
 
-    def _fmt_fload(self, instr: Instruction):
-        addr = self.state.x.read(instr.op("rs1").index) + int(instr.op("imm"))
-        if instr.mnemonic == "fld":
-            value, nbytes = self.mem.load_f64(addr), 8
+    def _h_fload(self, p):
+        addr = self.state.x.read(p.rs1) + p.imm
+        if p.aux == 8:
+            value = self.mem.load_f64(addr)
         else:
-            value, nbytes = self.mem.load_f32(addr), 4
-        self.state.f.write(instr.op("frd").index, value)
-        return None, ScalarEvent("load", addr=addr, nbytes=nbytes)
+            value = self.mem.load_f32(addr)
+        self.state.f.write(p.frd, value)
+        return False, ScalarEvent("load", addr=addr, nbytes=p.aux)
 
-    def _fmt_fstore(self, instr: Instruction):
-        addr = self.state.x.read(instr.op("rs1").index) + int(instr.op("imm"))
-        value = self.state.f.read(instr.op("frs2").index)
-        if instr.mnemonic == "fsd":
+    def _h_fstore(self, p):
+        addr = self.state.x.read(p.rs1) + p.imm
+        value = self.state.f.read(p.frs2)
+        if p.aux == 8:
             self.mem.store_f64(addr, value)
-            nbytes = 8
         else:
             self.mem.store_f32(addr, value)
-            nbytes = 4
-        return None, ScalarEvent("store", addr=addr, nbytes=nbytes)
+        return False, ScalarEvent("store", addr=addr, nbytes=p.aux)
 
     # ------------------------------------------------------------------
     # Scalar FP
     # ------------------------------------------------------------------
+    @staticmethod
+    def _fdiv(a: float, b: float) -> float:
+        # IEEE-754 semantics including x/0 -> inf and 0/0 -> NaN.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return float(np.float64(a) / np.float64(b))
+
     _FP_BINOPS = {
         "fadd_d": lambda a, b: a + b,
         "fsub_d": lambda a, b: a - b,
         "fmul_d": lambda a, b: a * b,
+        "fdiv_d": None,  # patched below (staticmethod resolution order)
         "fmin_d": min,
         "fmax_d": max,
         "fsgnj_d": lambda a, b: math.copysign(abs(a), b),
     }
 
-    def _fmt_frd_frs_frs(self, instr: Instruction):
-        a = self.state.f.read(instr.op("frs1").index)
-        b = self.state.f.read(instr.op("frs2").index)
-        if instr.mnemonic == "fdiv_d":
-            # IEEE-754 semantics including x/0 -> inf and 0/0 -> NaN.
-            with np.errstate(divide="ignore", invalid="ignore"):
-                value = float(np.float64(a) / np.float64(b))
-        else:
-            value = self._FP_BINOPS[instr.mnemonic](a, b)
-        self.state.f.write(instr.op("frd").index, value)
-        return None, ScalarEvent("fp")
+    _FP_TERNOPS = {
+        "fmadd_d": lambda a, b, c: a * b + c,
+        "fmsub_d": lambda a, b, c: a * b - c,
+        "fnmadd_d": lambda a, b, c: -(a * b) - c,
+        "fnmsub_d": lambda a, b, c: -(a * b) + c,
+    }
 
-    def _fmt_frd_frs_frs_frs(self, instr: Instruction):
-        a = self.state.f.read(instr.op("frs1").index)
-        b = self.state.f.read(instr.op("frs2").index)
-        c = self.state.f.read(instr.op("frs3").index)
-        value = {
-            "fmadd_d": a * b + c,
-            "fmsub_d": a * b - c,
-            "fnmadd_d": -(a * b) - c,
-            "fnmsub_d": -(a * b) + c,
-        }[instr.mnemonic]
-        self.state.f.write(instr.op("frd").index, value)
-        return None, ScalarEvent("fp")
+    _FP_UNOPS = {
+        "fsqrt_d": lambda a: math.sqrt(a) if a >= 0 else math.nan,
+        "fmv_d": lambda a: a,
+        "fneg_d": lambda a: -a,
+        "fabs_d": abs,
+    }
 
-    def _fmt_frd_frs(self, instr: Instruction):
-        a = self.state.f.read(instr.op("frs1").index)
-        value = {
-            "fsqrt_d": lambda: math.sqrt(a) if a >= 0 else math.nan,
-            "fmv_d": lambda: a,
-            "fneg_d": lambda: -a,
-            "fabs_d": lambda: abs(a),
-        }[instr.mnemonic]()
-        self.state.f.write(instr.op("frd").index, value)
-        return None, ScalarEvent("fp")
+    _FP_CMPS = {
+        "feq_d": lambda a, b: int(a == b),
+        "flt_d": lambda a, b: int(a < b),
+        "fle_d": lambda a, b: int(a <= b),
+    }
 
-    def _fmt_frd_rs(self, instr: Instruction):
-        raw = self.state.x.read(instr.op("rs1").index)
-        if instr.mnemonic == "fcvt_d_l":
+    def _h_fp_rr(self, p):
+        f = self.state.f
+        f.write(p.frd, p.aux(f.read(p.frs1), f.read(p.frs2)))
+        return False, _EV_FP
+
+    def _h_fp_rrr(self, p):
+        f = self.state.f
+        f.write(p.frd, p.aux(f.read(p.frs1), f.read(p.frs2), f.read(p.frs3)))
+        return False, _EV_FP
+
+    def _h_fp_r(self, p):
+        f = self.state.f
+        f.write(p.frd, p.aux(f.read(p.frs1)))
+        return False, _EV_FP
+
+    def _h_frd_rs(self, p):
+        raw = self.state.x.read(p.rs1)
+        if p.aux:  # fcvt.d.l
             value = float(raw)
-        else:  # fmv_d_x: reinterpret bits
-            value = struct.unpack("<d", (raw & _I64_MASK).to_bytes(8, "little"))[0]
-        self.state.f.write(instr.op("frd").index, value)
-        return None, ScalarEvent("fp")
+        else:  # fmv.d.x: reinterpret bits
+            value = struct.unpack(
+                "<d", (raw & _I64_MASK).to_bytes(8, "little"))[0]
+        self.state.f.write(p.frd, value)
+        return False, _EV_FP
 
-    def _fmt_rd_frs(self, instr: Instruction):
-        a = self.state.f.read(instr.op("frs1").index)
-        if instr.mnemonic == "fcvt_l_d":
-            value = int(a)  # round towards zero
-        else:  # fmv_x_d
+    def _h_rd_frs(self, p):
+        a = self.state.f.read(p.frs1)
+        if p.aux:  # fcvt.l.d: round towards zero
+            value = int(a)
+        else:  # fmv.x.d
             value = _wrap(int.from_bytes(struct.pack("<d", a), "little"))
-        self.state.x.write(instr.op("rd").index, value)
-        return None, ScalarEvent("fp")
+        self.state.x.write(p.rd, value)
+        return False, _EV_FP
 
-    def _fmt_rd_frs_frs(self, instr: Instruction):
-        a = self.state.f.read(instr.op("frs1").index)
-        b = self.state.f.read(instr.op("frs2").index)
-        value = {
-            "feq_d": int(a == b),
-            "flt_d": int(a < b),
-            "fle_d": int(a <= b),
-        }[instr.mnemonic]
-        self.state.x.write(instr.op("rd").index, value)
-        return None, ScalarEvent("fp")
+    def _h_fcmp(self, p):
+        f = self.state.f
+        self.state.x.write(p.rd, p.aux(f.read(p.frs1), f.read(p.frs2)))
+        return False, _EV_FP
 
     # ------------------------------------------------------------------
     # Control flow
@@ -260,35 +265,74 @@ class ScalarUnit:
         "bgtz": lambda a: a > 0,
     }
 
-    def _fmt_branch(self, instr: Instruction):
-        a = self.state.x.read(instr.op("rs1").index)
-        b = self.state.x.read(instr.op("rs2").index)
-        taken = self._BRANCH_CMP[instr.mnemonic](a, b)
-        kind = "branch_taken" if taken else "branch"
-        return (instr.op("target") if taken else None), ScalarEvent(kind)
+    def _h_branch(self, p):
+        x = self.state.x
+        if p.aux(x.read(p.rs1), x.read(p.rs2)):
+            return True, _EV_TAKEN
+        return False, _EV_BRANCH
 
-    def _fmt_branchz(self, instr: Instruction):
-        a = self.state.x.read(instr.op("rs1").index)
-        taken = self._BRANCHZ_CMP[instr.mnemonic](a)
-        kind = "branch_taken" if taken else "branch"
-        return (instr.op("target") if taken else None), ScalarEvent(kind)
+    def _h_branchz(self, p):
+        if p.aux(self.state.x.read(p.rs1)):
+            return True, _EV_TAKEN
+        return False, _EV_BRANCH
 
-    def _op_j(self, instr: Instruction):
-        return instr.op("target"), ScalarEvent("branch_taken")
+    def _h_j(self, p):
+        return True, _EV_TAKEN
 
-    _GENERIC = {
-        "rd_rs_rs": _fmt_rd_rs_rs,
-        "rd_rs_imm": _fmt_rd_rs_imm,
-        "load": _fmt_load,
-        "store": _fmt_store,
-        "fload": _fmt_fload,
-        "fstore": _fmt_fstore,
-        "frd_frs_frs": _fmt_frd_frs_frs,
-        "frd_frs_frs_frs": _fmt_frd_frs_frs_frs,
-        "frd_frs": _fmt_frd_frs,
-        "frd_rs": _fmt_frd_rs,
-        "rd_frs": _fmt_rd_frs,
-        "rd_frs_frs": _fmt_rd_frs_frs,
-        "branch": _fmt_branch,
-        "branchz": _fmt_branchz,
-    }
+
+ScalarUnit._FP_BINOPS["fdiv_d"] = ScalarUnit._fdiv
+
+
+def resolve_scalar(spec: InstrSpec) -> tuple[Callable, Any]:
+    """Resolve the handler + per-mnemonic data for one scalar mnemonic.
+
+    Called once per static instruction at decode time; the returned pair
+    lands in ``plan.scalar_fn`` / ``plan.aux``.
+    """
+    m = spec.mnemonic
+    fmt = spec.fmt
+    su = ScalarUnit
+    if m == "li":
+        return su._h_li, None
+    if m == "mv":
+        return su._h_mv, None
+    if m == "nop":
+        return su._h_nop, None
+    if m == "j":
+        return su._h_j, None
+    if fmt == "rd_rs_rs" or fmt == "rd_rs_imm":
+        base = su._IMMOPS.get(m, m)
+        op = su._BINOPS[base]
+        if base in su._MUL_KINDS:
+            ev = _EV_MUL
+        elif base in su._DIV_KINDS:
+            ev = _EV_DIV
+        else:
+            ev = _EV_ALU
+        handler = su._h_alu_rr if fmt == "rd_rs_rs" else su._h_alu_ri
+        return handler, (op, ev)
+    if fmt == "load":
+        return su._h_load, su._LOAD_SIZES[m]
+    if fmt == "store":
+        return su._h_store, su._STORE_SIZES[m]
+    if fmt == "fload":
+        return su._h_fload, 8 if m == "fld" else 4
+    if fmt == "fstore":
+        return su._h_fstore, 8 if m == "fsd" else 4
+    if fmt == "frd_frs_frs":
+        return su._h_fp_rr, su._FP_BINOPS[m]
+    if fmt == "frd_frs_frs_frs":
+        return su._h_fp_rrr, su._FP_TERNOPS[m]
+    if fmt == "frd_frs":
+        return su._h_fp_r, su._FP_UNOPS[m]
+    if fmt == "frd_rs":
+        return su._h_frd_rs, m == "fcvt_d_l"
+    if fmt == "rd_frs":
+        return su._h_rd_frs, m == "fcvt_l_d"
+    if fmt == "rd_frs_frs":
+        return su._h_fcmp, su._FP_CMPS[m]
+    if fmt == "branch":
+        return su._h_branch, su._BRANCH_CMP[m]
+    if fmt == "branchz":
+        return su._h_branchz, su._BRANCHZ_CMP[m]
+    raise ExecutionError(f"no scalar semantics for {m} (fmt {fmt})")

@@ -15,25 +15,28 @@ from ..isa.vtype import VType
 
 _I64_MASK = (1 << 64) - 1
 
+# Cached np.dtype singletons: the interpreter resolves a dtype per retired
+# instruction, so these lookups must not construct a fresh np.dtype object
+# each time (np.dtype(...) is measurably slower than a dict hit).
 _SEW_DTYPES = {
-    (8, False): np.uint8, (8, True): np.int8,
-    (16, False): np.uint16, (16, True): np.int16,
-    (32, False): np.uint32, (32, True): np.int32,
-    (64, False): np.uint64, (64, True): np.int64,
+    (8, False): np.dtype(np.uint8), (8, True): np.dtype(np.int8),
+    (16, False): np.dtype(np.uint16), (16, True): np.dtype(np.int16),
+    (32, False): np.dtype(np.uint32), (32, True): np.dtype(np.int32),
+    (64, False): np.dtype(np.uint64), (64, True): np.dtype(np.int64),
 }
-_FP_DTYPES = {32: np.float32, 64: np.float64}
+_FP_DTYPES = {32: np.dtype(np.float32), 64: np.dtype(np.float64)}
 
 
 def int_dtype(sew: int, signed: bool = False) -> np.dtype:
     try:
-        return np.dtype(_SEW_DTYPES[(sew, signed)])
+        return _SEW_DTYPES[(sew, signed)]
     except KeyError:
         raise IllegalInstructionError(f"no integer dtype for SEW={sew}") from None
 
 
 def fp_dtype(sew: int) -> np.dtype:
     try:
-        return np.dtype(_FP_DTYPES[sew])
+        return _FP_DTYPES[sew]
     except KeyError:
         raise IllegalInstructionError(
             f"FP operations require SEW 32 or 64, got {sew}"
@@ -64,19 +67,24 @@ class ScalarRegs:
 
 
 class FpRegs:
-    """Floating-point register file holding float64 values."""
+    """Floating-point register file holding float64 values.
+
+    Backed by a plain Python list: the interpreter reads f-registers on
+    every scalar-operand vector instruction, and list indexing is much
+    cheaper than NumPy scalar extraction.
+    """
 
     def __init__(self) -> None:
-        self._regs = np.zeros(32, dtype=np.float64)
+        self._regs = [0.0] * 32
 
     def read(self, index: int) -> float:
-        return float(self._regs[index])
+        return self._regs[index]
 
     def write(self, index: int, value: float) -> None:
-        self._regs[index] = np.float64(value)
+        self._regs[index] = float(value)
 
     def snapshot(self) -> np.ndarray:
-        return self._regs.copy()
+        return np.array(self._regs, dtype=np.float64)
 
 
 class VectorRegFile:
@@ -88,6 +96,16 @@ class VectorRegFile:
         self.vlen_bits = vlen_bits
         self.vlen_bytes = vlen_bits // 8
         self._data = np.zeros(32 * self.vlen_bytes, dtype=np.uint8)
+        #: Bumped on every write that can touch v0; consumers (the vector
+        #: unit's mask cache) key cached v0-derived data on this counter.
+        #: Any register group containing v0 must start at v0 (groups are
+        #: EMUL-aligned), so checking ``base == 0`` is sufficient.
+        self.v0_writes = 0
+        #: Typed zero-copy views of register groups, keyed by
+        #: (base, emul, dtype).  The backing buffer never moves, so views
+        #: stay valid for the life of the register file; legality checks
+        #: run once per distinct key in :meth:`_group_bytes`.
+        self._view_cache: dict = {}
 
     def _group_bytes(self, base: int, emul: int) -> np.ndarray:
         """Byte view of an EMUL-register group (zero-copy)."""
@@ -105,16 +123,38 @@ class VectorRegFile:
         start = base * self.vlen_bytes
         return self._data[start:start + emul * self.vlen_bytes]
 
+    def __getstate__(self):
+        # Views alias _data only within one process; pickling them would
+        # rehydrate detached copies that silently miss register updates.
+        state = self.__dict__.copy()
+        state["_view_cache"] = {}
+        return state
+
+    def _typed_view(self, base: int, emul: int, dtype: np.dtype) -> np.ndarray:
+        """Cached zero-copy ``dtype`` view of an EMUL-register group."""
+        key = (base, emul, dtype)
+        view = self._view_cache.get(key)
+        if view is None:
+            view = self._group_bytes(base, emul).view(dtype)
+            self._view_cache[key] = view
+        return view
+
     def read_elems(self, base: int, vl: int, dtype: np.dtype,
-                   emul: int = 1) -> np.ndarray:
-        """First ``vl`` elements of a register group as a copy."""
-        dtype = np.dtype(dtype)
-        view = self._group_bytes(base, emul).view(dtype)
+                   emul: int = 1, copy: bool = True) -> np.ndarray:
+        """First ``vl`` elements of a register group.
+
+        By default returns a defensive copy.  Pass ``copy=False`` for
+        read-only consumers (the interpreter's arithmetic paths, which
+        always allocate a fresh result before writing back): the returned
+        array is then a zero-copy view of the register file and must not
+        be mutated or held across a register write.
+        """
+        view = self._typed_view(base, max(1, emul), np.dtype(dtype))
         if vl > view.size:
             raise IllegalInstructionError(
                 f"vl={vl} exceeds group capacity {view.size} for v{base}"
             )
-        return view[:vl].copy()
+        return view[:vl].copy() if copy else view[:vl]
 
     def write_elems(self, base: int, values: np.ndarray, emul: int = 1,
                     mask: np.ndarray | None = None) -> None:
@@ -124,11 +164,13 @@ class VectorRegFile:
         inactive destination elements keep their previous value.
         """
         values = np.ascontiguousarray(values)
-        view = self._group_bytes(base, emul).view(values.dtype)
+        view = self._typed_view(base, max(1, emul), values.dtype)
         if values.size > view.size:
             raise IllegalInstructionError(
                 f"writing {values.size} elements into group capacity {view.size}"
             )
+        if base == 0:
+            self.v0_writes += 1
         if mask is None:
             view[:values.size] = values
         else:
@@ -145,6 +187,8 @@ class VectorRegFile:
 
     def write_mask(self, reg: int, bits: np.ndarray) -> None:
         """Write mask bits 0..len(bits)-1; tail bits undisturbed."""
+        if reg == 0:
+            self.v0_writes += 1
         bits = np.asarray(bits, dtype=bool)
         vl = bits.size
         nbytes = (vl + 7) // 8
@@ -161,6 +205,8 @@ class VectorRegFile:
         return self._group_bytes(reg, 1).copy()
 
     def write_raw(self, reg: int, data: np.ndarray) -> None:
+        if reg == 0:
+            self.v0_writes += 1
         view = self._group_bytes(reg, 1)
         data = np.asarray(data, dtype=np.uint8)
         if data.size != view.size:
@@ -175,17 +221,33 @@ class ArchState:
         self.x = ScalarRegs()
         self.f = FpRegs()
         self.v = VectorRegFile(vlen_bits)
+        #: Integer mirrors of the current vtype's SEW/LMUL, refreshed by
+        #: the ``vtype`` setter so the per-instruction hot path never
+        #: converts the IntEnum fields.
+        self.sew_bits = 64
+        self.lmul_i = 1
         self.vtype = VType(vill=True)  # reset state: vill set, vl = 0
         self.vl = 0
         self.pc = 0
+
+    @property
+    def vtype(self) -> VType:
+        return self._vtype
+
+    @vtype.setter
+    def vtype(self, value: VType) -> None:
+        self._vtype = value
+        if not value.vill:
+            self.sew_bits = int(value.sew)
+            self.lmul_i = int(value.lmul)
 
     @property
     def vlen_bits(self) -> int:
         return self.v.vlen_bits
 
     def require_legal_vtype(self) -> VType:
-        if self.vtype.vill:
+        if self._vtype.vill:
             raise IllegalInstructionError(
                 "vector instruction executed with vill set (no vsetvli yet?)"
             )
-        return self.vtype
+        return self._vtype

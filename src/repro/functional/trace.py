@@ -9,6 +9,7 @@ decoupled (the classic functional/timing split of architecture simulators).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Iterator, Optional
 
 from ..isa.instructions import Instruction, MemPattern
@@ -34,41 +35,80 @@ class MemAccess:
         return self.pattern in (MemPattern.UNIT, MemPattern.MASK)
 
 
-@dataclass(frozen=True)
 class ScalarEvent:
-    """A retired scalar instruction, classified for the CVA6 timing model."""
+    """A retired scalar instruction, classified for the CVA6 timing model.
 
-    kind: str  # alu | mul | div | fp | load | store | branch | branch_taken
-    addr: Optional[int] = None
-    nbytes: int = 0
+    Hand-rolled (not a dataclass): one is built per retired scalar
+    instruction, and plain ``__init__`` assignment is markedly cheaper
+    than the frozen-dataclass ``object.__setattr__`` chain.  Events are
+    immutable by convention; payload-free kinds share singletons.
+    """
+
+    __slots__ = ("kind", "addr", "nbytes")
+
+    def __init__(self, kind: str, addr: Optional[int] = None,
+                 nbytes: int = 0) -> None:
+        self.kind = kind  # alu | mul | div | fp | load | store | branch...
+        self.addr = addr
+        self.nbytes = nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ScalarEvent({self.kind!r}, addr={self.addr})"
+
+    def __getstate__(self):
+        return (self.kind, self.addr, self.nbytes)
+
+    def __setstate__(self, state):
+        self.kind, self.addr, self.nbytes = state
 
 
-@dataclass(frozen=True)
 class VsetvlEvent:
     """A vsetvli: costs a scalar cycle and reconfigures the vector unit."""
 
-    vl: int
-    sew: int
-    lmul: int
+    __slots__ = ("vl", "sew", "lmul")
+
+    def __init__(self, vl: int, sew: int, lmul: int) -> None:
+        self.vl = vl
+        self.sew = sew
+        self.lmul = lmul
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VsetvlEvent(vl={self.vl}, sew={self.sew}, lmul={self.lmul})"
+
+    def __getstate__(self):
+        return (self.vl, self.sew, self.lmul)
+
+    def __setstate__(self, state):
+        self.vl, self.sew, self.lmul = state
 
 
-@dataclass(frozen=True)
 class VectorEvent:
-    """A retired vector instruction with its dynamic configuration."""
+    """A retired vector instruction with its dynamic configuration.
 
-    instr: Instruction
-    vl: int
-    sew: int
-    lmul: int
-    mem: Optional[MemAccess] = None
-    #: For slides: the dynamic slide amount in elements.
-    slide_amount: int = 0
+    Keeps an open ``__dict__`` (no slots): derived, replay-invariant
+    quantities — ``spec``, ``flops``, the timing engine's decode tuple —
+    are cached on the instance so replay-many pays decode once.
+    """
 
-    @property
+    def __init__(self, instr: Instruction, vl: int, sew: int, lmul: int,
+                 mem: Optional[MemAccess] = None,
+                 slide_amount: int = 0) -> None:
+        self.instr = instr
+        self.vl = vl
+        self.sew = sew
+        self.lmul = lmul
+        self.mem = mem
+        #: For slides: the dynamic slide amount in elements.
+        self.slide_amount = slide_amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VectorEvent({self.instr.mnemonic}, vl={self.vl})"
+
+    @cached_property
     def spec(self):
         return self.instr.spec
 
-    @property
+    @cached_property
     def flops(self) -> float:
         return self.spec.flops * self.vl
 

@@ -4,6 +4,17 @@ Fetches operands from the VRF, applies the pure semantics from
 :mod:`repro.functional.vector_ops`, handles masking (mask-undisturbed) and
 tail policy (tail-undisturbed, legal under agnosticism), and emits one
 :class:`~repro.functional.trace.VectorEvent` per retired instruction.
+
+Hot-path notes (this module runs once per retired vector instruction):
+
+* dispatch, operand indices and semantic callables come pre-resolved from
+  the instruction's :class:`~repro.functional.plan.InstrPlan` — no string
+  splitting or operand-dict lookups here;
+* VRF reads feeding pure computations use ``copy=False`` views (every
+  semantic function allocates a fresh result before anything is written
+  back, and register groups of equal EMUL are equal-or-disjoint);
+* the ``v0`` mask is unpacked once and cached until ``v0`` is written
+  (tracked by ``VectorRegFile.v0_writes``) or ``vl`` changes.
 """
 
 from __future__ import annotations
@@ -12,501 +23,509 @@ from typing import Optional
 
 import numpy as np
 
-from ..errors import ExecutionError, IllegalInstructionError
-from ..isa.instructions import ExecUnit, Instruction, MemPattern
+from ..errors import ExecutionError
+from ..isa.instructions import Instruction, MemPattern
 from .memory import FunctionalMemory
+from .plan import (InstrPlan, OP1_F, OP1_I, OP1_V, OP1_X, plan_for_instr)
 from .state import ArchState, fp_dtype, int_dtype
 from .trace import MemAccess, VectorEvent
-from .vector_ops import arith, fp, mask as maskops, mem as memops, permute
-from .vector_ops.reduce import REDUCTIONS
+from .vector_ops import mask as maskops, mem as memops, permute
+
+
+#: Handler return value for instructions with no memory access / slide.
+_NO_EXTRA = (None, 0)
+
+_UNIT_DTYPES = {1: np.dtype("u1"), 2: np.dtype("u2"),
+                4: np.dtype("u4"), 8: np.dtype("u8")}
 
 
 class VectorUnit:
     """Executes one vector instruction against the architectural state."""
 
+    #: vkind -> handler method name; bound into a dict per instance.
+    _HANDLERS = {
+        "mem": "_h_mem",
+        "red": "_h_reduction",
+        "slide_updn": "_h_slide_updn",
+        "slide1": "_h_slide1",
+        "rgather": "_h_rgather",
+        "compress": "_h_compress",
+        "mask_log": "_h_mask_log",
+        "mask_scalar": "_h_mask_scalar",
+        "m_unary": "_h_m_unary",
+        "iota": "_h_iota",
+        "vid": "_h_vid",
+        "cmp": "_h_compare",
+        "mv_vv": "_h_mv_vv",
+        "splat": "_h_splat",
+        "mv_sx": "_h_mv_sx",
+        "mv_xs": "_h_mv_xs",
+        "fmv_sf": "_h_fmv_sf",
+        "fmv_fs": "_h_fmv_fs",
+        "merge": "_h_merge",
+        "fp_unary": "_h_fp_unary",
+        "fp_cvt": "_h_fp_cvt",
+        "fp_fma": "_h_fp_fma",
+        "fp_fma_w": "_h_fp_fma_w",
+        "fp_widen": "_h_fp_widen",
+        "fp_bin": "_h_fp_bin",
+        "int_fma": "_h_int_fma",
+        "int_widen": "_h_int_widen",
+        "int_narrow": "_h_int_narrow",
+        "int_bin": "_h_int_bin",
+    }
+
     def __init__(self, state: ArchState, mem: FunctionalMemory) -> None:
         self.state = state
         self.mem = mem
+        self._dispatch = {k: getattr(self, name)
+                          for k, name in self._HANDLERS.items()}
+        self._v0_key = -1
+        self._v0_vl = -1
+        self._v0_bits: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
-    # Entry point
+    # Entry points
     # ------------------------------------------------------------------
     def execute(self, instr: Instruction) -> VectorEvent:
-        spec = instr.spec
-        vt = self.state.require_legal_vtype()
-        vl = self.state.vl
-        sew = int(vt.sew)
-        lmul = int(vt.lmul)
-        mask_bits = self.state.v.read_mask(0, vl) if instr.masked else None
+        """Decode-on-the-fly single-instruction path (tests, tools)."""
+        return self.execute_plan(plan_for_instr(instr))
 
-        mem_access: Optional[MemAccess] = None
-        slide_amount = 0
-        if spec.is_mem:
-            mem_access = self._mem(instr, vl, sew, lmul, mask_bits)
-        elif spec.is_reduction:
-            self._reduction(instr, vl, sew, lmul, mask_bits)
-        elif spec.is_slide:
-            slide_amount = self._permute(instr, vl, sew, lmul, mask_bits)
-        elif spec.unit is ExecUnit.MASKU:
-            self._masku(instr, vl, sew, lmul, mask_bits)
-        elif spec.mask_producer:
-            self._compare(instr, vl, sew, lmul, mask_bits)
-        else:
-            self._arith(instr, vl, sew, lmul, mask_bits)
-
-        return VectorEvent(
-            instr=instr, vl=vl, sew=sew, lmul=lmul,
-            mem=mem_access, slide_amount=slide_amount,
-        )
+    def execute_plan(self, p: InstrPlan) -> VectorEvent:
+        state = self.state
+        state.require_legal_vtype()
+        vl = state.vl
+        sew = state.sew_bits
+        lmul = state.lmul_i
+        mask_bits = self._v0_mask(vl) if p.masked else None
+        mem_access, slide_amount = self._dispatch[p.vkind](
+            p, vl, sew, lmul, mask_bits)
+        return VectorEvent(p.instr, vl, sew, lmul, mem_access, slide_amount)
 
     # ------------------------------------------------------------------
     # Operand helpers
     # ------------------------------------------------------------------
-    @staticmethod
-    def _base(instr: Instruction) -> str:
-        """Mnemonic base without the form suffix (vadd_vv -> vadd)."""
-        return instr.mnemonic.rsplit("_", 1)[0]
+    def _v0_mask(self, vl: int) -> np.ndarray:
+        """Boolean view of v0's first ``vl`` mask bits, cached until v0
+        is written or ``vl`` changes.  Consumers must not mutate it."""
+        vfile = self.state.v
+        key = vfile.v0_writes
+        if self._v0_key == key and self._v0_vl == vl:
+            return self._v0_bits
+        bits = vfile.read_mask(0, vl)
+        self._v0_key = key
+        self._v0_vl = vl
+        self._v0_bits = bits
+        return bits
 
-    def _fetch_op1(self, instr: Instruction, vl: int, dtype: np.dtype):
+    def _fetch_op1(self, p: InstrPlan, vl: int, dtype: np.dtype):
         """vs1 / rs1 / imm / frs1 operand resolved to an array or scalar."""
-        fmt = instr.spec.fmt
-        if fmt.endswith("vv") or fmt in ("vvv", "mm", "red_vs"):
-            emul = self._emul_for(instr)
+        mode = p.op1_mode
+        if mode == OP1_V:
             return self.state.v.read_elems(
-                instr.op("vs1").index, vl, dtype, emul)
-        if "x" in fmt.rsplit("_", 1)[-1] or fmt == "vvx":
-            raw = self.state.x.read(instr.op("rs1").index)
-            return self._splat_int(raw, dtype, vl)
-        if fmt in ("vvi",):
-            return self._splat_int(int(instr.op("imm")), dtype, vl)
-        if fmt in ("vvf", "fma_vf"):
-            return np.full(vl, self.state.f.read(instr.op("frs1").index),
-                           dtype=dtype)
-        raise ExecutionError(f"cannot fetch op1 for format {fmt}")
+                p.vs1, vl, dtype, self.state.lmul_i, copy=False)
+        if mode == OP1_X:
+            return self._splat_int(self.state.x.read(p.rs1), dtype, vl)
+        if mode == OP1_I:
+            return self._splat_int(p.imm, dtype, vl)
+        if mode == OP1_F:
+            # NumPy scalar of the operand dtype: broadcasting against the
+            # vs2 array computes the same elementwise results as the old
+            # np.full splat without materializing vl copies.
+            return dtype.type(self.state.f.read(p.frs1))
+        raise ExecutionError(f"cannot fetch op1 for format {p.spec.fmt}")
 
     @staticmethod
     def _splat_int(value: int, dtype: np.dtype, vl: int) -> np.ndarray:
         bits = dtype.itemsize * 8
         value &= (1 << bits) - 1
-        return np.full(vl, value, dtype=np.dtype(f"u{dtype.itemsize}")) \
-            .view(dtype).copy()
-
-    def _emul_for(self, instr: Instruction) -> int:
-        return int(self.state.vtype.lmul)
+        return np.full(vl, value, dtype=_UNIT_DTYPES[dtype.itemsize]) \
+            .view(dtype)
 
     # ------------------------------------------------------------------
-    # Integer / FP element-wise
+    # Moves / splats / merges
     # ------------------------------------------------------------------
-    def _arith(self, instr: Instruction, vl: int, sew: int, lmul: int,
-               mask_bits) -> None:
-        spec = instr.spec
-        mnemonic = instr.mnemonic
-        base = self._base(instr)
+    def _h_mv_vv(self, p, vl, sew, lmul, mask_bits):
+        src = self.state.v.read_elems(
+            p.vs2, vl, int_dtype(sew), lmul, copy=False)
+        self.state.v.write_elems(p.vd, src, lmul, mask_bits)
+        return _NO_EXTRA
 
-        # Splats and scalar moves first (they have unusual formats).
-        if mnemonic in ("vmv_v_v",):
-            src = self.state.v.read_elems(
-                instr.op("vs2").index, vl, int_dtype(sew), lmul)
-            self._write(instr, src, lmul, mask_bits)
-            return
-        if mnemonic in ("vmv_v_x", "vmv_v_i", "vfmv_v_f"):
-            dtype = fp_dtype(sew) if mnemonic == "vfmv_v_f" else int_dtype(sew)
-            if mnemonic == "vmv_v_x":
-                value = self._splat_int(
-                    self.state.x.read(instr.op("rs1").index), dtype, vl)
-            elif mnemonic == "vmv_v_i":
-                value = self._splat_int(int(instr.op("imm")), dtype, vl)
-            else:
-                value = np.full(vl, self.state.f.read(instr.op("frs1").index),
-                                dtype=dtype)
-            self._write(instr, value, lmul, mask_bits)
-            return
-        if mnemonic == "vmv_s_x":
-            self.state.v.write_elems(
-                instr.op("vd").index,
-                self._splat_int(self.state.x.read(instr.op("rs1").index),
-                                int_dtype(sew), 1),
-                emul=1)
-            return
-        if mnemonic == "vmv_x_s":
-            value = self.state.v.read_elems(
-                instr.op("vs2").index, 1, int_dtype(sew, signed=True), 1)[0]
-            self.state.x.write(instr.op("rd").index, int(value))
-            return
-        if mnemonic == "vfmv_s_f":
-            self.state.v.write_elems(
-                instr.op("vd").index,
-                np.array([self.state.f.read(instr.op("frs1").index)],
-                         dtype=fp_dtype(sew)),
-                emul=1)
-            return
-        if mnemonic == "vfmv_f_s":
-            value = self.state.v.read_elems(
-                instr.op("vs2").index, 1, fp_dtype(sew), 1)[0]
-            self.state.f.write(instr.op("frd").index, float(value))
-            return
+    def _h_splat(self, p, vl, sew, lmul, mask_bits):
+        m = p.mnemonic
+        if m == "vfmv_v_f":
+            value = np.full(vl, self.state.f.read(p.frs1),
+                            dtype=fp_dtype(sew))
+        elif m == "vmv_v_x":
+            value = self._splat_int(self.state.x.read(p.rs1),
+                                    int_dtype(sew), vl)
+        else:  # vmv_v_i
+            value = self._splat_int(p.imm, int_dtype(sew), vl)
+        self.state.v.write_elems(p.vd, value, lmul, mask_bits)
+        return _NO_EXTRA
 
+    def _h_mv_sx(self, p, vl, sew, lmul, mask_bits):
+        self.state.v.write_elems(
+            p.vd,
+            self._splat_int(self.state.x.read(p.rs1), int_dtype(sew), 1),
+            emul=1)
+        return _NO_EXTRA
+
+    def _h_mv_xs(self, p, vl, sew, lmul, mask_bits):
+        value = self.state.v.read_elems(
+            p.vs2, 1, int_dtype(sew, signed=True), 1, copy=False)[0]
+        self.state.x.write(p.rd, int(value))
+        return _NO_EXTRA
+
+    def _h_fmv_sf(self, p, vl, sew, lmul, mask_bits):
+        self.state.v.write_elems(
+            p.vd,
+            np.array([self.state.f.read(p.frs1)], dtype=fp_dtype(sew)),
+            emul=1)
+        return _NO_EXTRA
+
+    def _h_fmv_fs(self, p, vl, sew, lmul, mask_bits):
+        value = self.state.v.read_elems(
+            p.vs2, 1, fp_dtype(sew), 1, copy=False)[0]
+        self.state.f.write(p.frd, float(value))
+        return _NO_EXTRA
+
+    def _h_merge(self, p, vl, sew, lmul, mask_bits):
         # Merges read v0 as selector regardless of `masked`.
-        if base in ("vmerge", "vfmerge"):
-            self._merge(instr, vl, sew, lmul)
-            return
+        selector = self._v0_mask(vl)
+        dtype = fp_dtype(sew) if p.aux else int_dtype(sew)
+        vs2 = self.state.v.read_elems(p.vs2, vl, dtype, lmul, copy=False)
+        op1 = self._fetch_op1(p, vl, dtype)
+        result = np.where(selector, op1, vs2).astype(dtype)
+        self.state.v.write_elems(p.vd, result, lmul, None)
+        return _NO_EXTRA
 
-        if spec.unit is ExecUnit.VMFPU:
-            self._fp_arith(instr, vl, sew, lmul, mask_bits, base)
-        else:
-            self._int_arith(instr, vl, sew, lmul, mask_bits, base)
+    # ------------------------------------------------------------------
+    # Integer element-wise
+    # ------------------------------------------------------------------
+    def _h_int_fma(self, p, vl, sew, lmul, mask_bits):
+        dtype = int_dtype(sew)
+        v = self.state.v
+        vd = v.read_elems(p.vd, vl, dtype, lmul, copy=False)
+        op1 = self._fetch_op1(p, vl, dtype)
+        vs2 = v.read_elems(p.vs2, vl, dtype, lmul, copy=False)
+        with np.errstate(over="ignore"):
+            result = p.aux(vd, op1, vs2).astype(dtype)
+        v.write_elems(p.vd, result, lmul, mask_bits)
+        return _NO_EXTRA
 
-    def _int_arith(self, instr, vl, sew, lmul, mask_bits, base) -> None:
-        spec = instr.spec
-        if base in arith.FMA:
-            dtype = int_dtype(sew)
-            vd = self.state.v.read_elems(instr.op("vd").index, vl, dtype, lmul)
-            op1 = self._fetch_op1(instr, vl, dtype)
-            vs2 = self.state.v.read_elems(instr.op("vs2").index, vl, dtype, lmul)
-            with np.errstate(over="ignore"):
-                result = arith.FMA[base](vd, op1, vs2).astype(dtype)
-            self._write(instr, result, lmul, mask_bits)
-            return
-        if spec.widens:
-            op = arith.WIDENING[base]
-            narrow = int_dtype(sew, signed=True)
-            wide = int_dtype(2 * sew, signed=True)
-            vs2 = self.state.v.read_elems(
-                instr.op("vs2").index, vl, narrow, lmul).astype(wide)
-            op1 = self._fetch_op1(instr, vl, narrow).astype(wide)
-            result = op(vs2, op1).astype(wide)
-            self._write(instr, result, 2 * lmul, mask_bits)
-            return
-        if spec.narrows:  # vnsrl
-            wide_u = int_dtype(2 * sew)
-            vs2 = self.state.v.read_elems(
-                instr.op("vs2").index, vl, wide_u, 2 * lmul)
-            op1 = self._fetch_op1(instr, vl, wide_u)
-            shift = (op1.astype(np.uint64) & np.uint64(2 * sew - 1)) \
-                .astype(wide_u)
-            result = np.right_shift(vs2, shift).astype(int_dtype(sew))
-            self._write(instr, result, lmul, mask_bits)
-            return
-        op = arith.BINOPS[base]
+    def _h_int_widen(self, p, vl, sew, lmul, mask_bits):
+        narrow = int_dtype(sew, signed=True)
+        wide = int_dtype(2 * sew, signed=True)
+        vs2 = self.state.v.read_elems(
+            p.vs2, vl, narrow, lmul, copy=False).astype(wide)
+        op1 = self._fetch_op1(p, vl, narrow).astype(wide)
+        result = p.aux(vs2, op1).astype(wide)
+        self.state.v.write_elems(p.vd, result, 2 * lmul, mask_bits)
+        return _NO_EXTRA
+
+    def _h_int_narrow(self, p, vl, sew, lmul, mask_bits):  # vnsrl
+        wide_u = int_dtype(2 * sew)
+        vs2 = self.state.v.read_elems(
+            p.vs2, vl, wide_u, 2 * lmul, copy=False)
+        op1 = self._fetch_op1(p, vl, wide_u)
+        shift = (op1.astype(np.uint64) & np.uint64(2 * sew - 1)) \
+            .astype(wide_u)
+        result = np.right_shift(vs2, shift).astype(int_dtype(sew))
+        self.state.v.write_elems(p.vd, result, lmul, mask_bits)
+        return _NO_EXTRA
+
+    def _h_int_bin(self, p, vl, sew, lmul, mask_bits):
+        op = p.aux
         dtype = int_dtype(sew, signed=op.signed)
-        vs2 = self.state.v.read_elems(instr.op("vs2").index, vl, dtype, lmul)
-        op1 = self._fetch_op1(instr, vl, dtype)
+        vs2 = self.state.v.read_elems(p.vs2, vl, dtype, lmul, copy=False)
+        op1 = self._fetch_op1(p, vl, dtype)
         with np.errstate(over="ignore"):
             result = op.func(vs2, op1).astype(dtype)
-        self._write(instr, result, lmul, mask_bits)
+        self.state.v.write_elems(p.vd, result, lmul, mask_bits)
+        return _NO_EXTRA
 
-    def _fp_arith(self, instr, vl, sew, lmul, mask_bits, base) -> None:
-        spec = instr.spec
-        if instr.mnemonic in fp.UNARY:
-            vs2 = self.state.v.read_elems(
-                instr.op("vs2").index, vl, fp_dtype(sew), lmul)
-            self._write(instr, fp.UNARY[instr.mnemonic](vs2), lmul, mask_bits)
-            return
-        if instr.mnemonic.startswith("vfcvt") or instr.mnemonic.startswith(
-                "vfwcvt") or instr.mnemonic.startswith("vfncvt"):
-            self._convert(instr, vl, sew, lmul, mask_bits)
-            return
-        if base in fp.FMA:
-            if spec.widens:  # vfwmacc
-                wide = fp_dtype(2 * sew)
-                vd = self.state.v.read_elems(
-                    instr.op("vd").index, vl, wide, 2 * lmul)
-                op1 = np.asarray(
-                    self._fetch_op1(instr, vl, fp_dtype(sew)), dtype=wide)
-                vs2 = self.state.v.read_elems(
-                    instr.op("vs2").index, vl, fp_dtype(sew), lmul).astype(wide)
-                result = fp.FMA[base](vd, op1, vs2)
-                self._write(instr, result, 2 * lmul, mask_bits)
-                return
-            dtype = fp_dtype(sew)
-            vd = self.state.v.read_elems(instr.op("vd").index, vl, dtype, lmul)
-            op1 = self._fetch_op1(instr, vl, dtype)
-            vs2 = self.state.v.read_elems(instr.op("vs2").index, vl, dtype, lmul)
-            self._write(instr, fp.FMA[base](vd, op1, vs2), lmul, mask_bits)
-            return
-        if spec.widens:  # vfwadd/vfwmul
-            wide = fp_dtype(2 * sew)
-            vs2 = self.state.v.read_elems(
-                instr.op("vs2").index, vl, fp_dtype(sew), lmul).astype(wide)
-            op1 = np.asarray(
-                self._fetch_op1(instr, vl, fp_dtype(sew)), dtype=wide)
-            result = fp.WIDENING[base](vs2, op1)
-            self._write(instr, result, 2 * lmul, mask_bits)
-            return
-        op = fp.BINOPS[base]
+    # ------------------------------------------------------------------
+    # Floating-point element-wise
+    # ------------------------------------------------------------------
+    def _h_fp_unary(self, p, vl, sew, lmul, mask_bits):
+        vs2 = self.state.v.read_elems(
+            p.vs2, vl, fp_dtype(sew), lmul, copy=False)
+        self.state.v.write_elems(p.vd, p.aux(vs2), lmul, mask_bits)
+        return _NO_EXTRA
+
+    def _h_fp_fma(self, p, vl, sew, lmul, mask_bits):
         dtype = fp_dtype(sew)
-        vs2 = self.state.v.read_elems(instr.op("vs2").index, vl, dtype, lmul)
-        op1 = self._fetch_op1(instr, vl, dtype)
-        self._write(instr, np.asarray(op(vs2, op1), dtype=dtype), lmul, mask_bits)
+        v = self.state.v
+        vd = v.read_elems(p.vd, vl, dtype, lmul, copy=False)
+        op1 = self._fetch_op1(p, vl, dtype)
+        vs2 = v.read_elems(p.vs2, vl, dtype, lmul, copy=False)
+        v.write_elems(p.vd, p.aux(vd, op1, vs2), lmul, mask_bits)
+        return _NO_EXTRA
 
-    def _convert(self, instr, vl, sew, lmul, mask_bits) -> None:
-        mnem = instr.mnemonic
+    def _h_fp_fma_w(self, p, vl, sew, lmul, mask_bits):  # vfwmacc
+        wide = fp_dtype(2 * sew)
+        v = self.state.v
+        vd = v.read_elems(p.vd, vl, wide, 2 * lmul, copy=False)
+        op1 = np.asarray(self._fetch_op1(p, vl, fp_dtype(sew)), dtype=wide)
+        vs2 = v.read_elems(
+            p.vs2, vl, fp_dtype(sew), lmul, copy=False).astype(wide)
+        result = p.aux(vd, op1, vs2)
+        v.write_elems(p.vd, result, 2 * lmul, mask_bits)
+        return _NO_EXTRA
+
+    def _h_fp_widen(self, p, vl, sew, lmul, mask_bits):  # vfwadd/vfwmul
+        wide = fp_dtype(2 * sew)
+        vs2 = self.state.v.read_elems(
+            p.vs2, vl, fp_dtype(sew), lmul, copy=False).astype(wide)
+        op1 = np.asarray(self._fetch_op1(p, vl, fp_dtype(sew)), dtype=wide)
+        result = p.aux(vs2, op1)
+        self.state.v.write_elems(p.vd, result, 2 * lmul, mask_bits)
+        return _NO_EXTRA
+
+    def _h_fp_bin(self, p, vl, sew, lmul, mask_bits):
+        dtype = fp_dtype(sew)
+        vs2 = self.state.v.read_elems(p.vs2, vl, dtype, lmul, copy=False)
+        op1 = self._fetch_op1(p, vl, dtype)
+        result = np.asarray(p.aux(vs2, op1), dtype=dtype)
+        self.state.v.write_elems(p.vd, result, lmul, mask_bits)
+        return _NO_EXTRA
+
+    def _h_fp_cvt(self, p, vl, sew, lmul, mask_bits):
+        mnem = p.mnemonic
+        v = self.state.v
         if mnem == "vfcvt_x_f_v":
-            vs2 = self.state.v.read_elems(
-                instr.op("vs2").index, vl, fp_dtype(sew), lmul)
+            vs2 = v.read_elems(p.vs2, vl, fp_dtype(sew), lmul, copy=False)
             result = np.rint(vs2).astype(int_dtype(sew, signed=True))
-            self._write(instr, result, lmul, mask_bits)
+            v.write_elems(p.vd, result, lmul, mask_bits)
         elif mnem == "vfcvt_rtz_x_f_v":
-            vs2 = self.state.v.read_elems(
-                instr.op("vs2").index, vl, fp_dtype(sew), lmul)
+            vs2 = v.read_elems(p.vs2, vl, fp_dtype(sew), lmul, copy=False)
             result = np.trunc(vs2).astype(int_dtype(sew, signed=True))
-            self._write(instr, result, lmul, mask_bits)
+            v.write_elems(p.vd, result, lmul, mask_bits)
         elif mnem == "vfcvt_f_x_v":
-            vs2 = self.state.v.read_elems(
-                instr.op("vs2").index, vl, int_dtype(sew, signed=True), lmul)
-            self._write(instr, vs2.astype(fp_dtype(sew)), lmul, mask_bits)
+            vs2 = v.read_elems(
+                p.vs2, vl, int_dtype(sew, signed=True), lmul, copy=False)
+            v.write_elems(p.vd, vs2.astype(fp_dtype(sew)), lmul, mask_bits)
         elif mnem == "vfwcvt_f_f_v":
-            vs2 = self.state.v.read_elems(
-                instr.op("vs2").index, vl, fp_dtype(sew), lmul)
-            self._write(instr, vs2.astype(fp_dtype(2 * sew)), 2 * lmul, mask_bits)
+            vs2 = v.read_elems(p.vs2, vl, fp_dtype(sew), lmul, copy=False)
+            v.write_elems(p.vd, vs2.astype(fp_dtype(2 * sew)), 2 * lmul,
+                          mask_bits)
         elif mnem == "vfncvt_f_f_w":
-            vs2 = self.state.v.read_elems(
-                instr.op("vs2").index, vl, fp_dtype(2 * sew), 2 * lmul)
-            self._write(instr, vs2.astype(fp_dtype(sew)), lmul, mask_bits)
+            vs2 = v.read_elems(
+                p.vs2, vl, fp_dtype(2 * sew), 2 * lmul, copy=False)
+            v.write_elems(p.vd, vs2.astype(fp_dtype(sew)), lmul, mask_bits)
         else:  # pragma: no cover
             raise ExecutionError(f"unhandled conversion {mnem}")
+        return _NO_EXTRA
 
-    def _merge(self, instr, vl, sew, lmul) -> None:
-        selector = self.state.v.read_mask(0, vl)
-        is_fp = instr.mnemonic.startswith("vf")
-        dtype = fp_dtype(sew) if is_fp else int_dtype(sew)
-        vs2 = self.state.v.read_elems(instr.op("vs2").index, vl, dtype, lmul)
-        op1 = self._fetch_op1(instr, vl, dtype)
-        result = np.where(selector, op1, vs2).astype(dtype)
-        self._write(instr, result, lmul, None)
-
-    def _compare(self, instr, vl, sew, lmul, mask_bits) -> None:
-        base = self._base(instr)
-        if instr.spec.unit is ExecUnit.VMFPU and base in fp.COMPARES:
-            dtype = fp_dtype(sew)
-            func = fp.COMPARES[base]
-        else:
-            op = arith.COMPARES[base]
-            dtype = int_dtype(sew, signed=op.signed)
-            func = op.func
-        vs2 = self.state.v.read_elems(instr.op("vs2").index, vl, dtype, lmul)
-        op1 = self._fetch_op1(instr, vl, dtype)
+    # ------------------------------------------------------------------
+    # Compares -> mask destination
+    # ------------------------------------------------------------------
+    def _h_compare(self, p, vl, sew, lmul, mask_bits):
+        is_fp, func, signed = p.aux
+        dtype = fp_dtype(sew) if is_fp else int_dtype(sew, signed=signed)
+        vs2 = self.state.v.read_elems(p.vs2, vl, dtype, lmul, copy=False)
+        op1 = self._fetch_op1(p, vl, dtype)
         bits = np.asarray(func(vs2, op1), dtype=bool)
         if mask_bits is not None:
-            old = self.state.v.read_mask(instr.op("vd").index, vl)
+            old = self.state.v.read_mask(p.vd, vl)
             bits = np.where(mask_bits, bits, old)
-        self.state.v.write_mask(instr.op("vd").index, bits)
+        self.state.v.write_mask(p.vd, bits)
+        return _NO_EXTRA
 
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
-    def _reduction(self, instr, vl, sew, lmul, mask_bits) -> None:
-        mnem = instr.mnemonic
-        is_fp = mnem.startswith("vf")
-        signed = not is_fp and mnem not in ("vredand_vs", "vredor_vs",
-                                            "vredxor_vs")
+    def _h_reduction(self, p, vl, sew, lmul, mask_bits):
+        fn, is_fp, signed = p.aux
         dtype = fp_dtype(sew) if is_fp else int_dtype(sew, signed=signed)
-        values = self.state.v.read_elems(instr.op("vs2").index, vl, dtype, lmul)
+        values = self.state.v.read_elems(p.vs2, vl, dtype, lmul, copy=False)
         if mask_bits is not None:
             values = values[mask_bits]
-        seed = self.state.v.read_elems(instr.op("vs1").index, 1, dtype, 1)[0]
-        result = REDUCTIONS[mnem](values, seed)
+        seed = self.state.v.read_elems(p.vs1, 1, dtype, 1, copy=False)[0]
+        result = fn(values, seed)
         self.state.v.write_elems(
-            instr.op("vd").index, np.array([result], dtype=dtype), emul=1)
+            p.vd, np.array([result], dtype=dtype), emul=1)
+        return _NO_EXTRA
 
     # ------------------------------------------------------------------
     # Slides / gathers
     # ------------------------------------------------------------------
-    def _permute(self, instr, vl, sew, lmul, mask_bits) -> int:
-        mnem = instr.mnemonic
-        dtype = fp_dtype(sew) if mnem.startswith("vf") else int_dtype(sew)
-        vlmax = self.state.vtype.vlmax(self.state.vlen_bits)
-        vd_idx = instr.op("vd").index
+    def _h_slide_updn(self, p, vl, sew, lmul, mask_bits):
+        is_up, from_reg = p.aux
+        dtype = int_dtype(sew)
+        offset = (self.state.x.read_unsigned(p.rs1) if from_reg else p.imm)
+        vlmax = self.state.vlen_bits * lmul // sew
+        offset = min(offset, vlmax)
+        v = self.state.v
+        if is_up:
+            dest = v.read_elems(p.vd, vl, dtype, lmul, copy=False)
+            vs2 = v.read_elems(p.vs2, vl, dtype, lmul, copy=False)
+            result = permute.slideup(vs2, dest, offset)
+            write_mask = np.arange(vl) >= offset
+            if mask_bits is not None:
+                write_mask &= mask_bits
+            v.write_elems(p.vd, result, lmul, write_mask)
+        else:
+            vs2_full = v.read_elems(p.vs2, vlmax, dtype, lmul, copy=False)
+            result = permute.slidedown(vs2_full, vl, offset)
+            v.write_elems(p.vd, result, lmul, mask_bits)
+        return None, offset
 
-        if mnem in ("vslideup_vx", "vslideup_vi", "vslidedown_vx",
-                    "vslidedown_vi"):
-            if instr.spec.fmt == "slide_vx":
-                offset = self.state.x.read_unsigned(instr.op("rs1").index)
-            else:
-                offset = int(instr.op("imm"))
-            offset = min(offset, vlmax)
-            if mnem.startswith("vslideup"):
-                dest = self.state.v.read_elems(vd_idx, vl, dtype, lmul)
-                vs2 = self.state.v.read_elems(
-                    instr.op("vs2").index, vl, dtype, lmul)
-                result = permute.slideup(vs2, dest, offset)
-                write_mask = np.arange(vl) >= offset
-                if mask_bits is not None:
-                    write_mask &= mask_bits
-                self.state.v.write_elems(vd_idx, result, lmul, write_mask)
-            else:
-                vs2_full = self.state.v.read_elems(
-                    instr.op("vs2").index, vlmax, dtype, lmul)
-                result = permute.slidedown(vs2_full, vl, offset)
-                self._write(instr, result, lmul, mask_bits)
-            return offset
+    def _h_slide1(self, p, vl, sew, lmul, mask_bits):
+        is_up, from_f = p.aux
+        dtype = fp_dtype(sew) if from_f else int_dtype(sew)
+        if from_f:
+            scalar = dtype.type(self.state.f.read(p.frs1))
+        else:
+            raw = self.state.x.read(p.rs1)
+            scalar = self._splat_int(raw, int_dtype(sew), 1).view(dtype)[0]
+        vs2 = self.state.v.read_elems(p.vs2, vl, dtype, lmul, copy=False)
+        if is_up:
+            result = permute.slide1up(vs2, scalar, vl)
+        else:
+            result = permute.slide1down(vs2, scalar, vl)
+        self.state.v.write_elems(p.vd, result, lmul, mask_bits)
+        return None, 1
 
-        if mnem in ("vslide1up_vx", "vslide1down_vx",
-                    "vfslide1up_vf", "vfslide1down_vf"):
-            if instr.spec.fmt == "slide1_vx":
-                raw = self.state.x.read(instr.op("rs1").index)
-                scalar = self._splat_int(raw, int_dtype(sew), 1).view(dtype)[0]
-            else:
-                scalar = dtype.type(self.state.f.read(instr.op("frs1").index))
-            vs2 = self.state.v.read_elems(instr.op("vs2").index, vl, dtype, lmul)
-            if "up" in mnem:
-                result = permute.slide1up(vs2, scalar, vl)
-            else:
-                result = permute.slide1down(vs2, scalar, vl)
-            self._write(instr, result, lmul, mask_bits)
-            return 1
+    def _h_rgather(self, p, vl, sew, lmul, mask_bits):
+        dtype = int_dtype(sew)
+        vlmax = self.state.vlen_bits * lmul // sew
+        v = self.state.v
+        vs2_full = v.read_elems(p.vs2, vlmax, dtype, lmul, copy=False)
+        indices = v.read_elems(p.vs1, vl, dtype, lmul, copy=False)
+        result = permute.rgather(vs2_full, indices, vlmax)
+        v.write_elems(p.vd, result, lmul, mask_bits)
+        return None, 0
 
-        if mnem == "vrgather_vv":
-            vs2_full = self.state.v.read_elems(
-                instr.op("vs2").index, vlmax, dtype, lmul)
-            indices = self.state.v.read_elems(
-                instr.op("vs1").index, vl, int_dtype(sew), lmul)
-            result = permute.rgather(vs2_full, indices, vlmax)
-            self._write(instr, result, lmul, mask_bits)
-            return 0
-
-        if mnem == "vcompress_vm":
-            select = self.state.v.read_mask(instr.op("vs1").index, vl)
-            vs2 = self.state.v.read_elems(instr.op("vs2").index, vl, dtype, lmul)
-            dest = self.state.v.read_elems(vd_idx, vl, dtype, lmul)
-            result = permute.compress(vs2, select, dest)
-            self.state.v.write_elems(vd_idx, result, lmul)
-            return 0
-
-        raise ExecutionError(f"unhandled permute {mnem}")  # pragma: no cover
+    def _h_compress(self, p, vl, sew, lmul, mask_bits):
+        dtype = int_dtype(sew)
+        v = self.state.v
+        select = v.read_mask(p.vs1, vl)
+        vs2 = v.read_elems(p.vs2, vl, dtype, lmul, copy=False)
+        dest = v.read_elems(p.vd, vl, dtype, lmul, copy=False)
+        result = permute.compress(vs2, select, dest)
+        v.write_elems(p.vd, result, lmul)
+        return None, 0
 
     # ------------------------------------------------------------------
     # Mask unit
     # ------------------------------------------------------------------
-    def _masku(self, instr, vl, sew, lmul, mask_bits) -> None:
-        mnem = instr.mnemonic
-        if instr.spec.mask_logical:
-            base = self._base(instr)
-            a = self.state.v.read_mask(instr.op("vs2").index, vl)
-            b = self.state.v.read_mask(instr.op("vs1").index, vl)
-            self.state.v.write_mask(
-                instr.op("vd").index, maskops.LOGICAL[base](a, b))
-            return
-        if mnem == "vcpop_m":
-            bits = self.state.v.read_mask(instr.op("vs2").index, vl)
-            if mask_bits is not None:
-                bits = bits & mask_bits
-            self.state.x.write(instr.op("rd").index, maskops.cpop(bits))
-            return
-        if mnem == "vfirst_m":
-            bits = self.state.v.read_mask(instr.op("vs2").index, vl)
-            if mask_bits is not None:
-                bits = bits & mask_bits
-            self.state.x.write(instr.op("rd").index, maskops.first(bits))
-            return
-        if mnem in maskops.M_UNARY:
-            bits = self.state.v.read_mask(instr.op("vs2").index, vl)
-            result = maskops.M_UNARY[mnem](bits)
-            if mask_bits is not None:
-                old = self.state.v.read_mask(instr.op("vd").index, vl)
-                result = np.where(mask_bits, result, old)
-            self.state.v.write_mask(instr.op("vd").index, result)
-            return
-        if mnem == "viota_m":
-            bits = self.state.v.read_mask(instr.op("vs2").index, vl)
-            if mask_bits is not None:
-                bits = bits & mask_bits
-            result = maskops.iota(bits).astype(int_dtype(sew))
-            self._write(instr, result, lmul, mask_bits)
-            return
-        if mnem == "vid_v":
-            result = np.arange(vl, dtype=np.int64).astype(int_dtype(sew))
-            self._write(instr, result, lmul, mask_bits)
-            return
-        raise ExecutionError(f"unhandled mask op {mnem}")  # pragma: no cover
+    def _h_mask_log(self, p, vl, sew, lmul, mask_bits):
+        v = self.state.v
+        a = v.read_mask(p.vs2, vl)
+        b = v.read_mask(p.vs1, vl)
+        v.write_mask(p.vd, p.aux(a, b))
+        return _NO_EXTRA
+
+    def _h_mask_scalar(self, p, vl, sew, lmul, mask_bits):  # vcpop/vfirst
+        bits = self.state.v.read_mask(p.vs2, vl)
+        if mask_bits is not None:
+            bits = bits & mask_bits
+        self.state.x.write(p.rd, p.aux(bits))
+        return _NO_EXTRA
+
+    def _h_m_unary(self, p, vl, sew, lmul, mask_bits):
+        v = self.state.v
+        bits = v.read_mask(p.vs2, vl)
+        result = p.aux(bits)
+        if mask_bits is not None:
+            old = v.read_mask(p.vd, vl)
+            result = np.where(mask_bits, result, old)
+        v.write_mask(p.vd, result)
+        return _NO_EXTRA
+
+    def _h_iota(self, p, vl, sew, lmul, mask_bits):
+        bits = self.state.v.read_mask(p.vs2, vl)
+        if mask_bits is not None:
+            bits = bits & mask_bits
+        result = maskops.iota(bits).astype(int_dtype(sew))
+        self.state.v.write_elems(p.vd, result, lmul, mask_bits)
+        return _NO_EXTRA
+
+    def _h_vid(self, p, vl, sew, lmul, mask_bits):
+        result = np.arange(vl, dtype=np.int64).astype(int_dtype(sew))
+        self.state.v.write_elems(p.vd, result, lmul, mask_bits)
+        return _NO_EXTRA
 
     # ------------------------------------------------------------------
     # Memory
     # ------------------------------------------------------------------
-    def _mem(self, instr, vl, sew, lmul, mask_bits) -> MemAccess:
-        spec = instr.spec
+    def _h_mem(self, p, vl, sew, lmul, mask_bits):
+        spec = p.spec
         pattern = spec.mem_pattern
-        shape = memops.data_shape(instr.mnemonic, pattern, vl, sew, lmul)
-        base = self.state.x.read_unsigned(instr.op("rs1").index)
-        dtype = memops.unit_dtype(shape.ew_bytes)
+        shape = memops.data_shape(p.mnemonic, pattern, vl, sew, lmul)
+        base = self.state.x.read_unsigned(p.rs1)
+        dtype = _UNIT_DTYPES[shape.ew_bytes]
+        vfile = self.state.v
 
         if pattern is MemPattern.MASK:
             if spec.is_load:
                 raw = self.mem.read_bytes(base, shape.count)
-                view = self.state.v._group_bytes(instr.op("vd").index, 1)
+                view = vfile._group_bytes(p.vd, 1)
+                if p.vd == 0:
+                    vfile.v0_writes += 1
                 view[:shape.count] = raw
             else:
-                view = self.state.v._group_bytes(instr.op("vs3").index, 1)
+                view = vfile._group_bytes(p.vs3, 1)
                 self.mem.write_bytes(base, view[:shape.count])
-            return MemAccess(base, 1, shape.count, 1, pattern, spec.is_store)
+            return (MemAccess(base, 1, shape.count, 1, pattern,
+                              spec.is_store), 0)
 
         if pattern is MemPattern.UNIT:
             stride = shape.ew_bytes
             if spec.is_load:
                 data = self.mem.read_array(base, vl, dtype)
-                self.state.v.write_elems(
-                    instr.op("vd").index, data, shape.emul, mask_bits)
+                vfile.write_elems(p.vd, data, shape.emul, mask_bits)
             else:
-                data = self.state.v.read_elems(
-                    instr.op("vs3").index, vl, dtype, shape.emul)
+                data = vfile.read_elems(p.vs3, vl, dtype, shape.emul,
+                                        copy=False)
                 if mask_bits is None:
                     self.mem.write_array(base, data)
                 else:
                     offsets = np.flatnonzero(mask_bits) * stride
                     self.mem.write_scatter(base, offsets, data[mask_bits])
-            return MemAccess(base, stride, vl, shape.ew_bytes, pattern,
-                             spec.is_store)
+            return (MemAccess(base, stride, vl, shape.ew_bytes, pattern,
+                              spec.is_store), 0)
 
         if pattern is MemPattern.STRIDED:
-            stride = self.state.x.read(instr.op("rs2").index)
+            stride = self.state.x.read(p.rs2)
             if spec.is_load:
                 data = self.mem.read_strided(base, vl, stride, dtype)
-                self.state.v.write_elems(
-                    instr.op("vd").index, data, shape.emul, mask_bits)
+                vfile.write_elems(p.vd, data, shape.emul, mask_bits)
             else:
-                data = self.state.v.read_elems(
-                    instr.op("vs3").index, vl, dtype, shape.emul)
+                data = vfile.read_elems(p.vs3, vl, dtype, shape.emul,
+                                        copy=False)
                 if mask_bits is None:
                     self.mem.write_strided(base, data, stride)
                 else:
-                    offsets = np.flatnonzero(mask_bits).astype(np.int64) * stride
+                    offsets = np.flatnonzero(mask_bits).astype(np.int64) \
+                        * stride
                     self.mem.write_scatter(base, offsets, data[mask_bits])
-            return MemAccess(base, stride, vl, shape.ew_bytes, pattern,
-                             spec.is_store)
+            return (MemAccess(base, stride, vl, shape.ew_bytes, pattern,
+                              spec.is_store), 0)
 
         # Indexed: mnemonic width is the index EEW; data uses SEW.
-        index_eew = memops.eew_from_mnemonic(instr.mnemonic)
+        index_eew = p.aux
         index_emul = max(1, index_eew * lmul // sew)
-        offsets = self.state.v.read_elems(
-            instr.op("vs2").index, vl, memops.unit_dtype(index_eew // 8),
-            index_emul).astype(np.int64)
-        data_dtype = memops.unit_dtype(sew // 8)
+        offsets = vfile.read_elems(
+            p.vs2, vl, _UNIT_DTYPES[index_eew // 8], index_emul,
+            copy=False).astype(np.int64)
+        data_dtype = _UNIT_DTYPES[sew // 8]
         if spec.is_load:
             if mask_bits is None:
                 data = self.mem.read_gather(base, offsets, data_dtype)
-                self.state.v.write_elems(
-                    instr.op("vd").index, data, lmul, None)
+                vfile.write_elems(p.vd, data, lmul, None)
             else:
-                dest = self.state.v.read_elems(
-                    instr.op("vd").index, vl, data_dtype, lmul)
+                dest = vfile.read_elems(p.vd, vl, data_dtype, lmul)
                 active = self.mem.read_gather(
                     base, offsets[mask_bits], data_dtype)
                 dest[mask_bits] = active
-                self.state.v.write_elems(instr.op("vd").index, dest, lmul)
+                vfile.write_elems(p.vd, dest, lmul)
         else:
-            data = self.state.v.read_elems(
-                instr.op("vs3").index, vl, data_dtype, lmul)
+            data = vfile.read_elems(p.vs3, vl, data_dtype, lmul, copy=False)
             if mask_bits is not None:
                 offsets = offsets[mask_bits]
                 data = data[mask_bits]
             self.mem.write_scatter(base, offsets, data)
-        return MemAccess(base, 0, vl, sew // 8, pattern, spec.is_store)
-
-    # ------------------------------------------------------------------
-    def _write(self, instr: Instruction, values: np.ndarray, emul: int,
-               mask_bits) -> None:
-        """Write the destination body with the mask-undisturbed policy."""
-        vd = instr.get("vd")
-        if vd is None:
-            raise IllegalInstructionError(f"{instr.mnemonic} has no vd")
-        self.state.v.write_elems(vd.index, values, emul, mask_bits)
+        return (MemAccess(base, 0, vl, sew // 8, pattern, spec.is_store), 0)

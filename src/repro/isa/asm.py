@@ -84,6 +84,9 @@ class Assembler:
             return self._assemble(spec, args, kwargs)
 
         emit.__name__ = mnemonic
+        # Cache on the instance so repeated emissions of one mnemonic
+        # (every kernel loop body) skip __getattr__ and closure creation.
+        self.__dict__[mnemonic] = emit
         return emit
 
     def _assemble(

@@ -105,6 +105,14 @@ class Instruction:
     def masked(self) -> bool:
         return bool(self.ops.get("masked", False))
 
+    def __getstate__(self):
+        # Decode caches hold lambdas (unpicklable) and are rebuilt on
+        # demand; pickle only the declared fields.
+        return {"spec": self.spec, "ops": self.ops}
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
     def __str__(self) -> str:
         shown = {k: v for k, v in self.ops.items() if k != "masked"}
         body = ", ".join(f"{k}={v}" for k, v in shown.items())

@@ -37,6 +37,40 @@ class Program:
     def __getitem__(self, index: int) -> Instruction:
         return self.instructions[index]
 
+    @property
+    def fingerprint(self) -> str:
+        """Stable content hash of the instruction stream (cached).
+
+        Keys trace caches: two programs with equal fingerprints execute
+        identically from identical initial state at a given VLEN.  Uses
+        SHA-256 over the textual instruction listing plus resolved labels
+        (not Python ``hash``, which is randomized per interpreter run).
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            import hashlib
+
+            h = hashlib.sha256()
+            h.update(self.name.encode())
+            for label in sorted(self.labels):
+                h.update(f"\x00{label}@{self.labels[label]}".encode())
+            for instr in self.instructions:
+                h.update(b"\x00")
+                h.update(str(instr).encode())
+            cached = h.hexdigest()
+            # Frozen dataclass: cache through __dict__ to bypass the guard.
+            self.__dict__["_fingerprint"] = cached
+        return cached
+
+    def __getstate__(self):
+        # The decoded-plan cache holds lambdas; drop caches and pickle
+        # only the declared fields (plans regenerate lazily on load).
+        return {"instructions": self.instructions, "labels": self.labels,
+                "name": self.name}
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
     def target_index(self, label: str) -> int:
         try:
             return self.labels[label]

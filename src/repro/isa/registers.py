@@ -63,16 +63,26 @@ def v(index: int) -> VReg:
 
 _KINDS = {"x": XReg, "f": FReg, "v": VReg}
 
+#: Register objects are immutable, so textual names resolve to shared
+#: instances; assembling leans on this cache for every operand.
+_PARSE_CACHE: dict[str, _Reg] = {}
+
 
 def parse_reg(name: object) -> _Reg:
     """Accept a register object or a textual name like ``"x5"``."""
     if isinstance(name, _Reg):
         return name
-    if isinstance(name, str) and len(name) >= 2 and name[0] in _KINDS:
-        try:
-            return _KINDS[name[0]](int(name[1:]))
-        except ValueError:
-            pass
+    if isinstance(name, str):
+        reg = _PARSE_CACHE.get(name)
+        if reg is not None:
+            return reg
+        if len(name) >= 2 and name[0] in _KINDS:
+            try:
+                reg = _KINDS[name[0]](int(name[1:]))
+            except ValueError:
+                raise IsaError(f"not a register: {name!r}") from None
+            _PARSE_CACHE[name] = reg
+            return reg
     raise IsaError(f"not a register: {name!r}")
 
 

@@ -9,14 +9,16 @@ is exactly how Fig 6 sweeps 64 -> 512 B/lane.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from types import SimpleNamespace
 from typing import Callable
 
 import numpy as np
 
 from ..errors import ConfigError
+from ..functional.executor import ExecResult
 from ..isa.program import Program
 from ..params import SystemConfig
-from ..sim import RunResult, Simulator
+from ..sim import RunResult, Simulator, TraceCache, replay_trace, trace_key
 
 
 def vl_and_lmul(config: SystemConfig, bytes_per_lane: int,
@@ -44,8 +46,75 @@ class KernelRun:
     max_flops_per_cycle: float
     problem: dict = field(default_factory=dict)
 
+    @property
+    def setup_id(self) -> str:
+        """Identity of the initial data this kernel places in memory.
+
+        The kernel name plus the problem dictionary fully determine the
+        inputs (they seed the deterministic RNG), so this string is the
+        third component of the trace-cache key.
+        """
+        return f"{self.name}:{sorted(self.problem.items())!r}"
+
+    def trace_key(self, config: SystemConfig):
+        return trace_key(self.program, config.vlen_bits, self.setup_id)
+
+    def capture(self, config: SystemConfig, cache: TraceCache | None = None,
+                verify: bool = True) -> ExecResult:
+        """Capture (or fetch from ``cache``) this kernel's dynamic trace.
+
+        The golden ``check()`` runs **once per captured trace** — at
+        capture time, when the functional memory holds the results — and
+        never again on replays of the same trace.  A ``verify=True``
+        request hitting a cache entry that was captured unverified still
+        gets its check: against the entry's retained memory image when
+        present, else by recapturing fresh.
+        """
+        key = self.trace_key(config) if cache is not None else None
+        if cache is not None:
+            captured = cache.get(key)
+            if captured is not None:
+                if not verify or captured.extra.get("verified"):
+                    return captured
+                mem = captured.extra.get("mem")
+                if mem is not None:
+                    self.check(SimpleNamespace(mem=mem))
+                    captured.extra["verified"] = True
+                    return captured
+                # Replay-only entry (e.g. disk-rehydrated) cannot satisfy
+                # a verified capture: recapture fresh (the put() below
+                # upgrades the cached entry) and correct the accounting —
+                # the lookup saved no functional work.
+                cache.hits -= 1
+                cache.misses += 1
+        sim = Simulator(config)
+        self.setup(sim)
+        captured = sim.capture(self.program)
+        if verify:
+            self.check(sim)
+            captured.extra["verified"] = True
+        if cache is not None:
+            cache.put(key, captured)
+        return captured
+
     def run(self, config: SystemConfig, verify: bool = True,
-            sim: Simulator | None = None) -> RunResult:
+            sim: Simulator | None = None,
+            trace: ExecResult | None = None,
+            cache: TraceCache | None = None) -> RunResult:
+        """Execute at one operating point.
+
+        * ``trace=`` — replay-only path: time the given captured trace on
+          ``config``'s machine model (no functional run, no check).
+        * ``cache=`` — capture-or-reuse path: fetch/capture the trace via
+          the cache (check runs only on a capture miss), then replay.
+        * otherwise — classic end-to-end run on a fresh (or provided)
+          simulator.
+        """
+        if trace is not None:
+            return replay_trace(config, trace)
+        if cache is not None:
+            return replay_trace(config, self.capture(config, cache=cache,
+                                                     verify=verify))
         if sim is None:
             sim = Simulator(config)
         self.setup(sim)

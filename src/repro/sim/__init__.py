@@ -1,12 +1,18 @@
 """User-facing simulation facade.
 
-:class:`~repro.sim.simulator.Simulator` runs a program functionally and
-replays its trace on the timing model in one call, returning a
-:class:`~repro.sim.result.RunResult` with both the architectural outcome
-and the cycle-level report.
+:class:`~repro.sim.simulator.Simulator` exposes the trace-once /
+replay-many pipeline: :meth:`~repro.sim.simulator.Simulator.capture`
+produces a machine-independent trace, :func:`~repro.sim.simulator
+.replay_trace` times it on any machine model, and ``run`` does both in
+one call, returning a :class:`~repro.sim.result.RunResult` with the
+architectural outcome and the cycle-level report.  Captured traces are
+shared across operating points via
+:class:`~repro.sim.trace_cache.TraceCache`.
 """
 
-from .simulator import Simulator, run_program
+from .simulator import Simulator, replay_trace, run_program
 from .result import RunResult
+from .trace_cache import TraceCache, trace_key
 
-__all__ = ["Simulator", "RunResult", "run_program"]
+__all__ = ["Simulator", "RunResult", "TraceCache", "replay_trace",
+           "run_program", "trace_key"]

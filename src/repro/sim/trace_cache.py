@@ -1,0 +1,142 @@
+"""Trace cache: capture a functional execution once, replay it everywhere.
+
+The dynamic trace of a program depends only on (a) the program itself,
+(b) the initial architectural/memory state its setup placed, and (c) the
+machine's VLEN — never on the timing model.  The paper's evaluation is a
+large cross-product of kernels x problem sizes x machine/timing configs,
+so re-running the functional interpreter per timing point wastes almost
+all of its work.  :class:`TraceCache` keys captured
+:class:`~repro.functional.executor.ExecResult` objects by
+
+    (program fingerprint, vlen_bits, setup identity)
+
+where the *program fingerprint* is the content hash from
+:attr:`repro.isa.program.Program.fingerprint` and the *setup identity*
+names the initial data (for kernels: the kernel name plus its problem
+dictionary, which seeds the deterministic input RNG).  Two operating
+points with equal keys are guaranteed to produce identical traces, so a
+replay against any machine model yields a bit-identical
+:class:`~repro.timing.report.TimingReport` to a fresh end-to-end run.
+
+The cache is an in-memory LRU with an optional on-disk pickle layer
+(for cross-process reuse, e.g. ``benchmarks/out/trace_cache``).  Disk
+entries are pruned of the functional memory image and of decoded plan
+caches (which hold lambdas); a disk-rehydrated capture is replay-only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from collections import OrderedDict
+from pathlib import Path
+from typing import Optional
+
+from ..functional.executor import ExecResult
+from ..isa.program import Program
+
+TraceKey = tuple
+
+#: Default number of captured traces kept in memory.  Sweeps revisit a
+#: key only within one inner machine loop, so a modest window suffices.
+DEFAULT_CAPACITY = 32
+
+
+def trace_key(program: Program, vlen_bits: int, setup_id: str) -> TraceKey:
+    """Build the canonical cache key for one operating point."""
+    return (program.fingerprint, int(vlen_bits), setup_id)
+
+
+def _disk_payload(er: ExecResult) -> ExecResult:
+    """Replay-only disk payload: drop the functional memory image (large,
+    and only needed by golden checks, which run at capture time).  Decoded
+    plan caches (which hold lambdas) are excluded by ``Program`` /
+    ``Instruction.__getstate__`` without touching the live objects."""
+    return ExecResult(state=er.state, trace=er.trace, retired=er.retired,
+                      program=er.program, halted=er.halted, extra={})
+
+
+class TraceCache:
+    """LRU cache of captured functional executions, keyed by
+    ``(program fingerprint, vlen_bits, setup identity)``."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 disk_dir: str | Path | None = None) -> None:
+        if capacity < 1:
+            raise ValueError("trace cache capacity must be >= 1")
+        self.capacity = capacity
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self._entries: OrderedDict[TraceKey, ExecResult] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key(program: Program, vlen_bits: int, setup_id: str) -> TraceKey:
+        return trace_key(program, vlen_bits, setup_id)
+
+    def _disk_path(self, key: TraceKey) -> Optional[Path]:
+        if self.disk_dir is None:
+            return None
+        digest = hashlib.sha256(repr(key).encode()).hexdigest()[:32]
+        return self.disk_dir / f"trace_{digest}.pkl"
+
+    # ------------------------------------------------------------------
+    def get(self, key: TraceKey) -> Optional[ExecResult]:
+        """Captured execution for ``key``, or None (counts hit/miss)."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+        path = self._disk_path(key)
+        if path is not None and path.exists():
+            try:
+                with path.open("rb") as fh:
+                    entry = pickle.load(fh)
+            except Exception:
+                entry = None  # corrupt/stale file: fall through to a miss
+            if entry is not None:
+                self._remember(key, entry)
+                self.hits += 1
+                self.disk_hits += 1
+                return entry
+        self.misses += 1
+        return None
+
+    def put(self, key: TraceKey, captured: ExecResult) -> None:
+        self._remember(key, captured)
+        path = self._disk_path(key)
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with path.open("wb") as fh:
+                pickle.dump(_disk_payload(captured), fh,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+
+    def _remember(self, key: TraceKey, captured: ExecResult) -> None:
+        self._entries[key] = captured
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: TraceKey) -> bool:
+        return key in self._entries
+
+    @property
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "entries": len(self._entries),
+            "hit_rate": self.hits / total if total else 0.0,
+        }

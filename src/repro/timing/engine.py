@@ -71,44 +71,69 @@ class TimingEngine:
         bytes_read = 0.0
         bytes_written = 0.0
 
+        # Hot-loop locals: the same trace is replayed once per machine
+        # model, so per-event decode (unit routing, element count,
+        # register groups) is computed once and memoized on the event.
+        frontend_cost = frontend.cost
+        # Scalar kinds with state-independent cost (everything except the
+        # D$-dependent loads/stores) resolve through one dict hit; the
+        # table lives on the frontend so both paths share one model.
+        fixed_scalar_cost = frontend.fixed_costs.get
+        vsetvli_cycles = model.vsetvli_cycles
+        issue_gap = model.issue_gap
+        issue_to_arrive = model.request_latency + model.dispatch_latency
+        scalar_result_latency = model.scalar_result_latency
+        execute = self._execute
+        event_info = self._event_info
+        ctx = self._replay_ctx()
+
         for event in trace:
-            if isinstance(event, ScalarEvent):
-                t_scalar += frontend.cost(event)
+            cls = event.__class__
+            if cls is ScalarEvent:
+                cost = fixed_scalar_cost(event.kind)
+                t_scalar += cost if cost is not None else frontend_cost(event)
                 scalar_count += 1
                 continue
-            if isinstance(event, VsetvlEvent):
-                t_scalar += model.vsetvli_cycles
-                next_vissue = max(next_vissue, t_scalar + model.issue_gap)
+            if cls is VsetvlEvent:
+                t_scalar += vsetvli_cycles
+                gap_end = t_scalar + issue_gap
+                if gap_end > next_vissue:
+                    next_vissue = gap_end
                 scalar_count += 1
                 continue
-            if not isinstance(event, VectorEvent):  # pragma: no cover
+            if cls is not VectorEvent:  # pragma: no cover
                 raise TimingError(f"unknown trace event {event!r}")
 
             vec_count += 1
-            flops += event.flops
-            unit = units[self._unit_name(event)]
+            info = event.__dict__.get("_tinfo")
+            if info is None:
+                info = event_info(event)
+            flops += info[7]
+            unit = units[info[0]]
 
             # --- issue: one cycle of frontend work, ack gap, queue slot
             t_scalar += 1.0
-            t_ready = max(t_scalar, next_vissue)
+            t_ready = t_scalar if t_scalar > next_vissue else next_vissue
             t_admit = unit.admit(t_ready)
             issue_stalls += t_admit - t_ready
             t_issue = t_admit
             t_scalar = t_issue
-            next_vissue = t_issue + model.issue_gap
-            arrive = t_issue + model.request_latency + model.dispatch_latency
+            next_vissue = t_issue + issue_gap
+            arrive = t_issue + issue_to_arrive
 
             # --- execute on the unit
-            end_scalar_sync = self._execute(event, unit, sb, arrive)
+            end_scalar_sync = execute(event, info, unit, sb, arrive, ctx)
             if end_scalar_sync is not None:
-                t_scalar = max(
-                    t_scalar, end_scalar_sync + model.scalar_result_latency)
+                sync = end_scalar_sync + scalar_result_latency
+                if sync > t_scalar:
+                    t_scalar = sync
 
-            if event.mem is not None:
-                if event.mem.is_store:
-                    bytes_written += event.mem.total_bytes
+            mem_info = info[8]
+            if mem_info is not None:
+                if mem_info[0]:
+                    bytes_written += mem_info[1]
                 else:
-                    bytes_read += event.mem.total_bytes
+                    bytes_read += mem_info[1]
 
         total = max([t_scalar, sb.all_done()]
                     + [u.ready_time for u in units.values()])
@@ -128,6 +153,64 @@ class TimingEngine:
             dcache_misses=frontend.dcache.misses,
         )
         return report
+
+    # ------------------------------------------------------------------
+    # Per-event decode cache
+    # ------------------------------------------------------------------
+    #: Execution categories resolved into the per-event cache.
+    _CAT_MEM, _CAT_RED, _CAT_SLIDE, _CAT_MASKU, _CAT_ARITH = range(5)
+
+    @classmethod
+    def _event_info(cls, event: VectorEvent) -> tuple:
+        """Replay-invariant decode of one event, memoized on the event.
+
+        Returns ``(unit_name, n, sources, dest, dest_scalar, category,
+        extra)`` where ``n`` is the element count driving stream algebra,
+        ``sources``/``dest`` are the register groups from :meth:`_groups`
+        and ``extra`` is per-category static data (spec throughput, mask
+        logicality...).  The cache lives in the (frozen) event's
+        ``__dict__`` so a trace replayed against many machine models
+        decodes each event exactly once.
+        """
+        # The decode depends only on (static instruction, vl, sew, lmul)
+        # — sew reaches MemAccess.ew_bytes for indexed accesses — and the
+        # same instruction usually retires with one configuration, so the
+        # computed tuple is shared across all of its dynamic events.
+        instr = event.instr
+        per_instr = instr.__dict__.get("_tinfo_by_cfg")
+        if per_instr is None:
+            per_instr = {}
+            instr.__dict__["_tinfo_by_cfg"] = per_instr
+        cfg_key = (event.vl, event.sew, event.lmul)
+        info = per_instr.get(cfg_key)
+        if info is None:
+            spec = event.spec
+            # Scalar<->vector moves touch one element regardless of vl.
+            if spec.fmt in ("fv", "xs", "sf", "sx"):
+                n = 1
+            else:
+                n = max(1, event.vl)
+            groups = cls._groups(event)
+            if spec.is_mem:
+                cat, extra = cls._CAT_MEM, None
+            elif spec.is_reduction:
+                cat, extra = cls._CAT_RED, None
+            elif spec.is_slide:
+                cat, extra = cls._CAT_SLIDE, spec.throughput
+            elif spec.unit is ExecUnit.MASKU:
+                cat, extra = cls._CAT_MASKU, spec.mask_logical
+            else:
+                cat, extra = cls._CAT_ARITH, (spec.throughput,
+                                              spec.unit is ExecUnit.VMFPU)
+            mem = event.mem
+            info = (cls._unit_name(event), n, tuple(groups.sources),
+                    groups.dest, groups.dest_scalar, cat, extra,
+                    event.flops,
+                    (mem.is_store, mem.total_bytes) if mem is not None
+                    else None)
+            per_instr[cfg_key] = info
+        event.__dict__["_tinfo"] = info
+        return info
 
     # ------------------------------------------------------------------
     # Unit selection
@@ -188,88 +271,104 @@ class TimingEngine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def _execute(self, event: VectorEvent, unit: Resource, sb: Scoreboard,
-                 arrive: float) -> float | None:
+    def _replay_ctx(self) -> dict:
+        """Flatten the model's per-SEW rates and fixed latencies into one
+        dict, rebuilt per replay: the hot loop then pays dict hits instead
+        of method/property chains for every event."""
+        model = self.model
+        return {
+            "vfu": {s: model.vfu_rate(s) for s in (8, 16, 32, 64)},
+            "sldu": {s: model.sldu_rate(s) for s in (8, 16, 32, 64)},
+            "red_tail": {s: model.reduction_tail_cycles(s)
+                         for s in (8, 16, 32, 64)},
+            "masku_bit_rate": model.masku_bit_rate(),
+            "masku_latency": model.masku_latency,
+            "fpu_latency": model.fpu_latency,
+            "valu_latency": model.valu_latency,
+            "load_latency": model.load_first_data_latency,
+            "store_latency": model.store_pipe_latency,
+            "mem_rates": {},  # (pattern, ew_bytes, is_store) -> rate, lazy
+        }
+
+    def _execute(self, event: VectorEvent, info: tuple, unit: Resource,
+                 sb: Scoreboard, arrive: float, ctx: dict) -> float | None:
         """Run one vector instruction; returns a scalar-sync time if the
         scalar core must wait for the result."""
-        model = self.model
-        spec = event.spec
-        # Scalar<->vector moves touch a single element regardless of vl.
-        if spec.fmt in ("fv", "xs", "sf", "sx"):
-            n = 1
-        else:
-            n = max(1, event.vl)
-        groups = self._groups(event)
-        src_streams = tuple(
-            sb.source_stream(base, emul, n) for base, emul in groups.sources)
+        _, n, sources, dest, dest_scalar, cat, extra = info[:7]
+        source_stream = sb.source_stream
+        src_streams = [source_stream(base, emul, n) for base, emul in sources]
 
-        waw = sb.waw_war_bound(*groups.dest) if groups.dest else 0.0
-        earliest = max(arrive, waw)
+        waw = sb.waw_war_bound(*dest) if dest else 0.0
+        earliest = arrive if arrive > waw else waw
 
-        if spec.is_mem:
+        rt = unit.ready_time
+        start = rt if rt > earliest else earliest
+        is_mem = cat == self._CAT_MEM
+        if is_mem:
             end_exec, result, busy = self._mem_op(event, unit, src_streams,
-                                                  earliest, n)
-        elif spec.is_reduction:
-            rate = model.vfu_rate(event.sew)
-            start = unit.start(earliest)
+                                                  earliest, n, ctx)
+        elif cat == self._CAT_RED:
+            rate = ctx["vfu"][event.sew]
             end_intra, _ = consume(start, rate, n, src_streams, latency=0.0)
-            tail = model.reduction_tail_cycles(event.sew)
+            tail = ctx["red_tail"][event.sew]
             end_exec = end_intra + tail
             result = Stream.instant(end_exec, 1)
             busy = n / rate
-        elif spec.is_slide:
-            rate = model.sldu_rate(event.sew) * spec.throughput
-            latency = model.slide_extra_cycles(event.slide_amount, event.vl)
-            start = unit.start(earliest)
+        elif cat == self._CAT_SLIDE:
+            rate = ctx["sldu"][event.sew] * extra
+            latency = self.model.slide_extra_cycles(event.slide_amount,
+                                                    event.vl)
             end_exec, result = consume(start, rate, n, src_streams,
                                        latency=latency)
             busy = n / rate
-        elif spec.unit is ExecUnit.MASKU:
-            if spec.mask_logical:
-                rate = model.masku_bit_rate()
+        elif cat == self._CAT_MASKU:
+            if extra:  # mask-logical op
+                rate = ctx["masku_bit_rate"]
             else:
-                rate = model.vfu_rate(event.sew)
-            start = unit.start(earliest)
+                rate = ctx["vfu"][event.sew]
             end_exec, result = consume(start, rate, n, src_streams,
-                                       latency=model.masku_latency)
+                                       latency=ctx["masku_latency"])
             busy = n / rate
         else:
-            rate = model.vfu_rate(event.sew) * spec.throughput
-            latency = (model.fpu_latency if spec.unit is ExecUnit.VMFPU
-                       else model.valu_latency)
-            start = unit.start(earliest)
+            throughput, is_fpu = extra
+            rate = ctx["vfu"][event.sew] * throughput
+            latency = ctx["fpu_latency"] if is_fpu else ctx["valu_latency"]
             end_exec, result = consume(start, rate, n, src_streams,
                                        latency=latency)
             busy = n / rate
 
-        unit.retire(start if not spec.is_mem else end_exec - max(busy, 0.0),
+        unit.retire(end_exec - max(busy, 0.0) if is_mem else start,
                     end_exec, busy)
-        for base, emul in groups.sources:
+        for base, emul in sources:
             sb.record_read(base, emul, end_exec)
-        if groups.dest is not None:
-            sb.record_write(*groups.dest, result)
-        if groups.dest_scalar:
+        if dest is not None:
+            sb.record_write(*dest, result)
+        if dest_scalar:
             return result.t_last if result.n else end_exec
         return None
 
     # ------------------------------------------------------------------
     def _mem_op(self, event: VectorEvent, unit: Resource,
                 src_streams: tuple[Stream, ...], earliest: float,
-                n: int) -> tuple[float, Stream, float]:
-        model = self.model
+                n: int, ctx: dict) -> tuple[float, Stream, float]:
         mem: MemAccess = event.mem  # type: ignore[assignment]
         if mem is None:
             raise TimingError(f"memory op {event.instr} lacks a MemAccess")
-        rate = model.mem_rate(mem.pattern, max(1, mem.ew_bytes), mem.is_store)
+        rate_key = (mem.pattern, mem.ew_bytes, mem.is_store)
+        rate = ctx["mem_rates"].get(rate_key)
+        if rate is None:
+            rate = self.model.mem_rate(mem.pattern, max(1, mem.ew_bytes),
+                                       mem.is_store)
+            ctx["mem_rates"][rate_key] = rate
         # Misaligned unit-stride requests pay one extra align-stage pass.
         align_pen = 0.0
         if mem.pattern is MemPattern.UNIT and mem.base % 64:
             align_pen = 1.0
         start = unit.start(earliest)
         if mem.is_store:
-            latency = model.store_pipe_latency + align_pen
+            latency = ctx["store_latency"] + align_pen
         else:
-            latency = model.load_first_data_latency + align_pen
+            latency = ctx["load_latency"] + align_pen
         count = mem.count if mem.pattern is MemPattern.MASK else n
         end_exec, result = consume(start, rate, count, src_streams,
                                    latency=latency)

@@ -26,20 +26,27 @@ class ScalarFrontend:
         self.dcache = DirectMappedCache(config.dcache_bytes,
                                         config.dcache_line_bytes)
         self.cycles_by_kind: dict[str, float] = {}
+        #: State-independent per-kind costs (everything except the D$-
+        #: dependent loads/stores).  The replay hot loop reads this table
+        #: directly and bypasses :meth:`cost` for these kinds, so
+        #: ``cycles_by_kind`` only accumulates loads/stores there.
+        #: FP charges half the pipelined latency as the average exposure
+        #: (dependent scalar FP chains are rare in the kernels).
+        self.fixed_costs: dict[str, float] = {
+            "alu": float(config.alu_latency),
+            "mul": 2.0,
+            "div": 10.0,
+            "fp": max(1.0, config.fpu_latency / 2),
+            "branch": 1.0,
+            "branch_taken": 1.0 + config.branch_penalty,
+        }
 
     def cost(self, event: ScalarEvent) -> float:
         cfg = self.config
         kind = event.kind
-        if kind == "alu":
-            cycles = float(cfg.alu_latency)
-        elif kind == "mul":
-            cycles = 2.0
-        elif kind == "div":
-            cycles = 10.0
-        elif kind == "fp":
-            # Pipelined FPU; dependent scalar FP chains are rare in the
-            # kernels, so charge half the latency as the average exposure.
-            cycles = max(1.0, cfg.fpu_latency / 2)
+        fixed = self.fixed_costs.get(kind)
+        if fixed is not None:
+            cycles = fixed
         elif kind == "load":
             hit = self.dcache.access(event.addr or 0)
             cycles = float(cfg.dcache_hit_latency)
@@ -49,10 +56,6 @@ class ScalarFrontend:
             # Write-through store buffer: a cycle unless the line misses.
             hit = self.dcache.access(event.addr or 0)
             cycles = 1.0 if hit else 2.0
-        elif kind == "branch":
-            cycles = 1.0
-        elif kind == "branch_taken":
-            cycles = 1.0 + cfg.branch_penalty
         else:
             cycles = 1.0
         self.cycles_by_kind[kind] = self.cycles_by_kind.get(kind, 0.0) + cycles

@@ -4,31 +4,26 @@ Tracks, per architectural vector register, the availability stream of the
 last write plus the completion times needed for write-after-write and
 write-after-read ordering.  Register groups (LMUL > 1) update every member
 register; a reader of any member register chains on the group's stream.
+
+Storage is three parallel 32-entry lists (stream / write-end / read-end)
+rather than per-register objects: the replay loop touches the scoreboard
+several times per instruction, and flat list indexing keeps that cheap.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from .stream import Stream
 
-
-@dataclass
-class _RegState:
-    stream: Stream = field(default_factory=lambda: Stream.instant(0.0, 0))
-    write_end: float = 0.0  # when the last writer fully retired
-    read_end: float = 0.0  # when the last reader finished consuming
+_EMPTY = Stream.instant(0.0, 0)
 
 
 class Scoreboard:
     """Availability tracking for the 32 vector registers."""
 
     def __init__(self) -> None:
-        self._regs = [_RegState() for _ in range(32)]
-
-    @staticmethod
-    def _group(base: int, emul: int) -> range:
-        return range(base, min(32, base + max(1, emul)))
+        self._streams: list[Stream] = [_EMPTY] * 32
+        self._write_end: list[float] = [0.0] * 32
+        self._read_end: list[float] = [0.0] * 32
 
     # ------------------------------------------------------------------
     def source_stream(self, base: int, emul: int, n: int) -> Stream:
@@ -40,12 +35,16 @@ class Scoreboard:
         """
         t_first = 0.0
         t_last = 0.0
-        for reg in self._group(base, emul):
-            st = self._regs[reg].stream
+        streams = self._streams
+        for reg in range(base, min(32, base + emul) if emul > 1 else base + 1):
+            st = streams[reg]
             if st.n == 0:
                 continue
-            t_first = max(t_first, st.t_first)
-            t_last = max(t_last, st.t_last)
+            if st.t_first > t_first:
+                t_first = st.t_first
+            st_last = st.t_last
+            if st_last > t_last:
+                t_last = st_last
         if n <= 1 or t_last <= t_first:
             return Stream.instant(t_first, n)
         return Stream(t_first=t_first, rate=(n - 1) / (t_last - t_first), n=n)
@@ -53,23 +52,33 @@ class Scoreboard:
     def waw_war_bound(self, base: int, emul: int) -> float:
         """Earliest start for a writer of this group (WAW + WAR)."""
         bound = 0.0
-        for reg in self._group(base, emul):
-            state = self._regs[reg]
-            bound = max(bound, state.write_end, state.read_end)
+        we = self._write_end
+        re = self._read_end
+        for reg in range(base, min(32, base + emul) if emul > 1 else base + 1):
+            if we[reg] > bound:
+                bound = we[reg]
+            if re[reg] > bound:
+                bound = re[reg]
         return bound
 
     # ------------------------------------------------------------------
     def record_read(self, base: int, emul: int, end_exec: float) -> None:
-        for reg in self._group(base, emul):
-            state = self._regs[reg]
-            state.read_end = max(state.read_end, end_exec)
+        re = self._read_end
+        for reg in range(base, min(32, base + emul) if emul > 1 else base + 1):
+            if end_exec > re[reg]:
+                re[reg] = end_exec
+        return None
 
     def record_write(self, base: int, emul: int, result: Stream) -> None:
-        for reg in self._group(base, emul):
-            state = self._regs[reg]
-            state.stream = result
-            state.write_end = max(state.write_end, result.t_end)
+        streams = self._streams
+        we = self._write_end
+        t_end = result.t_end
+        for reg in range(base, min(32, base + emul) if emul > 1 else base + 1):
+            streams[reg] = result
+            if t_end > we[reg]:
+                we[reg] = t_end
+        return None
 
     def all_done(self) -> float:
         """Cycle at which every register write has landed."""
-        return max(s.write_end for s in self._regs)
+        return max(self._write_end)

@@ -12,47 +12,54 @@ which a consumer composes with its own start time and intrinsic rate.
 This captures the first-order behaviour (pipeline fill, rate limiting,
 stall-free chaining when the producer is faster) without per-element
 event simulation, keeping replay cost independent of vector length.
+
+``Stream`` is a hand-rolled ``__slots__`` class rather than a dataclass:
+the replay loop creates several streams per instruction, and ``t_last`` /
+``t_end`` are precomputed at construction because the scoreboard reads
+them repeatedly.  Instances are immutable by convention.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 
 from ..errors import TimingError
 
 
-@dataclass(frozen=True)
 class Stream:
     """Availability of ``n`` elements starting at ``t_first``.
 
     ``rate`` is in elements per cycle.  ``t_first`` is the cycle at which
-    element 0 can first be consumed.
+    element 0 can first be consumed.  ``t_last`` is the cycle at which
+    the final element becomes available; ``t_end`` the cycle at which the
+    whole stream has been delivered.
     """
 
-    t_first: float
-    rate: float
-    n: int
+    __slots__ = ("t_first", "rate", "n", "t_last", "t_end")
 
-    def __post_init__(self) -> None:
-        if self.n < 0:
+    def __init__(self, t_first: float, rate: float, n: int) -> None:
+        if n < 0:
             raise TimingError("stream cannot carry a negative element count")
-        if self.n > 0 and self.rate <= 0:
+        if n > 0 and rate <= 0:
             raise TimingError("stream rate must be positive")
+        self.t_first = t_first
+        self.rate = rate
+        self.n = n
+        if n == 0:
+            self.t_last = t_first
+            self.t_end = t_first
+        else:
+            self.t_last = t_first + (n - 1) / rate
+            self.t_end = t_first + n / rate
 
-    @property
-    def t_last(self) -> float:
-        """Cycle at which the final element becomes available."""
-        if self.n == 0:
-            return self.t_first
-        return self.t_first + (self.n - 1) / self.rate
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Stream(t_first={self.t_first}, rate={self.rate}, n={self.n})"
 
-    @property
-    def t_end(self) -> float:
-        """Cycle at which the whole stream has been delivered."""
-        if self.n == 0:
-            return self.t_first
-        return self.t_first + self.n / self.rate
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Stream):
+            return NotImplemented
+        return (self.t_first == other.t_first and self.rate == other.rate
+                and self.n == other.n)
 
     def avail(self, index: int) -> float:
         """Cycle at which element ``index`` is available."""
@@ -63,11 +70,11 @@ class Stream:
     @classmethod
     def instant(cls, t: float, n: int) -> "Stream":
         """All elements available at once (an already-written register)."""
-        return cls(t_first=t, rate=math.inf, n=n)
+        return cls(t, math.inf, n)
 
     @classmethod
     def empty(cls, t: float = 0.0) -> "Stream":
-        return cls(t_first=t, rate=math.inf, n=0)
+        return cls(t, math.inf, 0)
 
 
 def consume(start: float, own_rate: float, n: int,
@@ -88,22 +95,27 @@ def consume(start: float, own_rate: float, n: int,
         return start, Stream.empty(start + latency)
     if own_rate <= 0:
         raise TimingError("operation rate must be positive")
-    # First element: the unit needs its sources' element 0.
+    # First element: the unit needs its sources' element 0 (avail(0) is
+    # t_first; inlined — this loop runs several times per instruction).
     t0_in = start
     for src in sources:
-        if src.n:
-            t0_in = max(t0_in, src.avail(0))
+        if src.n and src.t_first > t0_in:
+            t0_in = src.t_first
     # Last element: limited by own throughput from t0 and by each source.
     t_last_in = t0_in + (n - 1) / own_rate
     for src in sources:
-        if src.n:
-            t_last_in = max(t_last_in, src.avail(min(n, src.n) - 1))
+        sn = src.n
+        if sn:
+            last = n if n < sn else sn
+            t = src.t_first + (last - 1) / src.rate
+            if t > t_last_in:
+                t_last_in = t
     end_exec = t_last_in + 1.0 / own_rate
     t_first_out = t0_in + latency + 1.0 / own_rate
     t_last_out = t_last_in + latency + 1.0 / own_rate
     if n == 1:
-        result = Stream(t_first=t_first_out, rate=own_rate, n=1)
+        result = Stream(t_first_out, own_rate, 1)
     else:
         eff_rate = (n - 1) / max(t_last_out - t_first_out, 1e-12)
-        result = Stream(t_first=t_first_out, rate=eff_rate, n=n)
+        result = Stream(t_first_out, eff_rate, n)
     return end_exec, result
