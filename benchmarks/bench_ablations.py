@@ -7,41 +7,60 @@ Three sweeps that probe the design decisions Section III motivates:
 * GLSU pipeline depth — the latency-for-scalability trade of Fig 3;
 * unit queue depth — how much decoupling the sequencer needs to hide
   the longer AraXL issue path.
+
+Every sweep varies pure timing knobs at a fixed lane count, so each
+kernel's trace is captured exactly once and the per-knob timing replays
+fan out over a :class:`~repro.sim.parallel.ReplayPool` (sized to the
+host; replay results are byte-identical to a serial sweep regardless).
 """
 
 import dataclasses
 
-import pytest
-
 from repro.kernels import KERNELS
 from repro.params import AraXLConfig
 from repro.report import render_table
-from repro.sim import TraceCache
+from repro.sim import ReplayPool, TraceCache
 
 from conftest import save_output
 
 
-def _util(config, kernel, bpl, cache=None, **kw):
-    """Utilization at one operating point.
+def _knob_utils(configs, kernel_specs, workers=None):
+    """Utilization matrix for timing-knob `configs` x `kernel_specs`.
 
-    All ablation sweeps vary pure timing knobs at a fixed lane count, so
-    passing a :class:`TraceCache` captures each kernel's trace once and
-    replays it per knob value.
+    ``kernel_specs`` is ``[(kernel_name, bytes_per_lane, problem_kwargs)]``.
+    Capture phase: one functional execution per kernel (the knobs do not
+    change VLEN, so every config replays the same trace).  Replay phase:
+    one pooled batch over the full configs x kernels cross-product.
+    Returns ``rows[config_index][spec_index] -> utilization``.
     """
-    run = KERNELS[kernel](config, bpl, **kw)
-    return run.utilization(run.run(config, verify=False, cache=cache))
+    cache = TraceCache()
+    runs, tasks = [], []
+    for name, bpl, kw in kernel_specs:
+        run = KERNELS[name](configs[0], bpl, **kw)
+        captured = run.capture(configs[0], cache=cache, verify=False)
+        key = run.trace_key(configs[0])
+        runs.append(run)
+        tasks.extend((config, captured, key) for config in configs)
+    reports = ReplayPool(workers=workers).replay_batch(tasks)
+    per_spec = len(configs)
+    rows = [[None] * len(kernel_specs) for _ in configs]
+    for spec_i, run in enumerate(runs):
+        group = reports[spec_i * per_spec:(spec_i + 1) * per_spec]
+        for cfg_i, report in enumerate(group):
+            rows[cfg_i][spec_i] = report.fpu_utilization(
+                run.max_flops_per_cycle)
+    return rows
 
 
 def test_ablation_ring_hop_latency(benchmark):
+    hops = (1, 2, 4, 8)
+
     def sweep():
-        cache = TraceCache()
-        rows = []
-        for hop in (1, 2, 4, 8):
-            cfg = AraXLConfig(lanes=32, ring_hop_latency=hop)
-            rows.append((hop,
-                         f"{_util(cfg, 'fconv2d', 512, cache=cache, rows=32) * 100:.1f}%",
-                         f"{_util(cfg, 'fdotproduct', 512, cache=cache) * 100:.1f}%"))
-        return rows
+        configs = [AraXLConfig(lanes=32, ring_hop_latency=h) for h in hops]
+        utils = _knob_utils(configs, [("fconv2d", 512, {"rows": 32}),
+                                      ("fdotproduct", 512, {})])
+        return [(hop, f"{u[0] * 100:.1f}%", f"{u[1] * 100:.1f}%")
+                for hop, u in zip(hops, utils)]
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     save_output("ablation_ring_hop", render_table(
@@ -54,15 +73,14 @@ def test_ablation_ring_hop_latency(benchmark):
 
 
 def test_ablation_glsu_depth(benchmark):
+    extras = (0, 4, 8, 16)
+
     def sweep():
-        cache = TraceCache()
-        rows = []
-        for extra in (0, 4, 8, 16):
-            cfg = AraXLConfig(lanes=32, glsu_extra_regs=extra)
-            rows.append((extra,
-                         f"{_util(cfg, 'fmatmul', 512, cache=cache, m=16, k=64) * 100:.1f}%",
-                         f"{_util(cfg, 'fdotproduct', 512, cache=cache) * 100:.1f}%"))
-        return rows
+        configs = [AraXLConfig(lanes=32, glsu_extra_regs=e) for e in extras]
+        utils = _knob_utils(configs, [("fmatmul", 512, {"m": 16, "k": 64}),
+                                      ("fdotproduct", 512, {})])
+        return [(extra, f"{u[0] * 100:.1f}%", f"{u[1] * 100:.1f}%")
+                for extra, u in zip(extras, utils)]
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     save_output("ablation_glsu_depth", render_table(
@@ -73,15 +91,14 @@ def test_ablation_glsu_depth(benchmark):
 
 
 def test_ablation_queue_depth(benchmark):
+    depths = (1, 2, 4, 8)
+
     def sweep():
-        cache = TraceCache()
-        rows = []
-        for depth in (1, 2, 4, 8):
-            cfg = dataclasses.replace(AraXLConfig(lanes=32),
-                                      unit_queue_depth=depth)
-            rows.append((depth,
-                         f"{_util(cfg, 'fmatmul', 128, cache=cache, m=16, k=64) * 100:.1f}%"))
-        return rows
+        configs = [dataclasses.replace(AraXLConfig(lanes=32),
+                                       unit_queue_depth=d) for d in depths]
+        utils = _knob_utils(configs, [("fmatmul", 128, {"m": 16, "k": 64})])
+        return [(depth, f"{u[0] * 100:.1f}%")
+                for depth, u in zip(depths, utils)]
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     save_output("ablation_queue_depth", render_table(

@@ -18,9 +18,12 @@ from dataclasses import dataclass
 from ..kernels import KERNELS
 from ..params import Ara2Config, AraXLConfig, SystemConfig
 from ..report.tables import render_table
-from ..sim import TraceCache
+from ..sim import ReplayPool, TraceCache
 
 DEFAULT_BYTES_PER_LANE = (64, 128, 256, 512)
+
+#: Machine every Fig 6 bar is normalized against (the paper's baseline).
+BASELINE_MACHINE = "8L-Ara2"
 
 #: Headline numbers from Section IV-B used as acceptance targets.
 PAPER_FIG6_CLAIMS = {
@@ -62,39 +65,69 @@ def run_fig6(kernels: tuple[str, ...] | None = None,
              machines: list[SystemConfig] | None = None,
              scale: str = "paper",
              verify: bool = False,
-             trace_cache: TraceCache | None = None) -> list[Fig6Point]:
+             trace_cache: TraceCache | None = None,
+             workers: int | None = 1) -> list[Fig6Point]:
     """Execute the Fig 6 sweep; returns one point per (kernel, machine, size).
 
-    Machines sharing a VLEN (e.g. 8L-Ara2 and 8L-AraXL) execute the same
-    program over the same data, so the functional trace is captured once
-    per VLEN group and only the timing replay runs per machine.
+    Two phases.  **Capture**: machines sharing a VLEN (e.g. 8L-Ara2 and
+    8L-AraXL) execute the same program over the same data, so the
+    functional trace is captured once per VLEN group.  **Replay**: every
+    (kernel, machine, size) timing replay is independent, so the whole
+    batch fans out over a :class:`~repro.sim.parallel.ReplayPool`
+    (``workers=1`` replays in-process; ``workers=None`` autodetects).
+    The rendered output is byte-identical for any worker count.
     """
     kernels = kernels or tuple(KERNELS)
     machines = machines if machines is not None else default_machines()
     kwargs_by_kernel = _SCALE_KWARGS[scale]
     cache = trace_cache if trace_cache is not None else TraceCache()
-    points: list[Fig6Point] = []
+
+    # ---- capture phase: one functional execution per distinct trace key.
+    # Captures are pinned in `captured_by_key` (not just the LRU) because
+    # the replay batch below needs every one of them alive at once.
+    captured_by_key: dict = {}
+    meta: list[tuple[str, int, SystemConfig, object]] = []
+    tasks = []
     for kernel_name in kernels:
         builder = KERNELS[kernel_name]
         kw = kwargs_by_kernel.get(kernel_name, {})
         for bpl in bytes_per_lane:
-            base_perf: float | None = None
             for config in machines:
                 run = builder(config, bpl, **kw)
-                result = run.run(config, verify=verify, cache=cache)
-                perf = result.flops_per_cycle
-                if config.name == "8L-Ara2":
-                    base_perf = perf
-                points.append(Fig6Point(
-                    kernel=kernel_name,
-                    machine=config.name,
-                    lanes=config.lanes,
-                    bytes_per_lane=bpl,
-                    cycles=result.cycles,
-                    flops_per_cycle=perf,
-                    utilization=run.utilization(result),
-                    scaling_vs_8l_ara2=(perf / base_perf) if base_perf else 0.0,
-                ))
+                key = run.trace_key(config)
+                captured = captured_by_key.get(key)
+                if captured is None:
+                    captured = run.capture(config, cache=cache,
+                                           verify=verify)
+                    captured_by_key[key] = captured
+                meta.append((kernel_name, bpl, config, run))
+                tasks.append((config, captured, key))
+
+    # ---- replay phase: fan the timing replays out over the pool.
+    pool = ReplayPool(workers=workers, disk_dir=cache.disk_dir)
+    reports = pool.replay_batch(tasks)
+
+    # ---- assembly: index the normalization baseline per (kernel, B/lane)
+    # after the replay phase, so custom `machines=` lists are order-
+    # independent (a machine listed before 8L-Ara2 still normalizes).
+    base_perf: dict[tuple[str, int], float] = {}
+    for (kernel_name, bpl, config, _run), report in zip(meta, reports):
+        if config.name == BASELINE_MACHINE:
+            base_perf[(kernel_name, bpl)] = report.flops_per_cycle
+    points: list[Fig6Point] = []
+    for (kernel_name, bpl, config, run), report in zip(meta, reports):
+        perf = report.flops_per_cycle
+        base = base_perf.get((kernel_name, bpl))
+        points.append(Fig6Point(
+            kernel=kernel_name,
+            machine=config.name,
+            lanes=config.lanes,
+            bytes_per_lane=bpl,
+            cycles=report.cycles,
+            flops_per_cycle=perf,
+            utilization=report.fpu_utilization(run.max_flops_per_cycle),
+            scaling_vs_8l_ara2=(perf / base) if base else 0.0,
+        ))
     return points
 
 

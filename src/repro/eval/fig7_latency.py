@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from ..kernels import KERNELS
 from ..params import AraXLConfig
 from ..report.tables import render_table
-from ..sim import TraceCache
+from ..sim import ReplayPool, TraceCache
 from .fig6_scaling import _SCALE_KWARGS, DEFAULT_BYTES_PER_LANE
 
 #: Section IV-C claims: maximum utilization drop per interface in the
@@ -56,19 +56,30 @@ def run_fig7(kernels: tuple[str, ...] | None = None,
              lanes: int = 64,
              interfaces: tuple[str, ...] = ("glsu", "reqi", "ringi"),
              scale: str = "paper",
-             trace_cache: TraceCache | None = None) -> list[Fig7Point]:
+             trace_cache: TraceCache | None = None,
+             workers: int | None = 1) -> list[Fig7Point]:
     """Run the Fig 7 sweep as trace-once / replay-many.
 
     The register-cut configurations change only the timing model — the
-    dynamic trace is identical across them — so each (kernel, B/lane)
-    point is executed functionally exactly once and the captured trace
-    is replayed on the baseline plus every interface-cut machine.
+    dynamic trace is identical across them — so the **capture phase**
+    executes each (kernel, B/lane) point functionally exactly once, and
+    the **replay phase** times the captured trace on the baseline plus
+    every interface-cut machine, fanned out over a
+    :class:`~repro.sim.parallel.ReplayPool` (``workers=1`` replays
+    in-process; ``workers=None`` autodetects).  Output is byte-identical
+    for any worker count.
     """
     kernels = kernels or tuple(KERNELS)
     kwargs_by_kernel = _SCALE_KWARGS[scale]
     base_config = AraXLConfig(lanes=lanes)
+    cut_configs = {interface: dataclasses.replace(
+        base_config, **INTERFACE_SETUPS[interface])
+        for interface in interfaces}
     cache = trace_cache if trace_cache is not None else TraceCache()
-    points: list[Fig7Point] = []
+
+    # ---- capture phase: one functional execution per (kernel, B/lane).
+    meta = []  # (kernel, bpl, run), one entry per operating point
+    tasks = []  # baseline replay followed by one replay per interface cut
     for kernel_name in kernels:
         builder = KERNELS[kernel_name]
         kw = kwargs_by_kernel.get(kernel_name, {})
@@ -76,19 +87,30 @@ def run_fig7(kernels: tuple[str, ...] | None = None,
             base_run = builder(base_config, bpl, **kw)
             captured = base_run.capture(base_config, cache=cache,
                                         verify=False)
-            base_res = base_run.run(base_config, trace=captured)
-            base_util = base_run.utilization(base_res)
+            key = base_run.trace_key(base_config)
+            meta.append((kernel_name, bpl, base_run))
+            tasks.append((base_config, captured, key))
             for interface in interfaces:
-                cut_config = dataclasses.replace(
-                    base_config, **INTERFACE_SETUPS[interface])
-                cut_res = base_run.run(cut_config, trace=captured)
-                points.append(Fig7Point(
-                    interface=interface,
-                    kernel=kernel_name,
-                    bytes_per_lane=bpl,
-                    base_utilization=base_util,
-                    cut_utilization=base_run.utilization(cut_res),
-                ))
+                tasks.append((cut_configs[interface], captured, key))
+
+    # ---- replay phase: baseline + cuts for every point, one batch.
+    pool = ReplayPool(workers=workers, disk_dir=cache.disk_dir)
+    reports = pool.replay_batch(tasks)
+
+    points: list[Fig7Point] = []
+    per_point = 1 + len(interfaces)
+    for slot, (kernel_name, bpl, base_run) in enumerate(meta):
+        group = reports[slot * per_point:(slot + 1) * per_point]
+        peak = base_run.max_flops_per_cycle
+        base_util = group[0].fpu_utilization(peak)
+        for interface, cut_report in zip(interfaces, group[1:]):
+            points.append(Fig7Point(
+                interface=interface,
+                kernel=kernel_name,
+                bytes_per_lane=bpl,
+                base_utilization=base_util,
+                cut_utilization=cut_report.fpu_utilization(peak),
+            ))
     return points
 
 

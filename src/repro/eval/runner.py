@@ -1,4 +1,10 @@
-"""Experiment registry: run any paper table/figure by its identifier."""
+"""Experiment registry: run any paper table/figure by its identifier.
+
+Every entry takes ``(scale, workers)``; the simulation sweeps with a
+parallel replay phase (fig6/fig7/table3) thread ``workers`` into their
+:class:`~repro.sim.parallel.ReplayPool`, the static experiments accept
+and ignore it so the registry stays uniform.
+"""
 
 from __future__ import annotations
 
@@ -14,40 +20,40 @@ from .table2_area import render_table2, run_table2
 from .table3_ppa import render_table3, run_table3
 
 
-def _fig6(scale: str) -> str:
-    return render_fig6(run_fig6(scale=scale))
+def _fig6(scale: str, workers: int | None = 1) -> str:
+    return render_fig6(run_fig6(scale=scale, workers=workers))
 
 
-def _fig7(scale: str) -> str:
-    return render_fig7(run_fig7(scale=scale))
+def _fig7(scale: str, workers: int | None = 1) -> str:
+    return render_fig7(run_fig7(scale=scale, workers=workers))
 
 
-def _fig8(scale: str) -> str:
+def _fig8(scale: str, workers: int | None = 1) -> str:
     return render_fig8(run_fig8(lanes=16))
 
 
-def _fig9(scale: str) -> str:
+def _fig9(scale: str, workers: int | None = 1) -> str:
     return render_fig9(run_fig9())
 
 
-def _table1(scale: str) -> str:
+def _table1(scale: str, workers: int | None = 1) -> str:
     return render_table1(run_table1(scale=scale))
 
 
-def _table2(scale: str) -> str:
+def _table2(scale: str, workers: int | None = 1) -> str:
     return render_table2(run_table2())
 
 
-def _table3(scale: str) -> str:
-    return render_table3(run_table3(scale=scale))
+def _table3(scale: str, workers: int | None = 1) -> str:
+    return render_table3(run_table3(scale=scale, workers=workers))
 
 
-def _fig1(scale: str) -> str:
+def _fig1(scale: str, workers: int | None = 1) -> str:
     return render_survey()
 
 
-#: Experiment id -> callable(scale) -> rendered text.
-EXPERIMENTS: dict[str, Callable[[str], str]] = {
+#: Experiment id -> callable(scale, workers) -> rendered text.
+EXPERIMENTS: dict[str, Callable[..., str]] = {
     "fig1": _fig1,
     "fig6": _fig6,
     "fig7": _fig7,
@@ -59,12 +65,18 @@ EXPERIMENTS: dict[str, Callable[[str], str]] = {
 }
 
 
-def run_experiment(name: str, scale: str = "paper") -> str:
-    """Run one experiment by id ('fig6', 'table3', ...); returns text."""
+def run_experiment(name: str, scale: str = "paper",
+                   workers: int | None = 1) -> str:
+    """Run one experiment by id ('fig6', 'table3', ...); returns text.
+
+    ``workers`` fans the replay phase of the simulation sweeps out over
+    that many processes (``None`` autodetects, ``1`` stays in-process);
+    rendered output is byte-identical for any value.
+    """
     try:
         runner = EXPERIMENTS[name]
     except KeyError:
         raise KeyError(
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
         ) from None
-    return runner(scale)
+    return runner(scale, workers)

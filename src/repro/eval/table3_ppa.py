@@ -37,21 +37,31 @@ def default_configs() -> list[SystemConfig]:
 def run_table3(configs: list[SystemConfig] | None = None,
                bytes_per_lane: int = 512,
                scale: str = "paper",
-               trace_cache=None) -> list[PpaPoint]:
-    from ..sim import TraceCache
+               trace_cache=None,
+               workers: int | None = 1) -> list[PpaPoint]:
+    from ..sim import ReplayPool, TraceCache
     from .fig6_scaling import _SCALE_KWARGS
 
     configs = configs if configs is not None else default_configs()
     kw = _SCALE_KWARGS[scale].get("fmatmul", {})
-    # 16L-Ara2 and 16L-AraXL share a VLEN: capture fmatmul's trace once
-    # per VLEN group and only re-run the timing replay per machine.
+    # 16L-Ara2 and 16L-AraXL share a VLEN: the capture phase runs
+    # fmatmul functionally once per VLEN group, then the replay phase
+    # times every machine through the ReplayPool (workers=1 in-process).
     cache = trace_cache if trace_cache is not None else TraceCache()
-    points = []
+    captured_by_key: dict = {}
+    tasks = []
     for config in configs:
         run = build_fmatmul(config, bytes_per_lane, **kw)
-        result = run.run(config, verify=False, cache=cache)
-        points.append(ppa_point(config, result.timing))
-    return points
+        key = run.trace_key(config)
+        captured = captured_by_key.get(key)
+        if captured is None:
+            captured = run.capture(config, cache=cache, verify=False)
+            captured_by_key[key] = captured
+        tasks.append((config, captured, key))
+    pool = ReplayPool(workers=workers, disk_dir=cache.disk_dir)
+    reports = pool.replay_batch(tasks)
+    return [ppa_point(config, report)
+            for (config, _captured, _key), report in zip(tasks, reports)]
 
 
 def render_table3(points: list[PpaPoint]) -> str:

@@ -85,8 +85,7 @@ class KernelRun:
                 # a verified capture: recapture fresh (the put() below
                 # upgrades the cached entry) and correct the accounting —
                 # the lookup saved no functional work.
-                cache.hits -= 1
-                cache.misses += 1
+                cache.demote_last_hit()
         sim = Simulator(config)
         self.setup(sim)
         captured = sim.capture(self.program)

@@ -7,12 +7,16 @@ produces a machine-independent trace, :func:`~repro.sim.simulator
 one call, returning a :class:`~repro.sim.result.RunResult` with the
 architectural outcome and the cycle-level report.  Captured traces are
 shared across operating points via
-:class:`~repro.sim.trace_cache.TraceCache`.
+:class:`~repro.sim.trace_cache.TraceCache`, and independent replays of
+one batch fan out over worker processes via
+:class:`~repro.sim.parallel.ReplayPool`.
 """
 
 from .simulator import Simulator, replay_trace, run_program
 from .result import RunResult
 from .trace_cache import TraceCache, trace_key
+from .parallel import ReplayPool, autodetect_workers, replay_batch
 
-__all__ = ["Simulator", "RunResult", "TraceCache", "replay_trace",
+__all__ = ["Simulator", "RunResult", "TraceCache", "ReplayPool",
+           "autodetect_workers", "replay_batch", "replay_trace",
            "run_program", "trace_key"]

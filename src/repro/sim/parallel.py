@@ -1,0 +1,257 @@
+"""Parallel replay: fan independent trace replays out over processes.
+
+PR 1 made :meth:`~repro.sim.simulator.Simulator.capture` and
+:class:`~repro.timing.engine.TimingEngine` replay fully independent: one
+captured :class:`~repro.functional.executor.ExecResult` can be replayed
+against any number of machine models and each replay is bit-identical to
+a fresh end-to-end run.  The paper's evaluation sweeps (Fig 6/7,
+Table III, the ablations) are therefore embarrassingly parallel in their
+replay phase, and :class:`ReplayPool` is the harness that exploits it:
+
+* **Batch API** — a replay *task* is ``(config, captured)`` (optionally
+  ``(config, captured, trace_key)``); :meth:`ReplayPool.replay_batch`
+  returns one :class:`~repro.timing.report.TimingReport` per task **in
+  task order**, regardless of worker scheduling.
+* **One payload per VLEN group** — tasks sharing a captured trace are
+  grouped, and each group ships its single pruned disk payload
+  (:func:`~repro.sim.trace_cache._disk_payload`, the same pruning the
+  disk cache uses), so lambdas, plan caches and the functional memory
+  image never cross a process boundary.  Batches with fewer groups than
+  workers split each group's configs into chunks so single-kernel
+  many-config sweeps (the ablations) still occupy the whole pool.
+* **Disk-backed workers** — given a ``disk_dir`` shared with the
+  sweep's :class:`~repro.sim.trace_cache.TraceCache`, groups whose key
+  is already on disk ship *no* payload at all: the worker rehydrates
+  from its process-local cache (falling back to an explicit payload
+  resend if the file is stale or missing).
+* **Autodetection and fallback** — ``workers=None`` sizes the pool to
+  the host's CPUs; ``workers=1`` bypasses multiprocessing entirely and
+  replays in-process, byte-identical to the pooled path.
+* **Per-worker statistics** — each job reports its worker's cache
+  counters; :attr:`ReplayPool.stats` aggregates them across the pool.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..functional.executor import ExecResult
+from ..params import SystemConfig
+from ..timing.report import TimingReport
+from .simulator import replay_trace
+from .trace_cache import (DEFAULT_CAPACITY, TraceCache, TraceKey,
+                          _disk_payload, disk_path)
+
+#: A replay task: ``(config, captured)`` or ``(config, captured, key)``.
+ReplayTask = tuple
+
+
+def autodetect_workers() -> int:
+    """Worker count for this host: the schedulable CPU count, min 1."""
+    count = None
+    if hasattr(os, "process_cpu_count"):  # Python >= 3.13
+        count = os.process_cpu_count()
+    elif hasattr(os, "sched_getaffinity"):
+        count = len(os.sched_getaffinity(0))
+    return max(1, count or os.cpu_count() or 1)
+
+
+@dataclass
+class _Group:
+    """All tasks of one batch that replay the same captured trace."""
+
+    key: Optional[TraceKey]
+    captured: ExecResult
+    configs: list[SystemConfig] = field(default_factory=list)
+    indices: list[int] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Worker side.  One process-local TraceCache per worker: with a disk_dir
+# it rehydrates payload-free jobs; either way its memory layer lets keys
+# repeated across batches skip re-shipping.
+# ----------------------------------------------------------------------
+_WORKER_CACHE: Optional[TraceCache] = None
+
+#: Sentinel result: the worker had no payload and could not rehydrate the
+#: key from its cache; the parent must resend with an explicit payload.
+_NEEDS_PAYLOAD = None
+
+
+def _init_worker(disk_dir: Optional[str], capacity: int) -> None:
+    global _WORKER_CACHE
+    _WORKER_CACHE = TraceCache(capacity=capacity, disk_dir=disk_dir)
+
+
+def _replay_group(key: Optional[TraceKey], payload: Optional[ExecResult],
+                  configs: list[SystemConfig]):
+    """Replay one trace group in a worker; returns (pid, reports, stats)."""
+    cache = _WORKER_CACHE
+    captured = None
+    if cache is not None and key is not None:
+        captured = cache.get(key)
+    if captured is None:
+        if payload is None:
+            return _NEEDS_PAYLOAD
+        captured = payload
+        if cache is not None and key is not None:
+            cache._remember(key, captured)  # memory layer only: the
+            # parent (or another worker) already owns the disk write.
+    reports = [replay_trace(config, captured).timing for config in configs]
+    stats = dict(cache.stats) if cache is not None else {}
+    return os.getpid(), reports, stats
+
+
+class ReplayPool:
+    """Fans :func:`~repro.sim.simulator.replay_trace` calls over processes.
+
+    ``workers=None`` autodetects from the host CPU count; ``workers=1``
+    replays in-process with no executor, pickling, or subprocess spawn —
+    the results are byte-identical either way.  ``disk_dir`` (typically
+    the sweep cache's own ``disk_dir``) lets workers rehydrate captures
+    from the shared disk layer instead of receiving them over the pipe.
+    """
+
+    def __init__(self, workers: int | None = None,
+                 disk_dir: str | Path | None = None,
+                 capacity: int = DEFAULT_CAPACITY) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1 (or None to autodetect)")
+        self.workers = autodetect_workers() if workers is None else int(workers)
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.capacity = capacity
+        self._worker_stats: dict[int, dict] = {}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalize(tasks: Sequence[ReplayTask]) -> list[tuple]:
+        norm = []
+        for task in tasks:
+            if len(task) == 2:
+                config, captured = task
+                key = None
+            else:
+                config, captured, key = task
+            norm.append((config, captured, key))
+        return norm
+
+    @staticmethod
+    def _group(norm: list[tuple]) -> "OrderedDict[int, _Group]":
+        groups: OrderedDict[int, _Group] = OrderedDict()
+        for idx, (config, captured, key) in enumerate(norm):
+            group = groups.get(id(captured))
+            if group is None:
+                group = groups[id(captured)] = _Group(key=key,
+                                                     captured=captured)
+            group.configs.append(config)
+            group.indices.append(idx)
+        return groups
+
+    def _jobs(self, groups: "OrderedDict[int, _Group]") -> list[_Group]:
+        """Split groups into jobs so every worker gets work.
+
+        One job per group is ideal when there are at least as many groups
+        as workers (the payload ships once per group).  Sweeps with few
+        groups but many configs — e.g. an ablation varying one timing
+        knob over a single kernel — would otherwise serialize inside one
+        worker, so each group is chunked into up to
+        ``workers // len(groups)`` jobs; re-shipping the pruned payload
+        per chunk is cheap relative to the replays it buys back.
+        """
+        per_group = max(1, self.workers // len(groups))
+        jobs: list[_Group] = []
+        for group in groups.values():
+            chunks = min(per_group, len(group.configs))
+            size = -(-len(group.configs) // chunks)  # ceil division
+            for start in range(0, len(group.configs), size):
+                jobs.append(_Group(key=group.key, captured=group.captured,
+                                   configs=group.configs[start:start + size],
+                                   indices=group.indices[start:start + size]))
+        return jobs
+
+    # ------------------------------------------------------------------
+    def replay_batch(self, tasks: Sequence[ReplayTask]) -> list[TimingReport]:
+        """Replay every task; reports come back in task order."""
+        norm = self._normalize(tasks)
+        if not norm:
+            return []
+        if self.workers == 1 or len(norm) == 1:
+            # In-process serial baseline (workers=1) — also the only
+            # sensible plan for a one-task batch.
+            return [replay_trace(config, captured).timing
+                    for config, captured, _ in norm]
+        jobs = self._jobs(self._group(norm))
+        results: list[Optional[TimingReport]] = [None] * len(norm)
+        max_workers = min(self.workers, len(jobs))
+        disk_dir = str(self.disk_dir) if self.disk_dir is not None else None
+        with ProcessPoolExecutor(max_workers=max_workers,
+                                 initializer=_init_worker,
+                                 initargs=(disk_dir, self.capacity)) as pool:
+            pending = {}
+            for job in jobs:
+                payload = None if self._on_disk(job.key) \
+                    else _disk_payload(job.captured)
+                fut = pool.submit(_replay_group, job.key, payload,
+                                  job.configs)
+                pending[fut] = job
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    job = pending.pop(fut)
+                    outcome = fut.result()
+                    if outcome is _NEEDS_PAYLOAD:
+                        # Stale/missing disk entry: resend with payload.
+                        retry = pool.submit(_replay_group, job.key,
+                                            _disk_payload(job.captured),
+                                            job.configs)
+                        pending[retry] = job
+                        continue
+                    pid, reports, stats = outcome
+                    self._merge_worker_stats(pid, stats)
+                    for idx, report in zip(job.indices, reports):
+                        results[idx] = report
+        return results  # type: ignore[return-value]
+
+    def _merge_worker_stats(self, pid: int, stats: dict) -> None:
+        """Keep the newest cumulative snapshot per worker.
+
+        A worker's counters only grow, but jobs complete (and their
+        snapshots arrive) in arbitrary order, so the snapshot with the
+        most lookups is the latest one — never let an earlier, smaller
+        snapshot overwrite it.
+        """
+        def _total(s: dict) -> int:
+            return sum(s.get(k, 0) for k in ("hits", "disk_hits", "misses"))
+
+        previous = self._worker_stats.get(pid)
+        if previous is None or _total(stats) >= _total(previous):
+            self._worker_stats[pid] = stats
+
+    def _on_disk(self, key: Optional[TraceKey]) -> bool:
+        if self.disk_dir is None or key is None:
+            return False
+        return disk_path(self.disk_dir, key).exists()
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> dict:
+        """Cache counters aggregated over every worker this pool used."""
+        agg = {"hits": 0, "disk_hits": 0, "misses": 0,
+               "workers": len(self._worker_stats),
+               "per_worker": dict(self._worker_stats)}
+        for stats in self._worker_stats.values():
+            for counter in ("hits", "disk_hits", "misses"):
+                agg[counter] += stats.get(counter, 0)
+        return agg
+
+
+def replay_batch(tasks: Sequence[ReplayTask], workers: int | None = 1,
+                 disk_dir: str | Path | None = None) -> list[TimingReport]:
+    """One-shot convenience wrapper around :class:`ReplayPool`."""
+    return ReplayPool(workers=workers,
+                      disk_dir=disk_dir).replay_batch(tasks)

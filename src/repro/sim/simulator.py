@@ -44,6 +44,13 @@ Sweep use (capture once, replay per timing config)::
     captured = sim.capture(program)
     for config in timing_configs:
         report = replay_trace(config, captured).timing
+
+Replays of one capture are fully independent, so a whole sweep's replay
+batch can fan out over worker processes via
+:class:`~repro.sim.parallel.ReplayPool`::
+
+    pool = ReplayPool(workers=None)  # autodetect host CPUs
+    reports = pool.replay_batch([(cfg, captured) for cfg in timing_configs])
 """
 
 from __future__ import annotations

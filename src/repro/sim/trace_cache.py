@@ -18,16 +18,44 @@ points with equal keys are guaranteed to produce identical traces, so a
 replay against any machine model yields a bit-identical
 :class:`~repro.timing.report.TimingReport` to a fresh end-to-end run.
 
-The cache is an in-memory LRU with an optional on-disk pickle layer
-(for cross-process reuse, e.g. ``benchmarks/out/trace_cache``).  Disk
-entries are pruned of the functional memory image and of decoded plan
-caches (which hold lambdas); a disk-rehydrated capture is replay-only.
+The cache is an in-memory LRU with an optional on-disk pickle layer for
+cross-process reuse (e.g. ``benchmarks/out/trace_cache``, or the worker
+caches of :class:`~repro.sim.parallel.ReplayPool`).
+
+Disk format
+-----------
+Disk entries are written for *concurrent* readers and writers sharing one
+``disk_dir``:
+
+* **Payload pruning** — entries drop the functional memory image (large,
+  only needed by golden checks, which run at capture time) and decoded
+  plan caches (which hold lambdas); a disk-rehydrated capture is
+  replay-only and safe to ship across process boundaries.
+* **Atomic writes** — each entry is pickled to a ``tempfile`` inside
+  ``disk_dir`` and moved into place with :func:`os.replace`, so a
+  concurrent reader sees either the old complete file or the new
+  complete file, never an interleaved or truncated one, and a crashed
+  writer leaves at worst an orphaned ``*.tmp``.
+* **Versioned envelope** — the pickle is a dict
+  ``{"format": DISK_FORMAT_VERSION, "schema": <ExecResult field names>,
+  "payload": <pruned ExecResult>}``.  A stale file from an older code
+  revision (wrong version, drifted ``ExecResult`` fields, or a pre-
+  envelope bare pickle) is treated as a plain miss — the caller
+  recaptures and the subsequent :meth:`TraceCache.put` overwrites the
+  stale file in place.
+
+Statistics distinguish the layers: ``hits`` counts in-memory LRU hits
+only, ``disk_hits`` counts rehydrations from disk, and ``hit_rate`` is
+the true in-memory rate ``hits / (hits + disk_hits + misses)``.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
+import os
 import pickle
+import tempfile
 from collections import OrderedDict
 from pathlib import Path
 from typing import Optional
@@ -41,10 +69,22 @@ TraceKey = tuple
 #: key only within one inner machine loop, so a modest window suffices.
 DEFAULT_CAPACITY = 32
 
+#: Version of the on-disk envelope.  Bump when the disk representation
+#: itself changes shape; ``ExecResult`` field drift is caught separately
+#: by the schema tag so unrelated refactors invalidate entries without a
+#: manual bump.
+DISK_FORMAT_VERSION = 2
+
 
 def trace_key(program: Program, vlen_bits: int, setup_id: str) -> TraceKey:
     """Build the canonical cache key for one operating point."""
     return (program.fingerprint, int(vlen_bits), setup_id)
+
+
+def disk_path(disk_dir: str | Path, key: TraceKey) -> Path:
+    """On-disk location of one cache entry inside ``disk_dir``."""
+    digest = hashlib.sha256(repr(key).encode()).hexdigest()[:32]
+    return Path(disk_dir) / f"trace_{digest}.pkl"
 
 
 def _disk_payload(er: ExecResult) -> ExecResult:
@@ -54,6 +94,23 @@ def _disk_payload(er: ExecResult) -> ExecResult:
     ``Instruction.__getstate__`` without touching the live objects."""
     return ExecResult(state=er.state, trace=er.trace, retired=er.retired,
                       program=er.program, halted=er.halted, extra={})
+
+
+def _payload_schema() -> tuple:
+    """Fingerprint of the ``ExecResult`` shape baked into disk entries."""
+    return tuple(sorted(f.name for f in dataclasses.fields(ExecResult)))
+
+
+def _unwrap_envelope(obj: object) -> Optional[ExecResult]:
+    """Payload of a disk envelope, or None for any stale/foreign shape."""
+    if not isinstance(obj, dict):
+        return None  # pre-envelope bare pickle from an older revision
+    if obj.get("format") != DISK_FORMAT_VERSION:
+        return None
+    if obj.get("schema") != _payload_schema():
+        return None  # ExecResult fields drifted since this file was written
+    payload = obj.get("payload")
+    return payload if isinstance(payload, ExecResult) else None
 
 
 class TraceCache:
@@ -70,6 +127,7 @@ class TraceCache:
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self._last_lookup: str | None = None  # "memory" | "disk" | "miss"
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -79,8 +137,7 @@ class TraceCache:
     def _disk_path(self, key: TraceKey) -> Optional[Path]:
         if self.disk_dir is None:
             return None
-        digest = hashlib.sha256(repr(key).encode()).hexdigest()[:32]
-        return self.disk_dir / f"trace_{digest}.pkl"
+        return disk_path(self.disk_dir, key)
 
     # ------------------------------------------------------------------
     def get(self, key: TraceKey) -> Optional[ExecResult]:
@@ -89,36 +146,84 @@ class TraceCache:
         if entry is not None:
             self._entries.move_to_end(key)
             self.hits += 1
+            self._last_lookup = "memory"
             return entry
-        path = self._disk_path(key)
-        if path is not None and path.exists():
-            try:
-                with path.open("rb") as fh:
-                    entry = pickle.load(fh)
-            except Exception:
-                entry = None  # corrupt/stale file: fall through to a miss
-            if entry is not None:
-                self._remember(key, entry)
-                self.hits += 1
-                self.disk_hits += 1
-                return entry
+        entry = self._load_from_disk(key)
+        if entry is not None:
+            self._remember(key, entry)
+            self.disk_hits += 1
+            self._last_lookup = "disk"
+            return entry
         self.misses += 1
+        self._last_lookup = "miss"
         return None
+
+    def _load_from_disk(self, key: TraceKey) -> Optional[ExecResult]:
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            with path.open("rb") as fh:
+                obj = pickle.load(fh)
+        except Exception:
+            return None  # corrupt/truncated file: fall through to a miss
+        return _unwrap_envelope(obj)
 
     def put(self, key: TraceKey, captured: ExecResult) -> None:
         self._remember(key, captured)
         path = self._disk_path(key)
         if path is not None:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            with path.open("wb") as fh:
-                pickle.dump(_disk_payload(captured), fh,
-                            protocol=pickle.HIGHEST_PROTOCOL)
+            self._write_disk(path, captured)
+
+    @staticmethod
+    def _write_disk(path: Path, captured: ExecResult) -> None:
+        """Atomically (re)write one disk entry.
+
+        The envelope is pickled to a private tempfile in the destination
+        directory and renamed over ``path``; concurrent writers race only
+        on the final :func:`os.replace`, which is atomic, so the file is
+        always one writer's complete output.
+        """
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {"format": DISK_FORMAT_VERSION,
+                    "schema": _payload_schema(),
+                    "payload": _disk_payload(captured)}
+        fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
+                                        prefix=path.name + ".",
+                                        suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     def _remember(self, key: TraceKey, captured: ExecResult) -> None:
         self._entries[key] = captured
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def demote_last_hit(self) -> None:
+        """Recount the immediately preceding :meth:`get` hit as a miss.
+
+        Used by callers that looked an entry up but could not use it —
+        e.g. a verified capture request served a replay-only disk payload
+        — so the statistics reflect that no functional work was saved.
+        """
+        if self._last_lookup == "memory":
+            self.hits -= 1
+        elif self._last_lookup == "disk":
+            self.disk_hits -= 1
+        else:
+            return
+        self.misses += 1
+        self._last_lookup = "miss"
 
     # ------------------------------------------------------------------
     def clear(self) -> None:
@@ -128,15 +233,22 @@ class TraceCache:
         return len(self._entries)
 
     def __contains__(self, key: TraceKey) -> bool:
-        return key in self._entries
+        # Membership mirrors get(): both layers count, neither is charged
+        # a hit or miss.  The disk probe validates the full envelope —
+        # a stale or truncated file that get() would refuse must not
+        # report membership — but rehydrates nothing into the LRU.
+        if key in self._entries:
+            return True
+        return self._load_from_disk(key) is not None
 
     @property
     def stats(self) -> dict:
-        total = self.hits + self.misses
+        lookups = self.hits + self.disk_hits + self.misses
         return {
             "hits": self.hits,
             "misses": self.misses,
             "disk_hits": self.disk_hits,
+            "lookups": lookups,
             "entries": len(self._entries),
-            "hit_rate": self.hits / total if total else 0.0,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
         }
