@@ -24,16 +24,18 @@ from repro.sim import ReplayPool, TraceCache
 from conftest import save_output
 
 
-def _knob_utils(configs, kernel_specs, workers=None):
+def _knob_utils(configs, kernel_specs, workers=None, cache=None):
     """Utilization matrix for timing-knob `configs` x `kernel_specs`.
 
     ``kernel_specs`` is ``[(kernel_name, bytes_per_lane, problem_kwargs)]``.
     Capture phase: one functional execution per kernel (the knobs do not
-    change VLEN, so every config replays the same trace).  Replay phase:
-    one pooled batch over the full configs x kernels cross-product.
+    change VLEN, so every config replays the same trace), served from
+    ``cache`` — the suite's shared store — when another sweep already
+    captured that point.  Replay phase: one pooled batch over the full
+    configs x kernels cross-product.
     Returns ``rows[config_index][spec_index] -> utilization``.
     """
-    cache = TraceCache()
+    cache = cache if cache is not None else TraceCache()
     runs, tasks = [], []
     for name, bpl, kw in kernel_specs:
         run = KERNELS[name](configs[0], bpl, **kw)
@@ -41,7 +43,8 @@ def _knob_utils(configs, kernel_specs, workers=None):
         key = run.trace_key(configs[0])
         runs.append(run)
         tasks.extend((config, captured, key) for config in configs)
-    reports = ReplayPool(workers=workers).replay_batch(tasks)
+    reports = ReplayPool(workers=workers,
+                         disk_dir=cache.disk_dir).replay_batch(tasks)
     per_spec = len(configs)
     rows = [[None] * len(kernel_specs) for _ in configs]
     for spec_i, run in enumerate(runs):
@@ -52,13 +55,14 @@ def _knob_utils(configs, kernel_specs, workers=None):
     return rows
 
 
-def test_ablation_ring_hop_latency(benchmark):
+def test_ablation_ring_hop_latency(benchmark, trace_store):
     hops = (1, 2, 4, 8)
 
     def sweep():
         configs = [AraXLConfig(lanes=32, ring_hop_latency=h) for h in hops]
         utils = _knob_utils(configs, [("fconv2d", 512, {"rows": 32}),
-                                      ("fdotproduct", 512, {})])
+                                      ("fdotproduct", 512, {})],
+                            cache=trace_store)
         return [(hop, f"{u[0] * 100:.1f}%", f"{u[1] * 100:.1f}%")
                 for hop, u in zip(hops, utils)]
 
@@ -72,13 +76,14 @@ def test_ablation_ring_hop_latency(benchmark):
     assert first - last < 5.0
 
 
-def test_ablation_glsu_depth(benchmark):
+def test_ablation_glsu_depth(benchmark, trace_store):
     extras = (0, 4, 8, 16)
 
     def sweep():
         configs = [AraXLConfig(lanes=32, glsu_extra_regs=e) for e in extras]
         utils = _knob_utils(configs, [("fmatmul", 512, {"m": 16, "k": 64}),
-                                      ("fdotproduct", 512, {})])
+                                      ("fdotproduct", 512, {})],
+                            cache=trace_store)
         return [(extra, f"{u[0] * 100:.1f}%", f"{u[1] * 100:.1f}%")
                 for extra, u in zip(extras, utils)]
 
@@ -90,13 +95,14 @@ def test_ablation_glsu_depth(benchmark):
     assert float(rows[-1][1][:-1]) > 95.0
 
 
-def test_ablation_queue_depth(benchmark):
+def test_ablation_queue_depth(benchmark, trace_store):
     depths = (1, 2, 4, 8)
 
     def sweep():
         configs = [dataclasses.replace(AraXLConfig(lanes=32),
                                        unit_queue_depth=d) for d in depths]
-        utils = _knob_utils(configs, [("fmatmul", 128, {"m": 16, "k": 64})])
+        utils = _knob_utils(configs, [("fmatmul", 128, {"m": 16, "k": 64})],
+                            cache=trace_store)
         return [(depth, f"{u[0] * 100:.1f}%")
                 for depth, u in zip(depths, utils)]
 

@@ -15,8 +15,8 @@ from conftest import save_output
 
 
 @pytest.fixture(scope="module")
-def fig6_points():
-    return run_fig6(scale="reduced")
+def fig6_points(trace_store):
+    return run_fig6(scale="reduced", trace_cache=trace_store)
 
 
 def test_fig6_full_sweep(benchmark, fig6_points):
@@ -45,11 +45,11 @@ def test_fig6_full_sweep(benchmark, fig6_points):
             < pt(kernel, "64L-AraXL", 512).utilization
 
 
-def test_fig6_fmatmul_paper_size(benchmark):
+def test_fig6_fmatmul_paper_size(benchmark, trace_store):
     """One full-size (Table I) fmatmul point as a timing reference."""
     points = benchmark.pedantic(
         lambda: run_fig6(kernels=("fmatmul",), bytes_per_lane=(512,),
-                         scale="paper"),
+                         scale="paper", trace_cache=trace_store),
         rounds=1, iterations=1)
     pt = next(p for p in points if p.machine == "64L-AraXL")
     assert pt.utilization > 0.99  # the abstract's ">99% FPU utilization"

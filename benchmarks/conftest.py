@@ -5,13 +5,46 @@ and prints the rendered comparison table (run with ``-s`` to see it, or
 read ``benchmarks/out/*.txt`` afterwards).  Simulation experiments are
 executed with ``benchmark.pedantic(rounds=1)`` — the quantity of interest
 is the experiment's *output*, not the host's wall-clock jitter.
+
+All simulation benchmarks attach to **one shared disk trace store** (the
+session-scoped :func:`trace_store` fixture): identical ``(program, VLEN,
+setup)`` operating points revisited across ``bench_fig6/7``,
+``bench_table1/3``, the ablations and ``bench_trace_reuse`` are captured
+once and served from disk ever after — including across suite runs and
+concurrent (``pytest-xdist``-style) workers, since the store's writes
+are atomic.  The store directory resolves from ``--trace-store``, then
+``$REPRO_TRACE_STORE``, then ``benchmarks/out/trace_cache``; its GC
+(size cap, stale purge, orphan reaping) runs once at session start.
+Rendered outputs are byte-identical whatever the store's state.
 """
 
 from __future__ import annotations
 
 import pathlib
 
+import pytest
+
+from repro.sim.trace_store import TraceStore, resolve_store_dir
+
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--trace-store", action="store", default=None, metavar="DIR",
+        help="shared trace-store directory for the benchmark suite "
+             "(default: $REPRO_TRACE_STORE, else benchmarks/out/trace_cache)")
+
+
+@pytest.fixture(scope="session")
+def trace_store(request) -> TraceStore:
+    """The suite-wide shared disk trace store, GC'd once per session."""
+    explicit = request.config.getoption("--trace-store")
+    # resolve_store_dir's default is the checkout-anchored
+    # benchmarks/out/trace_cache — exactly this suite's out/ dir.
+    store = TraceStore(disk_dir=resolve_store_dir(explicit))
+    store.gc()  # reap crashed-writer orphans, purge stale, enforce budget
+    return store
 
 
 def save_output(name: str, text: str) -> None:

@@ -1,0 +1,97 @@
+"""Command-line experiment driver: ``python -m repro.eval fig6 table1``.
+
+Runs paper experiments by id and prints the rendered tables.  The
+simulation sweeps can attach to the suite-wide shared trace store
+(``--trace-store DIR``, or ``$REPRO_TRACE_STORE``; the GC byte budget
+comes from ``--store-bytes`` or ``$REPRO_TRACE_STORE_BYTES``), so a CLI
+run both reuses and warms the same captures as the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from ..sim.trace_store import ENV_STORE_DIR, TraceStore
+from .runner import EXPERIMENTS, run_experiment
+
+
+def _workers(value: str) -> int | None:
+    """``--workers auto`` -> None (autodetect), else a positive int."""
+    if value == "auto":
+        return None
+    count = int(value)
+    if count < 1:
+        raise argparse.ArgumentTypeError("workers must be >= 1 or 'auto'")
+    return count
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Run paper experiments and print the rendered tables.")
+    parser.add_argument("experiments", nargs="+",
+                        choices=sorted(EXPERIMENTS) + ["all"],
+                        help="experiment ids to run ('all' runs every one)")
+    parser.add_argument("--scale", default="paper",
+                        choices=("paper", "reduced"),
+                        help="problem-size scale for the simulation sweeps")
+    parser.add_argument("--workers", type=_workers, default=1,
+                        metavar="N|auto",
+                        help="replay-phase fan-out (default 1; 'auto' sizes "
+                             "to the host CPUs)")
+    parser.add_argument("--trace-store", default=None, metavar="DIR",
+                        help="shared trace-store directory (default: "
+                             "$REPRO_TRACE_STORE, else no disk store)")
+    parser.add_argument("--store-bytes", type=int, default=None,
+                        metavar="BYTES",
+                        help="GC byte budget for the shared store (default: "
+                             "$REPRO_TRACE_STORE_BYTES, else 256 MiB)")
+    parser.add_argument("--gc", action="store_true",
+                        help="run the store's GC pass before the experiments")
+    parser.add_argument("--store-stats", action="store_true",
+                        help="print the shared store's manifest stats after "
+                             "the experiments")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = sorted(EXPERIMENTS) if "all" in args.experiments \
+        else list(dict.fromkeys(args.experiments))
+
+    store = None
+    if args.trace_store is not None or os.environ.get(ENV_STORE_DIR):
+        store = TraceStore(disk_dir=args.trace_store,
+                           max_bytes=args.store_bytes)
+    elif args.gc or args.store_stats or args.store_bytes is not None:
+        # No store is configured and the documented default is "no disk
+        # store" — don't invent one just to report on it, and say so
+        # rather than silently dropping the store-related flags.
+        print(f"[trace store] none configured (use --trace-store or "
+              f"${ENV_STORE_DIR}); --gc/--store-stats/--store-bytes "
+              f"ignored", file=sys.stderr)
+    if args.gc and store is not None:
+        summary = store.gc()
+        print(f"[trace store gc] {summary}")
+
+    for name in names:
+        text = run_experiment(name, scale=args.scale, workers=args.workers,
+                              trace_store=store)
+        print(text)
+        print()
+
+    if args.store_stats and store is not None:
+        stats = store.store_stats
+        print(f"[trace store] dir={stats['dir']} "
+              f"entries={stats['disk_entries']} "
+              f"bytes={stats['disk_bytes']} "
+              f"oldest_age={stats['oldest_age_s']:.0f}s "
+              f"served: mem={stats['hits']} disk={stats['disk_hits']} "
+              f"captures={stats['misses']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,15 +1,24 @@
 """Experiment registry: run any paper table/figure by its identifier.
 
-Every entry takes ``(scale, workers)``; the simulation sweeps with a
-parallel replay phase (fig6/fig7/table3) thread ``workers`` into their
-:class:`~repro.sim.parallel.ReplayPool`, the static experiments accept
-and ignore it so the registry stays uniform.
+Every entry takes ``(scale, workers, trace_cache)``.  The **simulation
+sweeps** (:data:`SIMULATION_EXPERIMENTS`: fig6, fig7, table1, table3)
+honour all three — ``workers`` fans their replay phase out over a
+:class:`~repro.sim.parallel.ReplayPool` and ``trace_cache`` lets them
+attach to the suite's shared disk trace store.  The **static
+experiments** (:data:`STATIC_EXPERIMENTS`: fig1, fig8, fig9, table2)
+regenerate fixed paper data (survey points, floorplan geometry, area
+models); they accept the same arguments so the registry stays uniform,
+and ignore them *by contract* — :func:`static_experiment` documents the
+intent and the test suite asserts the two sets exactly partition
+:data:`EXPERIMENTS`, so a new entry must declare which kind it is.
 """
 
 from __future__ import annotations
 
+import functools
 from typing import Callable
 
+from ..sim.trace_store import attach_store
 from .fig6_scaling import render_fig6, run_fig6
 from .fig7_latency import render_fig7, run_fig7
 from .fig8_floorplan import render_fig8, run_fig8
@@ -19,59 +28,81 @@ from .table1_kernels import render_table1, run_table1
 from .table2_area import render_table2, run_table2
 from .table3_ppa import render_table3, run_table3
 
+#: Experiments whose runners simulate kernels: ``scale``, ``workers``
+#: and ``trace_cache`` all change how (never what) they compute.
+SIMULATION_EXPERIMENTS = frozenset({"fig6", "fig7", "table1", "table3"})
 
-def _fig6(scale: str, workers: int | None = 1) -> str:
-    return render_fig6(run_fig6(scale=scale, workers=workers))
-
-
-def _fig7(scale: str, workers: int | None = 1) -> str:
-    return render_fig7(run_fig7(scale=scale, workers=workers))
-
-
-def _fig8(scale: str, workers: int | None = 1) -> str:
-    return render_fig8(run_fig8(lanes=16))
+#: Experiments that regenerate fixed paper data and deliberately ignore
+#: ``scale``/``workers``/``trace_cache`` (see :func:`static_experiment`).
+STATIC_EXPERIMENTS = frozenset({"fig1", "fig8", "fig9", "table2"})
 
 
-def _fig9(scale: str, workers: int | None = 1) -> str:
-    return render_fig9(run_fig9())
+def static_experiment(render: Callable[[], str]) -> Callable[..., str]:
+    """Adapt a zero-argument static renderer to the registry signature.
+
+    Static experiments have no simulation phase: there is no problem
+    size to ``scale``, no replay batch for ``workers`` to fan out, and
+    no trace for a ``trace_cache`` to hold.  Accepting-and-dropping the
+    arguments *here*, in one audited place, is what makes every other
+    ``def _expN(scale, workers, trace_cache)`` ignoring a parameter a
+    bug by definition.
+    """
+    @functools.wraps(render)
+    def runner(scale: str, workers: int | None = 1, trace_cache=None) -> str:
+        del scale, workers, trace_cache  # static: fixed paper data
+        return render()
+    return runner
 
 
-def _table1(scale: str, workers: int | None = 1) -> str:
-    return render_table1(run_table1(scale=scale))
+def _fig6(scale: str, workers: int | None = 1, trace_cache=None) -> str:
+    return render_fig6(run_fig6(scale=scale, workers=workers,
+                                trace_cache=trace_cache))
 
 
-def _table2(scale: str, workers: int | None = 1) -> str:
-    return render_table2(run_table2())
+def _fig7(scale: str, workers: int | None = 1, trace_cache=None) -> str:
+    return render_fig7(run_fig7(scale=scale, workers=workers,
+                                trace_cache=trace_cache))
 
 
-def _table3(scale: str, workers: int | None = 1) -> str:
-    return render_table3(run_table3(scale=scale, workers=workers))
+def _table1(scale: str, workers: int | None = 1, trace_cache=None) -> str:
+    return render_table1(run_table1(scale=scale, workers=workers,
+                                    trace_cache=trace_cache))
 
 
-def _fig1(scale: str, workers: int | None = 1) -> str:
-    return render_survey()
+def _table3(scale: str, workers: int | None = 1, trace_cache=None) -> str:
+    return render_table3(run_table3(scale=scale, workers=workers,
+                                    trace_cache=trace_cache))
 
 
-#: Experiment id -> callable(scale, workers) -> rendered text.
+#: Experiment id -> callable(scale, workers, trace_cache) -> rendered text.
 EXPERIMENTS: dict[str, Callable[..., str]] = {
-    "fig1": _fig1,
+    "fig1": static_experiment(render_survey),
     "fig6": _fig6,
     "fig7": _fig7,
-    "fig8": _fig8,
-    "fig9": _fig9,
+    "fig8": static_experiment(lambda: render_fig8(run_fig8(lanes=16))),
+    "fig9": static_experiment(lambda: render_fig9(run_fig9())),
     "table1": _table1,
-    "table2": _table2,
+    "table2": static_experiment(lambda: render_table2(run_table2())),
     "table3": _table3,
 }
 
+assert set(EXPERIMENTS) == SIMULATION_EXPERIMENTS | STATIC_EXPERIMENTS
+assert not SIMULATION_EXPERIMENTS & STATIC_EXPERIMENTS
+
 
 def run_experiment(name: str, scale: str = "paper",
-                   workers: int | None = 1) -> str:
+                   workers: int | None = 1,
+                   trace_store=None) -> str:
     """Run one experiment by id ('fig6', 'table3', ...); returns text.
 
     ``workers`` fans the replay phase of the simulation sweeps out over
-    that many processes (``None`` autodetects, ``1`` stays in-process);
-    rendered output is byte-identical for any value.
+    that many processes (``None`` autodetects, ``1`` stays in-process).
+    ``trace_store`` attaches the run to a shared disk trace store: a
+    :class:`~repro.sim.TraceCache`/:class:`~repro.sim.TraceStore`
+    instance or a directory path; when omitted, ``$REPRO_TRACE_STORE``
+    names the store, and with neither the run keeps a private in-memory
+    cache.  Rendered output is byte-identical for any ``workers`` value
+    and any store state (cold, warm, or GC'd mid-run).
     """
     try:
         runner = EXPERIMENTS[name]
@@ -79,4 +110,6 @@ def run_experiment(name: str, scale: str = "paper",
         raise KeyError(
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
         ) from None
-    return runner(scale, workers)
+    cache = attach_store(trace_store) if name in SIMULATION_EXPERIMENTS \
+        else None
+    return runner(scale, workers, cache)

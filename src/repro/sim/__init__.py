@@ -7,7 +7,9 @@ produces a machine-independent trace, :func:`~repro.sim.simulator
 one call, returning a :class:`~repro.sim.result.RunResult` with the
 architectural outcome and the cycle-level report.  Captured traces are
 shared across operating points via
-:class:`~repro.sim.trace_cache.TraceCache`, and independent replays of
+:class:`~repro.sim.trace_cache.TraceCache` — and across the whole
+benchmark suite via the disk-backed, garbage-collected
+:class:`~repro.sim.trace_store.TraceStore` — and independent replays of
 one batch fan out over worker processes via
 :class:`~repro.sim.parallel.ReplayPool`.
 """
@@ -15,8 +17,10 @@ one batch fan out over worker processes via
 from .simulator import Simulator, replay_trace, run_program
 from .result import RunResult
 from .trace_cache import TraceCache, trace_key
+from .trace_store import TraceStore, attach_store, resolve_store_dir
 from .parallel import ReplayPool, autodetect_workers, replay_batch
 
-__all__ = ["Simulator", "RunResult", "TraceCache", "ReplayPool",
-           "autodetect_workers", "replay_batch", "replay_trace",
+__all__ = ["Simulator", "RunResult", "TraceCache", "TraceStore",
+           "ReplayPool", "attach_store", "autodetect_workers",
+           "replay_batch", "replay_trace", "resolve_store_dir",
            "run_program", "trace_key"]

@@ -38,15 +38,32 @@ Disk entries are written for *concurrent* readers and writers sharing one
   writer leaves at worst an orphaned ``*.tmp``.
 * **Versioned envelope** — the pickle is a dict
   ``{"format": DISK_FORMAT_VERSION, "schema": <ExecResult field names>,
-  "payload": <pruned ExecResult>}``.  A stale file from an older code
-  revision (wrong version, drifted ``ExecResult`` fields, or a pre-
-  envelope bare pickle) is treated as a plain miss — the caller
-  recaptures and the subsequent :meth:`TraceCache.put` overwrites the
-  stale file in place.
+  "payload": <the pruned ExecResult, itself pickled to bytes>}``.  A
+  stale file from an older code revision (wrong version, drifted
+  ``ExecResult`` fields, or a pre-envelope bare pickle) is treated as a
+  plain miss — the caller recaptures and the subsequent
+  :meth:`TraceCache.put` overwrites the stale file in place.  Nesting
+  the payload as bytes lets envelope *validation* (``__contains__``
+  probes, the store GC's stale purge) check the tags without
+  deserializing the trace itself.
 
 Statistics distinguish the layers: ``hits`` counts in-memory LRU hits
 only, ``disk_hits`` counts rehydrations from disk, and ``hit_rate`` is
 the true in-memory rate ``hits / (hits + disk_hits + misses)``.
+
+Shared store layout and lifecycle
+---------------------------------
+``disk_dir`` is flat: one ``trace_<sha256(key)[:32]>.pkl`` per entry
+(see :func:`disk_path`) plus transient ``<name>.<random>.tmp`` files
+while an atomic write is in flight.  The whole benchmark suite and
+:func:`~repro.eval.runner.run_experiment` share one such directory via
+:class:`~repro.sim.trace_store.TraceStore`, which adds the lifecycle a
+long-lived store needs — a size-capped mtime-LRU GC, stale-envelope
+purging, and crashed-writer ``*.tmp`` reaping — and resolves its
+location and byte budget from, in priority order, an explicit path
+(``pytest --trace-store`` / ``python -m repro.eval --trace-store``), the
+``REPRO_TRACE_STORE`` / ``REPRO_TRACE_STORE_BYTES`` environment
+variables, and the suite default ``benchmarks/out/trace_cache``.
 """
 
 from __future__ import annotations
@@ -72,8 +89,9 @@ DEFAULT_CAPACITY = 32
 #: Version of the on-disk envelope.  Bump when the disk representation
 #: itself changes shape; ``ExecResult`` field drift is caught separately
 #: by the schema tag so unrelated refactors invalidate entries without a
-#: manual bump.
-DISK_FORMAT_VERSION = 2
+#: manual bump.  v3: the payload is nested as pickled bytes so envelope
+#: validation need not deserialize the trace.
+DISK_FORMAT_VERSION = 3
 
 
 def trace_key(program: Program, vlen_bits: int, setup_id: str) -> TraceKey:
@@ -101,15 +119,23 @@ def _payload_schema() -> tuple:
     return tuple(sorted(f.name for f in dataclasses.fields(ExecResult)))
 
 
+def _validate_envelope(obj: object) -> bool:
+    """Envelope tags are current.  Never deserializes the payload, so
+    stale-entry scans (e.g. the trace store's GC) stay cheap."""
+    return (isinstance(obj, dict)
+            and obj.get("format") == DISK_FORMAT_VERSION
+            and obj.get("schema") == _payload_schema()
+            and isinstance(obj.get("payload"), bytes))
+
+
 def _unwrap_envelope(obj: object) -> Optional[ExecResult]:
     """Payload of a disk envelope, or None for any stale/foreign shape."""
-    if not isinstance(obj, dict):
-        return None  # pre-envelope bare pickle from an older revision
-    if obj.get("format") != DISK_FORMAT_VERSION:
-        return None
-    if obj.get("schema") != _payload_schema():
-        return None  # ExecResult fields drifted since this file was written
-    payload = obj.get("payload")
+    if not _validate_envelope(obj):
+        return None  # older revision, drifted schema, or foreign shape
+    try:
+        payload = pickle.loads(obj["payload"])
+    except Exception:
+        return None  # corrupt inner pickle: treat as a plain miss
     return payload if isinstance(payload, ExecResult) else None
 
 
@@ -170,6 +196,10 @@ class TraceCache:
         return _unwrap_envelope(obj)
 
     def put(self, key: TraceKey, captured: ExecResult) -> None:
+        # A put invalidates the "last lookup" context: a demote_last_hit()
+        # issued after it must be a no-op, not a re-demotion of an older
+        # get() (which would corrupt — even negate — the counters).
+        self._last_lookup = None
         self._remember(key, captured)
         path = self._disk_path(key)
         if path is not None:
@@ -187,7 +217,9 @@ class TraceCache:
         path.parent.mkdir(parents=True, exist_ok=True)
         envelope = {"format": DISK_FORMAT_VERSION,
                     "schema": _payload_schema(),
-                    "payload": _disk_payload(captured)}
+                    "payload": pickle.dumps(
+                        _disk_payload(captured),
+                        protocol=pickle.HIGHEST_PROTOCOL)}
         fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
                                         prefix=path.name + ".",
                                         suffix=".tmp")
@@ -215,6 +247,10 @@ class TraceCache:
         Used by callers that looked an entry up but could not use it —
         e.g. a verified capture request served a replay-only disk payload
         — so the statistics reflect that no functional work was saved.
+        A no-op unless the cache's most recent operation was a
+        :meth:`get` that hit: an intervening :meth:`put` or
+        :meth:`clear` clears the lookup context, and a second call after
+        a demotion changes nothing.
         """
         if self._last_lookup == "memory":
             self.hits -= 1
@@ -223,11 +259,12 @@ class TraceCache:
         else:
             return
         self.misses += 1
-        self._last_lookup = "miss"
+        self._last_lookup = None  # consumed: a repeat call must not stack
 
     # ------------------------------------------------------------------
     def clear(self) -> None:
         self._entries.clear()
+        self._last_lookup = None  # see put(): no stale demotion context
 
     def __len__(self) -> int:
         return len(self._entries)

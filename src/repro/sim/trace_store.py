@@ -1,0 +1,258 @@
+"""Shared benchmark-suite trace store: one disk cache, a real lifecycle.
+
+PR 2 made the :class:`~repro.sim.trace_cache.TraceCache` disk layer safe
+under concurrent writers; this module turns that layer into a *suite-wide
+store*.  The paper's evaluation revisits many identical ``(program,
+VLEN, setup)`` operating points across Fig 6/7, Table I/III and the
+ablation sweeps, so every benchmark and :func:`~repro.eval.runner
+.run_experiment` call attaches to **one** disk directory instead of each
+building a private cache — a capture paid by ``bench_fig6`` is a disk
+hit for ``bench_table1`` (and for the next run of the whole suite).
+
+Store resolution
+----------------
+The store directory is resolved in priority order:
+
+1. an explicit path (function argument / ``pytest --trace-store`` /
+   ``python -m repro.eval --trace-store``);
+2. the :data:`ENV_STORE_DIR` (``REPRO_TRACE_STORE``) environment
+   variable;
+3. the suite default ``benchmarks/out/trace_cache`` (gitignored).
+
+The GC byte budget resolves the same way through :data:`ENV_STORE_BYTES`
+(``REPRO_TRACE_STORE_BYTES``), defaulting to
+:data:`DEFAULT_MAX_BYTES`.
+
+Lifecycle policy (:meth:`TraceStore.gc`)
+----------------------------------------
+A shared long-lived directory needs eviction, which the plain cache
+never had.  One ``gc()`` pass, safe to run while other processes read
+and write the same directory:
+
+* **orphan reaping** — ``*.tmp`` files are the private tempfiles of
+  in-flight atomic writes; one older than ``tmp_max_age_s`` belongs to a
+  crashed writer and is deleted (a live writer's tempfile is seconds
+  old, never hours);
+* **stale purge** — entries whose envelope no longer validates (older
+  ``DISK_FORMAT_VERSION``, drifted ``ExecResult`` schema, pre-envelope
+  bare pickles, truncation) would never satisfy a ``get()`` again; they
+  are unlinked rather than left to shadow the budget;
+* **size cap** — while the store exceeds its byte budget, the
+  oldest-``mtime`` entries are evicted first.  :meth:`TraceStore.get`
+  freshens an entry's ``mtime`` on every disk hit, so the ordering is a
+  true LRU over *use*, not a FIFO over write time.
+
+Every deletion tolerates the file vanishing underneath it (another
+process may evict, rewrite, or replace concurrently); losing a race
+costs at worst one re-capture, never corruption — reads still only ever
+see whole files thanks to the atomic-rename write protocol.
+
+Manifest and stats
+------------------
+:meth:`TraceStore.manifest` lists every entry with its size and age;
+:attr:`TraceStore.store_stats` adds the aggregate (entry count, total
+bytes, oldest/newest age) to the usual hit/miss counters so benchmark
+tables can surface what the shared store actually served.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+from .trace_cache import (DEFAULT_CAPACITY, TraceCache, TraceKey,
+                          _validate_envelope)
+
+#: Environment variable naming the shared store directory.
+ENV_STORE_DIR = "REPRO_TRACE_STORE"
+
+#: Environment variable naming the GC byte budget.
+ENV_STORE_BYTES = "REPRO_TRACE_STORE_BYTES"
+
+#: Suite-default store location: ``benchmarks/out/trace_cache`` (kept
+#: under the gitignored bench output directory, so a checkout never
+#: tracks cache files), anchored to the source checkout rather than the
+#: caller's working directory — ``TraceStore()`` from any cwd resolves
+#: to the same suite-wide store.
+DEFAULT_STORE_DIR = (Path(__file__).resolve().parents[3]
+                     / "benchmarks" / "out" / "trace_cache")
+
+#: Default GC byte budget.  A captured trace entry for the reduced-scale
+#: sweeps is a few hundred KiB; 256 MiB comfortably holds the whole
+#: suite's cross-product several times over.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: A ``*.tmp`` file older than this is a crashed writer's orphan.
+DEFAULT_TMP_MAX_AGE_S = 3600.0
+
+#: Glob of live store entries (matches trace_cache.disk_path naming).
+_ENTRY_GLOB = "trace_*.pkl"
+
+
+def resolve_store_dir(explicit: Union[str, Path, None] = None,
+                      default: Union[str, Path] = DEFAULT_STORE_DIR) -> Path:
+    """Store directory: explicit arg > $REPRO_TRACE_STORE > default."""
+    if explicit is not None:
+        return Path(explicit)
+    env = os.environ.get(ENV_STORE_DIR)
+    if env:
+        return Path(env)
+    return Path(default)
+
+
+def resolve_store_bytes(explicit: Optional[int] = None) -> int:
+    """GC byte budget: explicit arg > $REPRO_TRACE_STORE_BYTES > default."""
+    if explicit is not None:
+        return int(explicit)
+    env = os.environ.get(ENV_STORE_BYTES)
+    if env:
+        return int(env)
+    return DEFAULT_MAX_BYTES
+
+
+class TraceStore(TraceCache):
+    """A :class:`TraceCache` bound to the suite-wide shared directory,
+    with the lifecycle policy (GC, orphan reaping, manifest) a long-lived
+    multi-process store needs."""
+
+    def __init__(self, disk_dir: Union[str, Path, None] = None,
+                 capacity: int = DEFAULT_CAPACITY,
+                 max_bytes: Optional[int] = None,
+                 tmp_max_age_s: float = DEFAULT_TMP_MAX_AGE_S) -> None:
+        super().__init__(capacity=capacity,
+                         disk_dir=resolve_store_dir(disk_dir))
+        self.max_bytes = resolve_store_bytes(max_bytes)
+        self.tmp_max_age_s = float(tmp_max_age_s)
+
+    # ------------------------------------------------------------------
+    def _load_from_disk(self, key: TraceKey):
+        """Disk load that freshens ``mtime`` on a hit, making the GC's
+        eviction order an LRU over use rather than a FIFO over writes."""
+        entry = super()._load_from_disk(key)
+        if entry is not None:
+            path = self._disk_path(key)
+            try:
+                os.utime(path)
+            except OSError:
+                pass  # entry may have been evicted/replaced concurrently
+        return entry
+
+    # ------------------------------------------------------------------
+    def gc(self, max_bytes: Optional[int] = None) -> dict:
+        """Run one lifecycle pass over the store directory.
+
+        Reaps crashed-writer ``*.tmp`` orphans, purges entries whose
+        envelope no longer validates, then evicts oldest-``mtime``
+        entries until the store fits ``max_bytes`` (default: the store's
+        configured budget).  Safe to run concurrently with readers and
+        writers in other processes.  Returns a summary dict.
+        """
+        budget = self.max_bytes if max_bytes is None else int(max_bytes)
+        summary = {"reaped_tmp": 0, "purged_stale": 0, "evicted": 0,
+                   "entries": 0, "bytes_before": 0, "bytes_after": 0}
+        if self.disk_dir is None or not self.disk_dir.is_dir():
+            return summary
+        now = time.time()
+
+        for tmp in self.disk_dir.glob("*.tmp"):
+            try:
+                if now - tmp.stat().st_mtime >= self.tmp_max_age_s:
+                    tmp.unlink()
+                    summary["reaped_tmp"] += 1
+            except OSError:
+                continue  # vanished or finished mid-scan: not an orphan
+
+        live: list[tuple[float, int, Path]] = []
+        for path in sorted(self.disk_dir.glob(_ENTRY_GLOB)):
+            try:
+                stat = path.stat()
+                with path.open("rb") as fh:
+                    obj = pickle.load(fh)
+            except OSError:
+                continue  # concurrently evicted: nothing to manage
+            except Exception:
+                obj = None  # corrupt/truncated: treat as stale below
+            # Tag-only validation: the nested payload bytes stay packed,
+            # so a full-store scan never deserializes a single trace.
+            if not _validate_envelope(obj):
+                try:
+                    path.unlink()
+                    summary["purged_stale"] += 1
+                except OSError:
+                    pass
+                continue
+            live.append((stat.st_mtime, stat.st_size, path))
+
+        total = sum(size for _, size, _ in live)
+        summary["bytes_before"] = total
+        live.sort(key=lambda item: (item[0], item[2].name))  # oldest first
+        survivors = len(live)
+        for mtime, size, path in live:
+            if total <= budget:
+                break
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass  # another process evicted it: bytes reclaimed anyway
+            except OSError:
+                continue  # undeletable: it still counts against the budget
+            total -= size
+            survivors -= 1
+            summary["evicted"] += 1
+        summary["bytes_after"] = total
+        summary["entries"] = survivors
+        return summary
+
+    # ------------------------------------------------------------------
+    def manifest(self) -> list[dict]:
+        """Per-entry view of the store: file name, size, age in seconds."""
+        if self.disk_dir is None or not self.disk_dir.is_dir():
+            return []
+        now = time.time()
+        rows = []
+        for path in sorted(self.disk_dir.glob(_ENTRY_GLOB)):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            rows.append({"file": path.name, "bytes": stat.st_size,
+                         "age_s": max(0.0, now - stat.st_mtime)})
+        return rows
+
+    @property
+    def store_stats(self) -> dict:
+        """Aggregate disk-side view plus the in-memory cache counters."""
+        manifest = self.manifest()
+        ages = [row["age_s"] for row in manifest]
+        stats = dict(self.stats)
+        stats.update({
+            "dir": str(self.disk_dir),
+            "disk_entries": len(manifest),
+            "disk_bytes": sum(row["bytes"] for row in manifest),
+            "oldest_age_s": max(ages) if ages else 0.0,
+            "newest_age_s": min(ages) if ages else 0.0,
+            "max_bytes": self.max_bytes,
+        })
+        return stats
+
+
+def attach_store(store: Union[TraceCache, str, Path, None] = None
+                 ) -> Optional[TraceCache]:
+    """Resolve a caller-supplied store argument to a usable cache.
+
+    * a :class:`TraceCache`/:class:`TraceStore` instance — used as-is;
+    * a path — a :class:`TraceStore` attached to that directory;
+    * ``None`` — a :class:`TraceStore` at ``$REPRO_TRACE_STORE`` when
+      the environment names one, else ``None`` (caller keeps its
+      private-cache behaviour).
+    """
+    if isinstance(store, TraceCache):
+        return store
+    if store is not None:
+        return TraceStore(disk_dir=store)
+    if os.environ.get(ENV_STORE_DIR):
+        return TraceStore()
+    return None
