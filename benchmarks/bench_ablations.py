@@ -9,60 +9,35 @@ Three sweeps that probe the design decisions Section III motivates:
   the longer AraXL issue path.
 
 Every sweep varies pure timing knobs at a fixed lane count, so each
-kernel's trace is captured exactly once and the per-knob timing replays
-fan out over a :class:`~repro.sim.parallel.ReplayPool` (sized to the
-host; replay results are byte-identical to a serial sweep regardless).
+kernel's trace is captured exactly once (fanned over a
+:class:`~repro.sim.parallel.CapturePool` when ``--capture-workers`` is
+raised) and the per-knob timing replays fan out over a
+:class:`~repro.sim.parallel.ReplayPool` (sized to the host) as each
+trace lands; results are byte-identical to a serial sweep regardless.
+The sweep driver itself lives in :mod:`repro.eval.ablations` so the
+parallel-capture byte-identity harness covers it alongside the paper
+sweeps.
 """
 
 import dataclasses
 
-from repro.kernels import KERNELS
+from repro.eval.ablations import run_knob_sweep
 from repro.params import AraXLConfig
 from repro.report import render_table
-from repro.sim import ReplayPool, TraceCache
 
 from conftest import save_output
 
 
-def _knob_utils(configs, kernel_specs, workers=None, cache=None):
-    """Utilization matrix for timing-knob `configs` x `kernel_specs`.
-
-    ``kernel_specs`` is ``[(kernel_name, bytes_per_lane, problem_kwargs)]``.
-    Capture phase: one functional execution per kernel (the knobs do not
-    change VLEN, so every config replays the same trace), served from
-    ``cache`` — the suite's shared store — when another sweep already
-    captured that point.  Replay phase: one pooled batch over the full
-    configs x kernels cross-product.
-    Returns ``rows[config_index][spec_index] -> utilization``.
-    """
-    cache = cache if cache is not None else TraceCache()
-    runs, tasks = [], []
-    for name, bpl, kw in kernel_specs:
-        run = KERNELS[name](configs[0], bpl, **kw)
-        captured = run.capture(configs[0], cache=cache, verify=False)
-        key = run.trace_key(configs[0])
-        runs.append(run)
-        tasks.extend((config, captured, key) for config in configs)
-    reports = ReplayPool(workers=workers,
-                         disk_dir=cache.disk_dir).replay_batch(tasks)
-    per_spec = len(configs)
-    rows = [[None] * len(kernel_specs) for _ in configs]
-    for spec_i, run in enumerate(runs):
-        group = reports[spec_i * per_spec:(spec_i + 1) * per_spec]
-        for cfg_i, report in enumerate(group):
-            rows[cfg_i][spec_i] = report.fpu_utilization(
-                run.max_flops_per_cycle)
-    return rows
-
-
-def test_ablation_ring_hop_latency(benchmark, trace_store):
+def test_ablation_ring_hop_latency(benchmark, trace_store,
+                                   capture_workers):
     hops = (1, 2, 4, 8)
 
     def sweep():
         configs = [AraXLConfig(lanes=32, ring_hop_latency=h) for h in hops]
-        utils = _knob_utils(configs, [("fconv2d", 512, {"rows": 32}),
-                                      ("fdotproduct", 512, {})],
-                            cache=trace_store)
+        utils = run_knob_sweep(configs, [("fconv2d", 512, {"rows": 32}),
+                                         ("fdotproduct", 512, {})],
+                               trace_cache=trace_store, workers=None,
+                               capture_workers=capture_workers)
         return [(hop, f"{u[0] * 100:.1f}%", f"{u[1] * 100:.1f}%")
                 for hop, u in zip(hops, utils)]
 
@@ -76,14 +51,15 @@ def test_ablation_ring_hop_latency(benchmark, trace_store):
     assert first - last < 5.0
 
 
-def test_ablation_glsu_depth(benchmark, trace_store):
+def test_ablation_glsu_depth(benchmark, trace_store, capture_workers):
     extras = (0, 4, 8, 16)
 
     def sweep():
         configs = [AraXLConfig(lanes=32, glsu_extra_regs=e) for e in extras]
-        utils = _knob_utils(configs, [("fmatmul", 512, {"m": 16, "k": 64}),
-                                      ("fdotproduct", 512, {})],
-                            cache=trace_store)
+        utils = run_knob_sweep(configs, [("fmatmul", 512, {"m": 16, "k": 64}),
+                                         ("fdotproduct", 512, {})],
+                               trace_cache=trace_store, workers=None,
+                               capture_workers=capture_workers)
         return [(extra, f"{u[0] * 100:.1f}%", f"{u[1] * 100:.1f}%")
                 for extra, u in zip(extras, utils)]
 
@@ -95,14 +71,16 @@ def test_ablation_glsu_depth(benchmark, trace_store):
     assert float(rows[-1][1][:-1]) > 95.0
 
 
-def test_ablation_queue_depth(benchmark, trace_store):
+def test_ablation_queue_depth(benchmark, trace_store, capture_workers):
     depths = (1, 2, 4, 8)
 
     def sweep():
         configs = [dataclasses.replace(AraXLConfig(lanes=32),
                                        unit_queue_depth=d) for d in depths]
-        utils = _knob_utils(configs, [("fmatmul", 128, {"m": 16, "k": 64})],
-                            cache=trace_store)
+        utils = run_knob_sweep(configs,
+                               [("fmatmul", 128, {"m": 16, "k": 64})],
+                               trace_cache=trace_store, workers=None,
+                               capture_workers=capture_workers)
         return [(depth, f"{u[0] * 100:.1f}%")
                 for depth, u in zip(depths, utils)]
 

@@ -13,6 +13,12 @@ timing configurations per operating point) several times:
   :class:`~repro.sim.parallel.ReplayPool` of ``min(4, cpu_count)``
   workers (clamped so a small CI host measures fan-out, not
   oversubscription; the row label records the effective count);
+* **cold, parallel capture** — a fresh shared store, capture phase
+  fanned out over a :class:`~repro.sim.parallel.CapturePool` of the
+  same clamped size with replays streaming in behind it (the two-pool
+  pipeline every sweep runner uses).  Worker captures land in the
+  parent store as ``remote puts``, keeping them distinguishable from
+  warm hits served by earlier sweeps;
 * **disk cold / disk warm** — a disk-backed cache written by one run and
   rehydrated by a fresh cache instance, recording the disk layer's
   write-through cost and its ``disk_hits`` accounting;
@@ -31,7 +37,7 @@ import time
 
 from repro.eval.fig7_latency import run_fig7
 from repro.report import render_table
-from repro.sim import TraceCache, autodetect_workers
+from repro.sim import TraceCache, TraceStore, autodetect_workers
 
 from conftest import save_output
 
@@ -51,10 +57,10 @@ def _point_key(points):
 def test_trace_reuse_cold_vs_warm(benchmark, tmp_path, trace_store):
     cache = TraceCache()
 
-    def sweep(trace_cache=cache, workers=1):
+    def sweep(trace_cache=cache, workers=1, capture_workers=1):
         return run_fig7(kernels=_KERNELS, bytes_per_lane=_SIZES,
                         lanes=32, scale="reduced", trace_cache=trace_cache,
-                        workers=workers)
+                        workers=workers, capture_workers=capture_workers)
 
     t0 = time.perf_counter()
     cold_points = sweep()
@@ -70,6 +76,14 @@ def test_trace_reuse_cold_vs_warm(benchmark, tmp_path, trace_store):
     t0 = time.perf_counter()
     par_points = sweep(workers=_PARALLEL_WORKERS)
     par_s = time.perf_counter() - t0
+
+    # Cold again, but with the capture phase fanned out: a fresh store
+    # directory so every point is a genuine (worker) capture.
+    cap_store = TraceStore(disk_dir=tmp_path / "capture_store")
+    t0 = time.perf_counter()
+    cap_points = sweep(trace_cache=cap_store,
+                       capture_workers=_PARALLEL_WORKERS)
+    cap_s = time.perf_counter() - t0
 
     disk_dir = tmp_path / "trace_cache"
     disk_cold = TraceCache(disk_dir=disk_dir)
@@ -91,13 +105,15 @@ def test_trace_reuse_cold_vs_warm(benchmark, tmp_path, trace_store):
     store_after = dict(trace_store.stats)
 
     def row(label, seconds, stats, prev=None):
-        prev = prev or {"misses": 0, "hits": 0, "disk_hits": 0}
+        prev = prev or {"misses": 0, "hits": 0, "disk_hits": 0,
+                        "remote_puts": 0}
         hits = stats["hits"] - prev["hits"]
         disk_hits = stats["disk_hits"] - prev["disk_hits"]
+        remote = stats.get("remote_puts", 0) - prev.get("remote_puts", 0)
         lookups = hits + disk_hits + stats["misses"] - prev["misses"]
         rate = hits / lookups if lookups else 0.0
         return (label, f"{seconds * 1000:.0f} ms",
-                stats["misses"] - prev["misses"], hits, disk_hits,
+                stats["misses"] - prev["misses"], remote, hits, disk_hits,
                 f"{rate * 100:.0f}%")
 
     rows = [
@@ -105,6 +121,8 @@ def test_trace_reuse_cold_vs_warm(benchmark, tmp_path, trace_store):
         row("warm (replay only)", warm_s, warm_stats, prev=cold_stats),
         row(f"warm, parallel ({_PARALLEL_WORKERS} workers)", par_s,
             dict(cache.stats), prev=warm_stats),
+        row(f"cold, parallel capture ({_PARALLEL_WORKERS} workers)", cap_s,
+            dict(cap_store.stats)),
         row("disk cold (capture + write-through)", disk_cold_s,
             dict(disk_cold.stats)),
         row("disk warm (rehydrate + replay)", disk_warm_s,
@@ -112,13 +130,13 @@ def test_trace_reuse_cold_vs_warm(benchmark, tmp_path, trace_store):
         row("shared store (suite-wide)", store_s, store_after,
             prev=store_before),
         ("speedup (warm vs cold)", f"{cold_s / warm_s:.2f}x",
-         "-", "-", "-", "-"),
+         "-", "-", "-", "-", "-"),
         (f"speedup (parallel x{_PARALLEL_WORKERS} vs warm)",
-         f"{warm_s / par_s:.2f}x", "-", "-", "-", "-"),
+         f"{warm_s / par_s:.2f}x", "-", "-", "-", "-", "-"),
     ]
     table = render_table(
-        ("sweep", "wall-clock", "captures", "mem hits", "disk hits",
-         "mem hit rate"),
+        ("sweep", "wall-clock", "captures", "remote puts", "mem hits",
+         "disk hits", "mem hit rate"),
         rows,
         title="Trace reuse — Fig 7 sweep "
               f"({len(_KERNELS)} kernels x {len(_SIZES)} B/lane, 32L)")
@@ -126,10 +144,10 @@ def test_trace_reuse_cold_vs_warm(benchmark, tmp_path, trace_store):
     ss = trace_store.store_stats
     summary = render_table(
         ("entries", "bytes", "oldest age", "newest age", "mem hits",
-         "disk hits", "captures"),
+         "disk hits", "captures", "remote puts"),
         [(ss["disk_entries"], ss["disk_bytes"],
           f"{ss['oldest_age_s']:.0f} s", f"{ss['newest_age_s']:.0f} s",
-          ss["hits"], ss["disk_hits"], ss["misses"])],
+          ss["hits"], ss["disk_hits"], ss["misses"], ss["remote_puts"])],
         title=f"Shared trace store — {ss['dir']} "
               f"(budget {ss['max_bytes'] // (1024 * 1024)} MiB)")
     save_output("trace_reuse", table + "\n\n" + summary)
@@ -139,6 +157,7 @@ def test_trace_reuse_cold_vs_warm(benchmark, tmp_path, trace_store):
     # worker processes.
     assert _point_key(cold_points) == _point_key(warm_points)
     assert _point_key(cold_points) == _point_key(par_points)
+    assert _point_key(cold_points) == _point_key(cap_points)
     assert _point_key(cold_points) == _point_key(disk_points)
     assert _point_key(cold_points) == _point_key(store_points)
     # Cold pays exactly one capture per operating point; warm pays none
@@ -149,6 +168,14 @@ def test_trace_reuse_cold_vs_warm(benchmark, tmp_path, trace_store):
     assert warm_stats["hits"] - cold_stats["hits"] == _POINTS
     dw = disk_warm.stats
     assert (dw["misses"], dw["hits"], dw["disk_hits"]) == (0, 0, _POINTS)
+    # The parallel-capture sweep pays every point exactly once, split
+    # between worker captures (remote puts) and any in-process
+    # fallbacks (misses); a serial host (clamp = 1 worker) degenerates
+    # to misses == _POINTS.
+    cs = cap_store.stats
+    assert cs["misses"] + cs["remote_puts"] == _POINTS
+    if _PARALLEL_WORKERS > 1:
+        assert cs["remote_puts"] > 0
     # Every shared-store lookup is served (memory, disk, or a capture
     # that warms the store for the next bench) — never lost.
     served = [store_after[k] - store_before[k]

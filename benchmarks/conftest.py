@@ -34,6 +34,17 @@ def pytest_addoption(parser):
         "--trace-store", action="store", default=None, metavar="DIR",
         help="shared trace-store directory for the benchmark suite "
              "(default: $REPRO_TRACE_STORE, else benchmarks/out/trace_cache)")
+    parser.addoption(
+        "--capture-workers", action="store", default=1, type=int, metavar="N",
+        help="capture-phase fan-out for the simulation benchmarks "
+             "(default 1: in-process; rendered outputs are byte-identical "
+             "for any value)")
+
+
+@pytest.fixture(scope="session")
+def capture_workers(request) -> int:
+    """Capture-phase fan-out every simulation benchmark threads through."""
+    return max(1, int(request.config.getoption("--capture-workers")))
 
 
 @pytest.fixture(scope="session")

@@ -6,6 +6,7 @@ EXPERIMENTS.md regeneration script.  Paper reference values are embedded
 next to each driver for side-by-side comparison.
 """
 
+from .ablations import run_knob_sweep
 from .survey import SURVEY, render_survey
 from .fig6_scaling import Fig6Point, run_fig6, render_fig6, PAPER_FIG6_CLAIMS
 from .fig7_latency import Fig7Point, run_fig7, render_fig7, PAPER_FIG7_CLAIMS
@@ -43,4 +44,5 @@ __all__ = [
     "PAPER_TABLE3",
     "EXPERIMENTS",
     "run_experiment",
+    "run_knob_sweep",
 ]

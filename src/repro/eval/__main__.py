@@ -41,6 +41,11 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="N|auto",
                         help="replay-phase fan-out (default 1; 'auto' sizes "
                              "to the host CPUs)")
+    parser.add_argument("--capture-workers", type=_workers, default=1,
+                        metavar="N|auto",
+                        help="capture-phase fan-out (default 1; 'auto' sizes "
+                             "to the host CPUs); captures stream into the "
+                             "replay pool as their traces land")
     parser.add_argument("--trace-store", default=None, metavar="DIR",
                         help="shared trace-store directory (default: "
                              "$REPRO_TRACE_STORE, else no disk store)")
@@ -78,7 +83,8 @@ def main(argv: list[str] | None = None) -> int:
 
     for name in names:
         text = run_experiment(name, scale=args.scale, workers=args.workers,
-                              trace_store=store)
+                              trace_store=store,
+                              capture_workers=args.capture_workers)
         print(text)
         print()
 
@@ -89,7 +95,8 @@ def main(argv: list[str] | None = None) -> int:
               f"bytes={stats['disk_bytes']} "
               f"oldest_age={stats['oldest_age_s']:.0f}s "
               f"served: mem={stats['hits']} disk={stats['disk_hits']} "
-              f"captures={stats['misses']}")
+              f"captures={stats['misses']} "
+              f"remote_captures={stats['remote_puts']}")
     return 0
 
 

@@ -1,0 +1,65 @@
+"""Timing-knob ablation sweeps (design-space probes beyond the figures).
+
+The benchmark suite's ablations (ring hop latency, GLSU pipeline depth,
+sequencer queue depth — see ``benchmarks/bench_ablations.py``) all share
+one shape: a set of machine configurations differing only in pure
+timing knobs, crossed with a set of kernels.  The knobs never change
+VLEN, so each kernel's trace is captured exactly once and every config
+replays it.  :func:`run_knob_sweep` is that shape as a reusable driver,
+run through the same two-pool capture/replay pipeline as the paper
+sweeps so the parallel-capture byte-identity harness covers ablations
+too.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..kernels import KERNELS
+from ..params import SystemConfig
+from ..sim import CapturePool, CaptureTask, ReplayPool, TraceCache, \
+    run_pipeline
+
+#: One kernel of a sweep: ``(kernel_name, bytes_per_lane, problem_kwargs)``.
+KernelSpec = tuple
+
+
+def run_knob_sweep(configs: Sequence[SystemConfig],
+                   kernel_specs: Sequence[KernelSpec],
+                   trace_cache: TraceCache | None = None,
+                   workers: int | None = 1,
+                   capture_workers: int | None = 1) -> list[list[float]]:
+    """Utilization matrix for timing-knob ``configs`` x ``kernel_specs``.
+
+    Capture phase: one functional execution per kernel spec (the knobs
+    do not change VLEN, so every config replays the same trace), served
+    from ``trace_cache`` — e.g. the suite's shared store — when another
+    sweep already captured that point, and fanned out over a
+    :class:`~repro.sim.parallel.CapturePool` otherwise.  Replay phase:
+    the full configs x kernels cross-product through a
+    :class:`~repro.sim.parallel.ReplayPool`, each spec's replays
+    starting as its trace lands.  Returns
+    ``rows[config_index][spec_index] -> utilization``, byte-identical
+    for any worker counts.
+    """
+    cache = trace_cache if trace_cache is not None else TraceCache()
+    runs = []
+    captures: list[CaptureTask] = []
+    replays = []
+    for name, bpl, kw in kernel_specs:
+        runs.append(KERNELS[name](configs[0], bpl, **kw))
+        cidx = len(captures)
+        captures.append(CaptureTask.for_kernel(name, configs[0], bpl, kw))
+        replays.extend((config, cidx) for config in configs)
+    reports = run_pipeline(
+        captures, replays,
+        CapturePool(workers=capture_workers, cache=cache),
+        ReplayPool(workers=workers, disk_dir=cache.disk_dir))
+    per_spec = len(configs)
+    rows: list[list[float]] = [[0.0] * len(kernel_specs) for _ in configs]
+    for spec_i, run in enumerate(runs):
+        group = reports[spec_i * per_spec:(spec_i + 1) * per_spec]
+        for cfg_i, report in enumerate(group):
+            rows[cfg_i][spec_i] = report.fpu_utilization(
+                run.max_flops_per_cycle)
+    return rows

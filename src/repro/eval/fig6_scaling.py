@@ -18,7 +18,8 @@ from dataclasses import dataclass
 from ..kernels import KERNELS
 from ..params import Ara2Config, AraXLConfig, SystemConfig
 from ..report.tables import render_table
-from ..sim import ReplayPool, TraceCache
+from ..sim import (CapturePool, CaptureTask, ReplayPool, TraceCache,
+                   run_pipeline)
 
 DEFAULT_BYTES_PER_LANE = (64, 128, 256, 512)
 
@@ -66,28 +67,33 @@ def run_fig6(kernels: tuple[str, ...] | None = None,
              scale: str = "paper",
              verify: bool = False,
              trace_cache: TraceCache | None = None,
-             workers: int | None = 1) -> list[Fig6Point]:
+             workers: int | None = 1,
+             capture_workers: int | None = 1) -> list[Fig6Point]:
     """Execute the Fig 6 sweep; returns one point per (kernel, machine, size).
 
-    Two phases.  **Capture**: machines sharing a VLEN (e.g. 8L-Ara2 and
-    8L-AraXL) execute the same program over the same data, so the
-    functional trace is captured once per VLEN group.  **Replay**: every
-    (kernel, machine, size) timing replay is independent, so the whole
-    batch fans out over a :class:`~repro.sim.parallel.ReplayPool`
-    (``workers=1`` replays in-process; ``workers=None`` autodetects).
-    The rendered output is byte-identical for any worker count.
+    A capture/replay pipeline.  **Capture**: machines sharing a VLEN
+    (e.g. 8L-Ara2 and 8L-AraXL) execute the same program over the same
+    data, so one :class:`~repro.sim.parallel.CaptureTask` runs per
+    distinct trace key, fanned out over a
+    :class:`~repro.sim.parallel.CapturePool` (``capture_workers``).
+    **Replay**: every (kernel, machine, size) timing replay is
+    independent and fans out over a
+    :class:`~repro.sim.parallel.ReplayPool` (``workers``), each VLEN
+    group's replays starting as soon as its trace lands.  For either
+    knob, ``1`` stays in-process and ``None`` autodetects; the rendered
+    output is byte-identical for any combination.
     """
     kernels = kernels or tuple(KERNELS)
     machines = machines if machines is not None else default_machines()
     kwargs_by_kernel = _SCALE_KWARGS[scale]
     cache = trace_cache if trace_cache is not None else TraceCache()
 
-    # ---- capture phase: one functional execution per distinct trace key.
-    # Captures are pinned in `captured_by_key` (not just the LRU) because
-    # the replay batch below needs every one of them alive at once.
-    captured_by_key: dict = {}
+    # ---- plan: one capture per distinct trace key; every (kernel,
+    # machine, size) point replays against its VLEN group's capture.
+    cidx_by_key: dict = {}
+    captures: list[CaptureTask] = []
+    replays = []  # (config, capture index)
     meta: list[tuple[str, int, SystemConfig, object]] = []
-    tasks = []
     for kernel_name in kernels:
         builder = KERNELS[kernel_name]
         kw = kwargs_by_kernel.get(kernel_name, {})
@@ -95,17 +101,19 @@ def run_fig6(kernels: tuple[str, ...] | None = None,
             for config in machines:
                 run = builder(config, bpl, **kw)
                 key = run.trace_key(config)
-                captured = captured_by_key.get(key)
-                if captured is None:
-                    captured = run.capture(config, cache=cache,
-                                           verify=verify)
-                    captured_by_key[key] = captured
+                cidx = cidx_by_key.get(key)
+                if cidx is None:
+                    cidx = cidx_by_key[key] = len(captures)
+                    captures.append(CaptureTask.for_kernel(
+                        kernel_name, config, bpl, kw, verify=verify))
                 meta.append((kernel_name, bpl, config, run))
-                tasks.append((config, captured, key))
+                replays.append((config, cidx))
 
-    # ---- replay phase: fan the timing replays out over the pool.
-    pool = ReplayPool(workers=workers, disk_dir=cache.disk_dir)
-    reports = pool.replay_batch(tasks)
+    # ---- pipeline: captures fan out, replays start as traces land.
+    reports = run_pipeline(
+        captures, replays,
+        CapturePool(workers=capture_workers, cache=cache),
+        ReplayPool(workers=workers, disk_dir=cache.disk_dir))
 
     # ---- assembly: index the normalization baseline per (kernel, B/lane)
     # after the replay phase, so custom `machines=` lists are order-

@@ -18,7 +18,8 @@ from dataclasses import dataclass
 from ..kernels import KERNELS
 from ..params import AraXLConfig
 from ..report.tables import render_table
-from ..sim import ReplayPool, TraceCache
+from ..sim import (CapturePool, CaptureTask, ReplayPool, TraceCache,
+                   run_pipeline)
 from .fig6_scaling import _SCALE_KWARGS, DEFAULT_BYTES_PER_LANE
 
 #: Section IV-C claims: maximum utilization drop per interface in the
@@ -57,17 +58,20 @@ def run_fig7(kernels: tuple[str, ...] | None = None,
              interfaces: tuple[str, ...] = ("glsu", "reqi", "ringi"),
              scale: str = "paper",
              trace_cache: TraceCache | None = None,
-             workers: int | None = 1) -> list[Fig7Point]:
-    """Run the Fig 7 sweep as trace-once / replay-many.
+             workers: int | None = 1,
+             capture_workers: int | None = 1) -> list[Fig7Point]:
+    """Run the Fig 7 sweep as a capture/replay pipeline.
 
     The register-cut configurations change only the timing model — the
     dynamic trace is identical across them — so the **capture phase**
-    executes each (kernel, B/lane) point functionally exactly once, and
-    the **replay phase** times the captured trace on the baseline plus
-    every interface-cut machine, fanned out over a
-    :class:`~repro.sim.parallel.ReplayPool` (``workers=1`` replays
-    in-process; ``workers=None`` autodetects).  Output is byte-identical
-    for any worker count.
+    executes each (kernel, B/lane) point functionally exactly once,
+    fanned out over a :class:`~repro.sim.parallel.CapturePool`
+    (``capture_workers``), and the **replay phase** times the captured
+    trace on the baseline plus every interface-cut machine over a
+    :class:`~repro.sim.parallel.ReplayPool` (``workers``) — each point's
+    replays starting as soon as its trace lands.  For either knob, ``1``
+    stays in-process and ``None`` autodetects; output is byte-identical
+    for any combination.
     """
     kernels = kernels or tuple(KERNELS)
     kwargs_by_kernel = _SCALE_KWARGS[scale]
@@ -77,25 +81,29 @@ def run_fig7(kernels: tuple[str, ...] | None = None,
         for interface in interfaces}
     cache = trace_cache if trace_cache is not None else TraceCache()
 
-    # ---- capture phase: one functional execution per (kernel, B/lane).
+    # ---- plan: one capture per (kernel, B/lane) point; the baseline
+    # replay plus one replay per interface cut reference it by index.
     meta = []  # (kernel, bpl, run), one entry per operating point
-    tasks = []  # baseline replay followed by one replay per interface cut
+    captures: list[CaptureTask] = []
+    replays = []  # (config, capture index)
     for kernel_name in kernels:
         builder = KERNELS[kernel_name]
         kw = kwargs_by_kernel.get(kernel_name, {})
         for bpl in bytes_per_lane:
             base_run = builder(base_config, bpl, **kw)
-            captured = base_run.capture(base_config, cache=cache,
-                                        verify=False)
-            key = base_run.trace_key(base_config)
+            cidx = len(captures)
+            captures.append(CaptureTask.for_kernel(kernel_name, base_config,
+                                                   bpl, kw))
             meta.append((kernel_name, bpl, base_run))
-            tasks.append((base_config, captured, key))
+            replays.append((base_config, cidx))
             for interface in interfaces:
-                tasks.append((cut_configs[interface], captured, key))
+                replays.append((cut_configs[interface], cidx))
 
-    # ---- replay phase: baseline + cuts for every point, one batch.
-    pool = ReplayPool(workers=workers, disk_dir=cache.disk_dir)
-    reports = pool.replay_batch(tasks)
+    # ---- pipeline: captures fan out, replays start as traces land.
+    reports = run_pipeline(
+        captures, replays,
+        CapturePool(workers=capture_workers, cache=cache),
+        ReplayPool(workers=workers, disk_dir=cache.disk_dir))
 
     points: list[Fig7Point] = []
     per_point = 1 + len(interfaces)

@@ -1,10 +1,13 @@
 """Experiment registry: run any paper table/figure by its identifier.
 
-Every entry takes ``(scale, workers, trace_cache)``.  The **simulation
-sweeps** (:data:`SIMULATION_EXPERIMENTS`: fig6, fig7, table1, table3)
-honour all three — ``workers`` fans their replay phase out over a
-:class:`~repro.sim.parallel.ReplayPool` and ``trace_cache`` lets them
-attach to the suite's shared disk trace store.  The **static
+Every entry takes ``(scale, workers, trace_cache, capture_workers)``.
+The **simulation sweeps** (:data:`SIMULATION_EXPERIMENTS`: fig6, fig7,
+table1, table3) honour all four — ``workers`` fans their replay phase
+out over a :class:`~repro.sim.parallel.ReplayPool`, ``capture_workers``
+fans their capture phase over a
+:class:`~repro.sim.parallel.CapturePool` (the two run as a pipeline:
+replays start as traces land), and ``trace_cache`` lets them attach to
+the suite's shared disk trace store.  The **static
 experiments** (:data:`STATIC_EXPERIMENTS`: fig1, fig8, fig9, table2)
 regenerate fixed paper data (survey points, floorplan geometry, area
 models); they accept the same arguments so the registry stays uniform,
@@ -41,40 +44,50 @@ def static_experiment(render: Callable[[], str]) -> Callable[..., str]:
     """Adapt a zero-argument static renderer to the registry signature.
 
     Static experiments have no simulation phase: there is no problem
-    size to ``scale``, no replay batch for ``workers`` to fan out, and
-    no trace for a ``trace_cache`` to hold.  Accepting-and-dropping the
+    size to ``scale``, no batch for ``workers`` or ``capture_workers``
+    to fan out, and no trace for a ``trace_cache`` to hold.  Accepting-and-dropping the
     arguments *here*, in one audited place, is what makes every other
     ``def _expN(scale, workers, trace_cache)`` ignoring a parameter a
     bug by definition.
     """
     @functools.wraps(render)
-    def runner(scale: str, workers: int | None = 1, trace_cache=None) -> str:
-        del scale, workers, trace_cache  # static: fixed paper data
+    def runner(scale: str, workers: int | None = 1, trace_cache=None,
+               capture_workers: int | None = 1) -> str:
+        del scale, workers, trace_cache, capture_workers  # static data
         return render()
     return runner
 
 
-def _fig6(scale: str, workers: int | None = 1, trace_cache=None) -> str:
+def _fig6(scale: str, workers: int | None = 1, trace_cache=None,
+          capture_workers: int | None = 1) -> str:
     return render_fig6(run_fig6(scale=scale, workers=workers,
-                                trace_cache=trace_cache))
+                                trace_cache=trace_cache,
+                                capture_workers=capture_workers))
 
 
-def _fig7(scale: str, workers: int | None = 1, trace_cache=None) -> str:
+def _fig7(scale: str, workers: int | None = 1, trace_cache=None,
+          capture_workers: int | None = 1) -> str:
     return render_fig7(run_fig7(scale=scale, workers=workers,
-                                trace_cache=trace_cache))
+                                trace_cache=trace_cache,
+                                capture_workers=capture_workers))
 
 
-def _table1(scale: str, workers: int | None = 1, trace_cache=None) -> str:
+def _table1(scale: str, workers: int | None = 1, trace_cache=None,
+            capture_workers: int | None = 1) -> str:
     return render_table1(run_table1(scale=scale, workers=workers,
-                                    trace_cache=trace_cache))
+                                    trace_cache=trace_cache,
+                                    capture_workers=capture_workers))
 
 
-def _table3(scale: str, workers: int | None = 1, trace_cache=None) -> str:
+def _table3(scale: str, workers: int | None = 1, trace_cache=None,
+            capture_workers: int | None = 1) -> str:
     return render_table3(run_table3(scale=scale, workers=workers,
-                                    trace_cache=trace_cache))
+                                    trace_cache=trace_cache,
+                                    capture_workers=capture_workers))
 
 
-#: Experiment id -> callable(scale, workers, trace_cache) -> rendered text.
+#: Experiment id -> callable(scale, workers, trace_cache,
+#: capture_workers) -> rendered text.
 EXPERIMENTS: dict[str, Callable[..., str]] = {
     "fig1": static_experiment(render_survey),
     "fig6": _fig6,
@@ -92,11 +105,14 @@ assert not SIMULATION_EXPERIMENTS & STATIC_EXPERIMENTS
 
 def run_experiment(name: str, scale: str = "paper",
                    workers: int | None = 1,
-                   trace_store=None) -> str:
+                   trace_store=None,
+                   capture_workers: int | None = 1) -> str:
     """Run one experiment by id ('fig6', 'table3', ...); returns text.
 
     ``workers`` fans the replay phase of the simulation sweeps out over
-    that many processes (``None`` autodetects, ``1`` stays in-process).
+    that many processes, and ``capture_workers`` does the same for the
+    capture phase, the two overlapping as a pipeline (``None``
+    autodetects, ``1`` stays in-process — for either knob).
     ``trace_store`` attaches the run to a shared disk trace store: a
     :class:`~repro.sim.TraceCache`/:class:`~repro.sim.TraceStore`
     instance or a directory path; when omitted, ``$REPRO_TRACE_STORE``
@@ -112,4 +128,4 @@ def run_experiment(name: str, scale: str = "paper",
         ) from None
     cache = attach_store(trace_store) if name in SIMULATION_EXPERIMENTS \
         else None
-    return runner(scale, workers, cache)
+    return runner(scale, workers, cache, capture_workers)

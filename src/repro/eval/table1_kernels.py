@@ -45,38 +45,45 @@ def run_table1(config: SystemConfig | None = None,
                bytes_per_lane: int = 512,
                scale: str = "paper",
                trace_cache=None,
-               workers: int | None = 1) -> list[Table1Row]:
+               workers: int | None = 1,
+               capture_workers: int | None = 1) -> list[Table1Row]:
     """Measure every kernel's peak at one operating point.
 
-    Trace-once / replay-many like the other sweeps: the **capture
+    A capture/replay pipeline like the other sweeps: the **capture
     phase** executes each kernel functionally once (or fetches its trace
     from ``trace_cache`` — e.g. the suite's shared disk store, where a
-    Fig 6/7 run over the same operating points has already paid for
-    it), and the **replay phase** times all captures in one
-    :class:`~repro.sim.parallel.ReplayPool` batch (``workers=1``
-    replays in-process; ``workers=None`` autodetects).  Rows are
-    byte-identical for any worker count and any cache state.
+    Fig 6/7 run over the same operating points has already paid for it),
+    fanned out over a :class:`~repro.sim.parallel.CapturePool`
+    (``capture_workers``), and the **replay phase** times each capture
+    through a :class:`~repro.sim.parallel.ReplayPool` (``workers``) as
+    its trace lands.  ``1`` stays in-process and ``None`` autodetects
+    for either knob; rows are byte-identical for any combination and
+    any cache state.
     """
-    from ..sim import ReplayPool, TraceCache
+    from ..sim import CapturePool, CaptureTask, ReplayPool, TraceCache, \
+        run_pipeline
     from .fig6_scaling import _SCALE_KWARGS
 
     config = config if config is not None else AraXLConfig(lanes=64)
     cache = trace_cache if trace_cache is not None else TraceCache()
 
-    # ---- capture phase: one functional execution (or cache fetch) per
-    # kernel; all captures stay alive for the replay batch below.
+    # ---- plan: one capture and one replay per kernel.
     meta = []
-    tasks = []
+    captures = []
+    replays = []
     for name, builder in KERNELS.items():
         kw = _SCALE_KWARGS[scale].get(name, {})
         run = builder(config, bytes_per_lane, **kw)
-        captured = run.capture(config, cache=cache, verify=False)
         meta.append((name, run))
-        tasks.append((config, captured, run.trace_key(config)))
+        replays.append((config, len(captures)))
+        captures.append(CaptureTask.for_kernel(name, config,
+                                               bytes_per_lane, kw))
 
-    # ---- replay phase: one pooled batch over every kernel.
-    pool = ReplayPool(workers=workers, disk_dir=cache.disk_dir)
-    reports = pool.replay_batch(tasks)
+    # ---- pipeline: captures fan out, replays start as traces land.
+    reports = run_pipeline(
+        captures, replays,
+        CapturePool(workers=capture_workers, cache=cache),
+        ReplayPool(workers=workers, disk_dir=cache.disk_dir))
 
     rows = []
     for (name, run), report in zip(meta, reports):

@@ -38,30 +38,37 @@ def run_table3(configs: list[SystemConfig] | None = None,
                bytes_per_lane: int = 512,
                scale: str = "paper",
                trace_cache=None,
-               workers: int | None = 1) -> list[PpaPoint]:
-    from ..sim import ReplayPool, TraceCache
+               workers: int | None = 1,
+               capture_workers: int | None = 1) -> list[PpaPoint]:
+    from ..sim import CapturePool, CaptureTask, ReplayPool, TraceCache, \
+        run_pipeline
     from .fig6_scaling import _SCALE_KWARGS
 
     configs = configs if configs is not None else default_configs()
     kw = _SCALE_KWARGS[scale].get("fmatmul", {})
-    # 16L-Ara2 and 16L-AraXL share a VLEN: the capture phase runs
-    # fmatmul functionally once per VLEN group, then the replay phase
-    # times every machine through the ReplayPool (workers=1 in-process).
+    # 16L-Ara2 and 16L-AraXL share a VLEN: fmatmul runs functionally
+    # once per VLEN group (fanned over the CapturePool), and every
+    # machine's timing replay enters the ReplayPool as its group's
+    # trace lands (workers=1 stays in-process for either phase).
     cache = trace_cache if trace_cache is not None else TraceCache()
-    captured_by_key: dict = {}
-    tasks = []
+    cidx_by_key: dict = {}
+    captures: list[CaptureTask] = []
+    replays = []
     for config in configs:
         run = build_fmatmul(config, bytes_per_lane, **kw)
         key = run.trace_key(config)
-        captured = captured_by_key.get(key)
-        if captured is None:
-            captured = run.capture(config, cache=cache, verify=False)
-            captured_by_key[key] = captured
-        tasks.append((config, captured, key))
-    pool = ReplayPool(workers=workers, disk_dir=cache.disk_dir)
-    reports = pool.replay_batch(tasks)
+        cidx = cidx_by_key.get(key)
+        if cidx is None:
+            cidx = cidx_by_key[key] = len(captures)
+            captures.append(CaptureTask.for_kernel(
+                "fmatmul", config, bytes_per_lane, kw))
+        replays.append((config, cidx))
+    reports = run_pipeline(
+        captures, replays,
+        CapturePool(workers=capture_workers, cache=cache),
+        ReplayPool(workers=workers, disk_dir=cache.disk_dir))
     return [ppa_point(config, report)
-            for (config, _captured, _key), report in zip(tasks, reports)]
+            for (config, _cidx), report in zip(replays, reports)]
 
 
 def render_table3(points: list[PpaPoint]) -> str:

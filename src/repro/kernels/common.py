@@ -8,6 +8,7 @@ is exactly how Fig 6 sweeps 64 -> 512 B/lane.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from types import SimpleNamespace
 from typing import Callable
@@ -19,6 +20,49 @@ from ..functional.executor import ExecResult
 from ..isa.program import Program
 from ..params import SystemConfig
 from ..sim import RunResult, Simulator, TraceCache, replay_trace, trace_key
+
+#: Process-wide memo of kernel *skeletons*: the assembled program plus
+#: the golden input/output arrays — everything about a build that is a
+#: pure function of the program-shaping parameters (vl, lmul, problem
+#: dims) and independent of the machine that runs it.  Distinct
+#: operating points can share a skeleton — e.g. Fig 6's (8 lanes,
+#: 128 B/lane) and (16 lanes, 64 B/lane) both solve the vl=128, LMUL=1
+#: problem — and a :class:`~repro.sim.parallel.CapturePool` worker
+#: handed several points of one kernel assembles and `numpy`s each
+#: skeleton once instead of once per point.  Entries hold golden
+#: arrays — a paper-scale fconv2d skeleton is tens of MB — so the LRU
+#: is capped by a byte budget over its array payloads, not by entry
+#: count.
+_SKELETON_CACHE: OrderedDict = OrderedDict()
+_SKELETON_CACHE_BYTES = 256 * 1024 * 1024
+_skeleton_cache_used = 0
+
+
+def _skeleton_nbytes(value: tuple) -> int:
+    """Array bytes pinned by one skeleton (programs/ints are noise)."""
+    return sum(getattr(item, "nbytes", 0) for item in value)
+
+
+def memo_skeleton(key: tuple, build: Callable[[], tuple]) -> tuple:
+    """Return the skeleton for ``key``, building (and caching) on miss.
+
+    ``key`` must name every input of ``build`` (kernel name + the
+    program-shaping parameters); the cached value is shared across
+    :class:`KernelRun` instances, so ``build`` must return objects the
+    runs treat as immutable (programs, golden arrays, base addresses).
+    """
+    global _skeleton_cache_used
+    hit = _SKELETON_CACHE.get(key)
+    if hit is not None:
+        _SKELETON_CACHE.move_to_end(key)
+        return hit
+    value = _SKELETON_CACHE[key] = build()
+    _skeleton_cache_used += _skeleton_nbytes(value)
+    while _skeleton_cache_used > _SKELETON_CACHE_BYTES \
+            and len(_SKELETON_CACHE) > 1:
+        _, evicted = _SKELETON_CACHE.popitem(last=False)
+        _skeleton_cache_used -= _skeleton_nbytes(evicted)
+    return value
 
 
 def vl_and_lmul(config: SystemConfig, bytes_per_lane: int,

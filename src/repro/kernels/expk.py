@@ -20,7 +20,8 @@ import numpy as np
 
 from ..isa.asm import Assembler
 from ..params import SystemConfig
-from .common import KernelRun, Layout, check_array, rng_for, vl_and_lmul
+from .common import (KernelRun, Layout, check_array, memo_skeleton, rng_for,
+                     vl_and_lmul)
 
 #: FP constants loaded into f10..f20 by :func:`emit_exp_consts`.
 EXP_CONSTS = (
@@ -101,10 +102,8 @@ def exp_golden(x: np.ndarray) -> np.ndarray:
     return np.exp(np.clip(x, EXP_CONSTS[1], EXP_CONSTS[0]))
 
 
-def build_exp(config: SystemConfig, bytes_per_lane: int) -> KernelRun:
-    vl, lmul = vl_and_lmul(config, bytes_per_lane)
-    n = vl
-
+def _exp_skeleton(n: int, lmul: int) -> tuple:
+    """Machine-independent build: program, buffer bases, golden data."""
     layout = Layout()
     a_base = layout.alloc_f64("A", n)
     o_base = layout.alloc_f64("O", n)
@@ -126,6 +125,15 @@ def build_exp(config: SystemConfig, bytes_per_lane: int) -> KernelRun:
     rng = rng_for("exp", n)
     x_vec = rng.uniform(-10.0, 10.0, size=n)
     golden = exp_golden(x_vec)
+    return program, a_base, o_base, const_base, x_vec, golden
+
+
+def build_exp(config: SystemConfig, bytes_per_lane: int) -> KernelRun:
+    vl, lmul = vl_and_lmul(config, bytes_per_lane)
+    n = vl
+
+    program, a_base, o_base, const_base, x_vec, golden = memo_skeleton(
+        ("exp", n, lmul), lambda: _exp_skeleton(n, lmul))
 
     def setup(sim) -> None:
         sim.mem.write_array(a_base, x_vec)

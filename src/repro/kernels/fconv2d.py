@@ -26,18 +26,15 @@ import numpy as np
 
 from ..isa.asm import Assembler
 from ..params import SystemConfig
-from .common import KernelRun, Layout, check_array, rng_for, vl_and_lmul
+from .common import (KernelRun, Layout, check_array, memo_skeleton, rng_for,
+                     vl_and_lmul)
 
 FILTER = 7
 DEFAULT_ROWS = 256
 
 
-def build_fconv2d(config: SystemConfig, bytes_per_lane: int,
-                  rows: int = DEFAULT_ROWS) -> KernelRun:
-    if rows % 2:
-        raise ValueError(f"rows={rows} must be even (row-pair blocking)")
-    vl, lmul = vl_and_lmul(config, bytes_per_lane)
-    n = vl
+def _fconv2d_skeleton(rows: int, n: int, lmul: int) -> tuple:
+    """Machine-independent build: program, buffer bases, golden data."""
     halo = FILTER - 1
     in_w = n + halo
     in_rows = rows + halo
@@ -101,6 +98,19 @@ def build_fconv2d(config: SystemConfig, bytes_per_lane: int,
     for r in range(FILTER):
         for c in range(FILTER):
             golden += filt[r, c] * a_img[r:r + rows, c:c + n]
+    return program, a_base, f_base, o_base, a_img, filt, golden
+
+
+def build_fconv2d(config: SystemConfig, bytes_per_lane: int,
+                  rows: int = DEFAULT_ROWS) -> KernelRun:
+    if rows % 2:
+        raise ValueError(f"rows={rows} must be even (row-pair blocking)")
+    vl, lmul = vl_and_lmul(config, bytes_per_lane)
+    n = vl
+
+    program, a_base, f_base, o_base, a_img, filt, golden = memo_skeleton(
+        ("fconv2d", rows, n, lmul),
+        lambda: _fconv2d_skeleton(rows, n, lmul))
 
     def setup(sim) -> None:
         sim.mem.write_array(a_base, a_img.reshape(-1))

@@ -21,13 +21,12 @@ import numpy as np
 
 from ..isa.asm import Assembler
 from ..params import SystemConfig
-from .common import KernelRun, Layout, check_array, rng_for, vl_and_lmul
+from .common import (KernelRun, Layout, check_array, memo_skeleton, rng_for,
+                     vl_and_lmul)
 
 
-def build_fdotproduct(config: SystemConfig, bytes_per_lane: int) -> KernelRun:
-    vl, lmul = vl_and_lmul(config, bytes_per_lane)
-    n = vl
-
+def _fdotproduct_skeleton(n: int, lmul: int) -> tuple:
+    """Machine-independent build: program, buffer bases, golden data."""
     layout = Layout()
     a_base = layout.alloc_f64("A", n)
     b_base = layout.alloc_f64("B", n)
@@ -55,6 +54,16 @@ def build_fdotproduct(config: SystemConfig, bytes_per_lane: int) -> KernelRun:
     a_vec = rng.uniform(-1.0, 1.0, size=n)
     b_vec = rng.uniform(-1.0, 1.0, size=n)
     golden = np.array([np.dot(a_vec, b_vec)])
+    return program, a_base, b_base, r_base, a_vec, b_vec, golden
+
+
+def build_fdotproduct(config: SystemConfig, bytes_per_lane: int) -> KernelRun:
+    vl, lmul = vl_and_lmul(config, bytes_per_lane)
+    n = vl
+
+    program, a_base, b_base, r_base, a_vec, b_vec, golden = memo_skeleton(
+        ("fdotproduct", n, lmul),
+        lambda: _fdotproduct_skeleton(n, lmul))
 
     def setup(sim) -> None:
         sim.mem.write_array(a_base, a_vec)
@@ -86,6 +95,34 @@ def build_fdotproduct_strips(config: SystemConfig, bytes_per_lane: int,
     non-ideal reduction phases amortize across the whole vector.
     """
     vl, lmul = vl_and_lmul(config, bytes_per_lane)
+    n_total = vl * strips
+
+    program, a_base, b_base, r_base, a_vec, b_vec, golden = memo_skeleton(
+        ("fdotproduct_strips", vl, strips, lmul),
+        lambda: _fdotproduct_strips_skeleton(vl, strips, lmul))
+
+    def setup(sim) -> None:
+        sim.mem.write_array(a_base, a_vec)
+        sim.mem.write_array(b_base, b_vec)
+
+    def check(sim) -> float:
+        return check_array(sim, r_base, golden, "fdotproduct_strips",
+                           rtol=1e-9, atol=1e-10 * n_total)
+
+    return KernelRun(
+        name="fdotproduct_strips",
+        program=program,
+        setup=setup,
+        check=check,
+        dp_flops=2.0 * n_total,
+        max_flops_per_cycle=float(config.lanes),
+        problem={"n": n_total, "vl": vl, "lmul": lmul, "strips": strips,
+                 "bytes_per_lane": bytes_per_lane * strips},
+    )
+
+
+def _fdotproduct_strips_skeleton(vl: int, strips: int, lmul: int) -> tuple:
+    """Machine-independent build: program, buffer bases, golden data."""
     n_total = vl * strips
 
     layout = Layout()
@@ -125,22 +162,4 @@ def build_fdotproduct_strips(config: SystemConfig, bytes_per_lane: int,
     a_vec = rng.uniform(-1.0, 1.0, size=n_total)
     b_vec = rng.uniform(-1.0, 1.0, size=n_total)
     golden = np.array([np.dot(a_vec, b_vec)])
-
-    def setup(sim) -> None:
-        sim.mem.write_array(a_base, a_vec)
-        sim.mem.write_array(b_base, b_vec)
-
-    def check(sim) -> float:
-        return check_array(sim, r_base, golden, "fdotproduct_strips",
-                           rtol=1e-9, atol=1e-10 * n_total)
-
-    return KernelRun(
-        name="fdotproduct_strips",
-        program=program,
-        setup=setup,
-        check=check,
-        dp_flops=2.0 * n_total,
-        max_flops_per_cycle=float(config.lanes),
-        problem={"n": n_total, "vl": vl, "lmul": lmul, "strips": strips,
-                 "bytes_per_lane": bytes_per_lane * strips},
-    )
+    return program, a_base, b_base, r_base, a_vec, b_vec, golden

@@ -21,7 +21,8 @@ import numpy as np
 
 from ..isa.asm import Assembler
 from ..params import SystemConfig
-from .common import KernelRun, Layout, check_array, rng_for, vl_and_lmul
+from .common import (KernelRun, Layout, check_array, memo_skeleton, rng_for,
+                     vl_and_lmul)
 
 #: Rows of A processed per accumulator block (register-budget bound:
 #: ROW_BLOCK accumulator groups + one B-row group must fit 32 registers
@@ -32,15 +33,8 @@ DEFAULT_M = 64
 DEFAULT_K = 256
 
 
-def build_fmatmul(config: SystemConfig, bytes_per_lane: int,
-                  m: int = DEFAULT_M, k: int = DEFAULT_K) -> KernelRun:
-    vl, lmul = vl_and_lmul(config, bytes_per_lane)
-    n = vl  # Table I: N spans exactly one strip
-    if m % ROW_BLOCK:
-        raise ValueError(f"m={m} must be a multiple of {ROW_BLOCK}")
-    if k % 2:
-        raise ValueError(f"k={k} must be even (B double buffering)")
-
+def _fmatmul_skeleton(m: int, k: int, n: int, lmul: int) -> tuple:
+    """Machine-independent build: program, buffer bases, golden data."""
     layout = Layout()
     a_base = layout.alloc_f64("A", m * k)
     b_base = layout.alloc_f64("B", k * n)
@@ -95,6 +89,21 @@ def build_fmatmul(config: SystemConfig, bytes_per_lane: int,
     a_mat = rng.uniform(-1.0, 1.0, size=(m, k))
     b_mat = rng.uniform(-1.0, 1.0, size=(k, n))
     golden = a_mat @ b_mat
+    return program, a_base, b_base, c_base, a_mat, b_mat, golden
+
+
+def build_fmatmul(config: SystemConfig, bytes_per_lane: int,
+                  m: int = DEFAULT_M, k: int = DEFAULT_K) -> KernelRun:
+    vl, lmul = vl_and_lmul(config, bytes_per_lane)
+    n = vl  # Table I: N spans exactly one strip
+    if m % ROW_BLOCK:
+        raise ValueError(f"m={m} must be a multiple of {ROW_BLOCK}")
+    if k % 2:
+        raise ValueError(f"k={k} must be even (B double buffering)")
+
+    program, a_base, b_base, c_base, a_mat, b_mat, golden = memo_skeleton(
+        ("fmatmul", m, k, n, lmul),
+        lambda: _fmatmul_skeleton(m, k, n, lmul))
 
     def setup(sim) -> None:
         sim.mem.write_array(a_base, a_mat.reshape(-1))

@@ -13,15 +13,14 @@ from __future__ import annotations
 
 from ..isa.asm import Assembler
 from ..params import SystemConfig
-from .common import KernelRun, Layout, check_array, rng_for, vl_and_lmul
+from .common import (KernelRun, Layout, check_array, memo_skeleton, rng_for,
+                     vl_and_lmul)
 
 DEFAULT_ROWS = 256
 
 
-def build_jacobi2d(config: SystemConfig, bytes_per_lane: int,
-                   rows: int = DEFAULT_ROWS) -> KernelRun:
-    vl, lmul = vl_and_lmul(config, bytes_per_lane)
-    n = vl
+def _jacobi2d_skeleton(rows: int, n: int, lmul: int) -> tuple:
+    """Machine-independent build: program, buffer bases, golden data."""
     in_w = n + 2  # one halo column each side
     in_rows = rows + 2  # one halo row top and bottom
 
@@ -74,6 +73,17 @@ def build_jacobi2d(config: SystemConfig, bytes_per_lane: int,
     grid = rng.uniform(-1.0, 1.0, size=(in_rows, in_w))
     golden = 0.25 * (grid[:-2, 1:-1] + grid[2:, 1:-1]
                      + grid[1:-1, :-2] + grid[1:-1, 2:])
+    return program, a_base, o_base, const_base, grid, golden
+
+
+def build_jacobi2d(config: SystemConfig, bytes_per_lane: int,
+                   rows: int = DEFAULT_ROWS) -> KernelRun:
+    vl, lmul = vl_and_lmul(config, bytes_per_lane)
+    n = vl
+
+    program, a_base, o_base, const_base, grid, golden = memo_skeleton(
+        ("jacobi2d", rows, n, lmul),
+        lambda: _jacobi2d_skeleton(rows, n, lmul))
 
     def setup(sim) -> None:
         sim.mem.write_array(a_base, grid.reshape(-1))

@@ -18,7 +18,8 @@ import numpy as np
 
 from ..isa.asm import Assembler
 from ..params import SystemConfig
-from .common import KernelRun, Layout, check_array, rng_for, vl_and_lmul
+from .common import (KernelRun, Layout, check_array, memo_skeleton, rng_for,
+                     vl_and_lmul)
 from .expk import EXP_CONSTS, emit_exp_body, emit_exp_consts, exp_golden
 
 #: FPU op-slots and DP-FLOP per element (Table I row 6).
@@ -26,10 +27,8 @@ SOFTMAX_FPU_OPS = 25
 SOFTMAX_FLOPS = 32
 
 
-def build_softmax(config: SystemConfig, bytes_per_lane: int) -> KernelRun:
-    vl, lmul = vl_and_lmul(config, bytes_per_lane)
-    n = vl
-
+def _softmax_skeleton(n: int, lmul: int) -> tuple:
+    """Machine-independent build: program, buffer bases, golden data."""
     layout = Layout()
     a_base = layout.alloc_f64("A", n)
     o_base = layout.alloc_f64("O", n)
@@ -66,6 +65,16 @@ def build_softmax(config: SystemConfig, bytes_per_lane: int) -> KernelRun:
     x_vec = rng.uniform(-8.0, 8.0, size=n)
     shifted = exp_golden(x_vec - np.max(x_vec))
     golden = shifted / np.sum(shifted)
+    return program, a_base, o_base, const_base, ninf_base, x_vec, golden
+
+
+def build_softmax(config: SystemConfig, bytes_per_lane: int) -> KernelRun:
+    vl, lmul = vl_and_lmul(config, bytes_per_lane)
+    n = vl
+
+    (program, a_base, o_base, const_base, ninf_base,
+     x_vec, golden) = memo_skeleton(
+        ("softmax", n, lmul), lambda: _softmax_skeleton(n, lmul))
 
     def setup(sim) -> None:
         sim.mem.write_array(a_base, x_vec)

@@ -9,18 +9,23 @@ architectural outcome and the cycle-level report.  Captured traces are
 shared across operating points via
 :class:`~repro.sim.trace_cache.TraceCache` — and across the whole
 benchmark suite via the disk-backed, garbage-collected
-:class:`~repro.sim.trace_store.TraceStore` — and independent replays of
-one batch fan out over worker processes via
-:class:`~repro.sim.parallel.ReplayPool`.
+:class:`~repro.sim.trace_store.TraceStore` — and both sweep phases fan
+out over worker processes via :mod:`repro.sim.parallel`:
+:class:`~repro.sim.parallel.CapturePool` for the functional captures,
+:class:`~repro.sim.parallel.ReplayPool` for the timing replays, and
+:func:`~repro.sim.parallel.run_pipeline` to stream the former into the
+latter.
 """
 
 from .simulator import Simulator, replay_trace, run_program
 from .result import RunResult
 from .trace_cache import TraceCache, trace_key
 from .trace_store import TraceStore, attach_store, resolve_store_dir
-from .parallel import ReplayPool, autodetect_workers, replay_batch
+from .parallel import (CapturePool, CaptureTask, ReplayPool,
+                       autodetect_workers, replay_batch, run_pipeline)
 
-__all__ = ["Simulator", "RunResult", "TraceCache", "TraceStore",
-           "ReplayPool", "attach_store", "autodetect_workers",
-           "replay_batch", "replay_trace", "resolve_store_dir",
-           "run_program", "trace_key"]
+__all__ = ["CapturePool", "CaptureTask", "Simulator", "RunResult",
+           "TraceCache", "TraceStore", "ReplayPool", "attach_store",
+           "autodetect_workers", "replay_batch", "replay_trace",
+           "resolve_store_dir", "run_pipeline", "run_program",
+           "trace_key"]

@@ -1,12 +1,34 @@
-"""Parallel replay: fan independent trace replays out over processes.
+"""Parallel capture and replay: fan both sweep phases out over processes.
 
 PR 1 made :meth:`~repro.sim.simulator.Simulator.capture` and
 :class:`~repro.timing.engine.TimingEngine` replay fully independent: one
 captured :class:`~repro.functional.executor.ExecResult` can be replayed
 against any number of machine models and each replay is bit-identical to
 a fresh end-to-end run.  The paper's evaluation sweeps (Fig 6/7,
-Table III, the ablations) are therefore embarrassingly parallel in their
-replay phase, and :class:`ReplayPool` is the harness that exploits it:
+Table I/III, the ablations) are therefore embarrassingly parallel in
+*both* phases: replays of one capture are independent of each other, and
+captures of distinct ``(program fingerprint, vlen_bits, setup)`` keys
+are independent of everything.  Two pools exploit this:
+
+* :class:`ReplayPool` fans the timing replays of captured traces out
+  over a process pool (batch API below, streaming session via
+  :meth:`ReplayPool.session`);
+* :class:`CapturePool` fans the functional captures of a cold sweep out
+  the same way: one :class:`CaptureTask` per distinct trace key, workers
+  rebuilding the kernel from its ``(name, config, B/lane, kwargs)`` spec
+  and writing the captured trace into the shared disk store through the
+  normal atomic-envelope :meth:`~repro.sim.trace_cache.TraceCache.put`
+  path, so the parent — and any concurrently-running replay worker —
+  picks it up as an ordinary disk hit.  ``workers=1`` captures
+  in-process (byte-identical, no executor), and a dead worker's tasks
+  fall back to in-process capture rather than failing the sweep.
+
+:func:`run_pipeline` chains the two into the cold-sweep pipeline: each
+operating point's replay tasks enter the replay pool *as soon as* its
+trace lands, so capture and replay overlap instead of running as strict
+serial phases.
+
+ReplayPool in detail:
 
 * **Batch API** — a replay *task* is ``(config, captured)`` (optionally
   ``(config, captured, trace_key)``); :meth:`ReplayPool.replay_batch`
@@ -38,7 +60,7 @@ from collections import OrderedDict
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 from ..functional.executor import ExecResult
 from ..params import SystemConfig
@@ -49,6 +71,9 @@ from .trace_cache import (DEFAULT_CAPACITY, TraceCache, TraceKey,
 
 #: A replay task: ``(config, captured)`` or ``(config, captured, key)``.
 ReplayTask = tuple
+
+#: A pipeline replay plan entry: ``(config, capture_index)``.
+PipelineReplay = tuple
 
 
 def autodetect_workers() -> int:
@@ -69,6 +94,23 @@ class _Group:
     captured: ExecResult
     configs: list[SystemConfig] = field(default_factory=list)
     indices: list[int] = field(default_factory=list)
+
+
+def _merge_snapshot(per_worker: dict[int, dict], pid: int,
+                    stats: dict) -> None:
+    """Keep the newest cumulative cache snapshot per worker pid.
+
+    A worker's counters only grow, but jobs complete (and their
+    snapshots arrive) in arbitrary order, so the snapshot with the most
+    lookups is the latest one — never let an earlier, smaller snapshot
+    overwrite it.
+    """
+    def _total(s: dict) -> int:
+        return sum(s.get(k, 0) for k in ("hits", "disk_hits", "misses"))
+
+    previous = per_worker.get(pid)
+    if previous is None or _total(stats) >= _total(previous):
+        per_worker[pid] = stats
 
 
 # ----------------------------------------------------------------------
@@ -218,24 +260,24 @@ class ReplayPool:
         return results  # type: ignore[return-value]
 
     def _merge_worker_stats(self, pid: int, stats: dict) -> None:
-        """Keep the newest cumulative snapshot per worker.
-
-        A worker's counters only grow, but jobs complete (and their
-        snapshots arrive) in arbitrary order, so the snapshot with the
-        most lookups is the latest one — never let an earlier, smaller
-        snapshot overwrite it.
-        """
-        def _total(s: dict) -> int:
-            return sum(s.get(k, 0) for k in ("hits", "disk_hits", "misses"))
-
-        previous = self._worker_stats.get(pid)
-        if previous is None or _total(stats) >= _total(previous):
-            self._worker_stats[pid] = stats
+        _merge_snapshot(self._worker_stats, pid, stats)
 
     def _on_disk(self, key: Optional[TraceKey]) -> bool:
         if self.disk_dir is None or key is None:
             return False
         return disk_path(self.disk_dir, key).exists()
+
+    # ------------------------------------------------------------------
+    def session(self) -> "ReplaySession":
+        """Open a streaming replay session against this pool.
+
+        Unlike :meth:`replay_batch`, a session accepts task groups
+        incrementally — the pipeline submits each operating point's
+        replays the moment its capture lands — and hands results back
+        tagged with caller-chosen indices.  ``workers=1`` sessions
+        replay every submission in-process immediately (no executor,
+        byte-identical results)."""
+        return ReplaySession(self)
 
     # ------------------------------------------------------------------
     @property
@@ -255,3 +297,315 @@ def replay_batch(tasks: Sequence[ReplayTask], workers: int | None = 1,
     """One-shot convenience wrapper around :class:`ReplayPool`."""
     return ReplayPool(workers=workers,
                       disk_dir=disk_dir).replay_batch(tasks)
+
+
+class ReplaySession:
+    """Incremental replay against a :class:`ReplayPool`'s workers.
+
+    Created by :meth:`ReplayPool.session` and used as a context manager.
+    :meth:`submit` takes one capture's replay configs plus the caller's
+    result indices; :meth:`drain` blocks until every submitted replay
+    finished and returns ``(index, report)`` pairs.  Submissions overlap
+    with each other — and, in the pipeline, with captures still running
+    in the capture pool — while ``workers=1`` keeps everything
+    in-process and executor-free.
+    """
+
+    def __init__(self, pool: ReplayPool) -> None:
+        self.pool = pool
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._pending: dict = {}
+        self._done: list[tuple[int, TimingReport]] = []
+
+    def __enter__(self) -> "ReplaySession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            disk_dir = str(self.pool.disk_dir) \
+                if self.pool.disk_dir is not None else None
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.pool.workers,
+                initializer=_init_worker,
+                initargs=(disk_dir, self.pool.capacity))
+        return self._executor
+
+    # ------------------------------------------------------------------
+    def submit(self, configs: Sequence[SystemConfig], captured: ExecResult,
+               key: Optional[TraceKey], indices: Sequence[int]) -> None:
+        """Queue one captured trace's replays; results carry ``indices``."""
+        if not configs:
+            return
+        if self.pool.workers == 1:
+            for config, idx in zip(configs, indices):
+                self._done.append((idx, replay_trace(config,
+                                                     captured).timing))
+            return
+        executor = self._ensure_executor()
+        # Chunk so one submission can occupy the whole pool — but only
+        # when the key is on shared disk, where extra chunks ship no
+        # payload (workers rehydrate).  Without shared disk every chunk
+        # would pipe its own pruned-payload pickle, so the submission
+        # stays whole; streaming concurrency then comes from the other
+        # in-flight submissions.
+        on_disk = self.pool._on_disk(key)
+        payload = None if on_disk else _disk_payload(captured)
+        chunks = min(self.pool.workers, len(configs)) if on_disk else 1
+        size = -(-len(configs) // chunks)  # ceil division
+        for start in range(0, len(configs), size):
+            job = _Group(key=key, captured=captured,
+                         configs=list(configs[start:start + size]),
+                         indices=list(indices[start:start + size]))
+            fut = executor.submit(_replay_group, key, payload, job.configs)
+            self._pending[fut] = job
+
+    def drain(self) -> list[tuple[int, TimingReport]]:
+        """Wait for every submitted replay; returns (index, report) pairs."""
+        while self._pending:
+            done, _ = wait(self._pending, return_when=FIRST_COMPLETED)
+            for fut in done:
+                job = self._pending.pop(fut)
+                outcome = fut.result()
+                if outcome is _NEEDS_PAYLOAD:
+                    # Stale/missing disk entry: resend with payload.
+                    retry = self._executor.submit(
+                        _replay_group, job.key, _disk_payload(job.captured),
+                        job.configs)
+                    self._pending[retry] = job
+                    continue
+                pid, reports, stats = outcome
+                self.pool._merge_worker_stats(pid, stats)
+                self._done.extend(zip(job.indices, reports))
+        return self._done
+
+
+# ----------------------------------------------------------------------
+# Capture side: fan functional captures over a process pool.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CaptureTask:
+    """One functional capture, specified by what to *build*, not by live
+    objects: a :class:`~repro.kernels.common.KernelRun` holds closures
+    (setup, golden check) that cannot cross a process boundary, so
+    workers rebuild it from the kernel registry.  Builds are
+    deterministic in these fields, hence worker and parent agree on the
+    trace key and the captured trace bit-for-bit."""
+
+    kernel: str
+    config: SystemConfig
+    bytes_per_lane: int
+    kwargs: tuple = ()
+    verify: bool = False
+
+    @staticmethod
+    def for_kernel(kernel: str, config: SystemConfig, bytes_per_lane: int,
+                   kwargs: dict | None = None,
+                   verify: bool = False) -> "CaptureTask":
+        return CaptureTask(kernel=kernel, config=config,
+                           bytes_per_lane=int(bytes_per_lane),
+                           kwargs=tuple(sorted((kwargs or {}).items())),
+                           verify=verify)
+
+    def build(self):
+        """(Re)build the kernel; memoized process-wide by the registry."""
+        from ..kernels import KERNELS  # deferred: kernels import repro.sim
+
+        return KERNELS[self.kernel](self.config, self.bytes_per_lane,
+                                    **dict(self.kwargs))
+
+    def key(self) -> TraceKey:
+        return self.build().trace_key(self.config)
+
+
+_CAPTURE_CACHE: Optional[TraceCache] = None
+
+
+def _init_capture_worker(disk_dir: Optional[str], capacity: int) -> None:
+    global _CAPTURE_CACHE
+    _CAPTURE_CACHE = TraceCache(capacity=capacity, disk_dir=disk_dir)
+
+
+def _capture_point(task: CaptureTask):
+    """Capture one task in a worker; returns (pid, key, payload, stats).
+
+    With a disk-backed worker cache the capture lands in the shared
+    store through the normal atomic-envelope ``put`` and ``payload`` is
+    None — the parent (and any concurrent replay worker) rehydrates it
+    as a disk hit.  Without shared disk the pruned payload ships back
+    over the pipe instead.
+    """
+    cache = _CAPTURE_CACHE
+    run = task.build()
+    captured = run.capture(task.config, cache=cache, verify=task.verify)
+    on_disk = cache is not None and cache.disk_dir is not None
+    payload = None if on_disk else _disk_payload(captured)
+    stats = dict(cache.stats) if cache is not None else {}
+    return os.getpid(), run.trace_key(task.config), payload, stats
+
+
+class CapturePool:
+    """Fans functional captures over processes, writing into ``cache``.
+
+    The capture-phase twin of :class:`ReplayPool`: one worker task per
+    distinct trace key, ``workers=1`` capturing in-process with no
+    executor (byte-identical to the pooled path), ``workers=None``
+    autodetecting the host CPUs.  Keys already present in ``cache``
+    (memory or shared disk) are served in-process with the same
+    hit/verify accounting as a serial sweep; a worker that dies — or a
+    store whose GC evicts the fresh entry before the parent adopts it —
+    degrades to an in-process capture instead of failing the sweep
+    (counted in :attr:`fallbacks`).
+    """
+
+    def __init__(self, workers: int | None = 1,
+                 cache: TraceCache | None = None,
+                 capacity: int = DEFAULT_CAPACITY) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1 (or None to autodetect)")
+        self.workers = autodetect_workers() if workers is None else int(workers)
+        self.cache = cache if cache is not None else TraceCache()
+        self.capacity = capacity
+        self._worker_stats: dict[int, dict] = {}
+        #: In-process captures forced by a worker death or a lost entry.
+        self.fallbacks = 0
+
+    # ------------------------------------------------------------------
+    def capture_batch(self, tasks: Sequence[CaptureTask]) -> list[ExecResult]:
+        """Capture every task; results come back in task order."""
+        results: list[Optional[ExecResult]] = [None] * len(tasks)
+        for idx, _key, captured in self.capture_stream(tasks):
+            results[idx] = captured
+        return results  # type: ignore[return-value]
+
+    def capture_stream(self, tasks: Sequence[CaptureTask]
+                       ) -> Iterator[tuple[int, TraceKey, ExecResult]]:
+        """Yield ``(task_index, key, captured)`` as captures land.
+
+        ``workers=1`` yields in task order (plain serial sweep);
+        pooled captures yield in completion order, which is what lets
+        :func:`run_pipeline` start replays while later captures are
+        still running.  Tasks sharing a trace key execute exactly once.
+        """
+        tasks = list(tasks)
+        if self.workers == 1 or len(tasks) == 1:
+            for idx, task in enumerate(tasks):
+                run = task.build()
+                yield (idx, run.trace_key(task.config),
+                       run.capture(task.config, cache=self.cache,
+                                   verify=task.verify))
+            return
+
+        groups: "OrderedDict[TraceKey, list[int]]" = OrderedDict()
+        for idx, task in enumerate(tasks):
+            groups.setdefault(task.key(), []).append(idx)
+        local: list[tuple[TraceKey, list[int]]] = []
+        remote: list[tuple[TraceKey, list[int]]] = []
+        for key, indices in groups.items():
+            # Tag-only probe (no payload deserialization, no counter);
+            # the capture() below then counts the hit — or recaptures,
+            # if the probed entry's payload turns out unreadable —
+            # exactly as a serial sweep would.
+            (local if self.cache.probe(key) else remote).append(
+                (key, indices))
+        # Cold keys go to the workers *first*, so the serial warm-serve
+        # loop below overlaps with captures already in flight instead of
+        # keeping the pool idle for its duration.
+        pool = None
+        pending: dict = {}
+        if remote:
+            disk_dir = str(self.cache.disk_dir) \
+                if self.cache.disk_dir is not None else None
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.workers, len(remote)),
+                initializer=_init_capture_worker,
+                initargs=(disk_dir, self.capacity))
+            for key, indices in remote:
+                fut = pool.submit(_capture_point, tasks[indices[0]])
+                pending[fut] = (key, indices)
+        try:
+            for key, indices in local:
+                task = tasks[indices[0]]
+                captured = task.build().capture(task.config,
+                                                cache=self.cache,
+                                                verify=task.verify)
+                for idx in indices:
+                    yield idx, key, captured
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    key, indices = pending.pop(fut)
+                    task = tasks[indices[0]]
+                    try:
+                        pid, _wkey, payload, stats = fut.result()
+                    except Exception:
+                        # Dead worker (or a broken pool taking every
+                        # sibling future with it): capture in-process.
+                        captured = self._fallback(task)
+                    else:
+                        _merge_snapshot(self._worker_stats, pid, stats)
+                        captured = self.cache.ingest_remote(key, payload)
+                        if captured is None:
+                            # The store's GC evicted the entry between
+                            # the worker's put and our adoption.
+                            captured = self._fallback(task)
+                    for idx in indices:
+                        yield idx, key, captured
+        finally:
+            # Also reached via GeneratorExit if the consumer abandons
+            # the stream: never leak the worker processes.
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    def _fallback(self, task: CaptureTask) -> ExecResult:
+        self.fallbacks += 1
+        return task.build().capture(task.config, cache=self.cache,
+                                    verify=task.verify)
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> dict:
+        """Cache counters aggregated over every worker this pool used."""
+        agg = {"hits": 0, "disk_hits": 0, "misses": 0,
+               "workers": len(self._worker_stats),
+               "fallbacks": self.fallbacks,
+               "per_worker": dict(self._worker_stats)}
+        for stats in self._worker_stats.values():
+            for counter in ("hits", "disk_hits", "misses"):
+                agg[counter] += stats.get(counter, 0)
+        return agg
+
+
+def run_pipeline(captures: Sequence[CaptureTask],
+                 replays: Sequence[PipelineReplay],
+                 capture_pool: CapturePool,
+                 replay_pool: ReplayPool) -> list[TimingReport]:
+    """Two-pool cold-sweep pipeline: capture fan-out feeding replay fan-out.
+
+    ``captures[i]`` names one distinct operating point;
+    ``replays[j] = (config, i)`` times capture ``i`` on ``config``.
+    Captures stream over ``capture_pool`` and each point's replay tasks
+    are submitted to ``replay_pool`` the moment its trace lands, so a
+    sweep's replay phase overlaps the remainder of its capture phase.
+    Returns one report per replay entry **in replay order** — byte-
+    identical for any worker counts on either pool (both phases are
+    deterministic; only scheduling changes).
+    """
+    captures = list(captures)
+    replays = list(replays)
+    plans: list[list[int]] = [[] for _ in captures]
+    for ridx, (_config, cidx) in enumerate(replays):
+        plans[cidx].append(ridx)
+    results: list[Optional[TimingReport]] = [None] * len(replays)
+    with replay_pool.session() as session:
+        for cidx, key, captured in capture_pool.capture_stream(captures):
+            indices = plans[cidx]
+            session.submit([replays[r][0] for r in indices], captured,
+                           key, indices)
+        for ridx, report in session.drain():
+            results[ridx] = report
+    return results  # type: ignore[return-value]

@@ -38,18 +38,30 @@ Disk entries are written for *concurrent* readers and writers sharing one
   writer leaves at worst an orphaned ``*.tmp``.
 * **Versioned envelope** — the pickle is a dict
   ``{"format": DISK_FORMAT_VERSION, "schema": <ExecResult field names>,
-  "payload": <the pruned ExecResult, itself pickled to bytes>}``.  A
-  stale file from an older code revision (wrong version, drifted
+  "payload": <the pruned ExecResult, pickled then zlib-compressed>}``.
+  A stale file from an older code revision (wrong version, drifted
   ``ExecResult`` fields, or a pre-envelope bare pickle) is treated as a
   plain miss — the caller recaptures and the subsequent
   :meth:`TraceCache.put` overwrites the stale file in place.  Nesting
   the payload as bytes lets envelope *validation* (``__contains__``
   probes, the store GC's stale purge) check the tags without
-  deserializing the trace itself.
+  deserializing — or decompressing — the trace itself.
+* **Compressed payload** — the nested payload bytes are
+  zlib-compressed (v4).  Trace pickles are dominated by repetitive
+  event records, so compression cuts entries by roughly an order of
+  magnitude, which multiplies how many operating points fit in the
+  shared store's GC budget and shrinks what capture/replay workers
+  write.  An uncompressed v3 file reads as a plain miss via the format
+  tag, never as a decode error.
 
 Statistics distinguish the layers: ``hits`` counts in-memory LRU hits
 only, ``disk_hits`` counts rehydrations from disk, and ``hit_rate`` is
 the true in-memory rate ``hits / (hits + disk_hits + misses)``.
+``remote_puts`` counts entries adopted via :meth:`TraceCache
+.ingest_remote` — captures paid by a worker process of a
+:class:`~repro.sim.parallel.CapturePool` rather than by this process —
+so warm disk hits served by an *earlier* run stay distinguishable from
+captures this very sweep fanned out.
 
 Shared store layout and lifecycle
 ---------------------------------
@@ -73,6 +85,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import zlib
 from collections import OrderedDict
 from pathlib import Path
 from typing import Optional
@@ -90,8 +103,16 @@ DEFAULT_CAPACITY = 32
 #: itself changes shape; ``ExecResult`` field drift is caught separately
 #: by the schema tag so unrelated refactors invalidate entries without a
 #: manual bump.  v3: the payload is nested as pickled bytes so envelope
-#: validation need not deserialize the trace.
-DISK_FORMAT_VERSION = 3
+#: validation need not deserialize the trace.  v4: the payload bytes are
+#: zlib-compressed (a v3 file fails the format check and reads as a
+#: plain miss, never as a decompression error).
+DISK_FORMAT_VERSION = 4
+
+#: zlib level for the payload bytes.  The default (6) already reaches
+#: within a few percent of level 9 on trace pickles at a fraction of the
+#: CPU; level 1 would halve the ratio for little time saved relative to
+#: the pickling itself.
+COMPRESS_LEVEL = 6
 
 
 def trace_key(program: Program, vlen_bits: int, setup_id: str) -> TraceKey:
@@ -133,9 +154,9 @@ def _unwrap_envelope(obj: object) -> Optional[ExecResult]:
     if not _validate_envelope(obj):
         return None  # older revision, drifted schema, or foreign shape
     try:
-        payload = pickle.loads(obj["payload"])
+        payload = pickle.loads(zlib.decompress(obj["payload"]))
     except Exception:
-        return None  # corrupt inner pickle: treat as a plain miss
+        return None  # corrupt compressed bytes or inner pickle: a miss
     return payload if isinstance(payload, ExecResult) else None
 
 
@@ -153,6 +174,7 @@ class TraceCache:
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.remote_puts = 0
         self._last_lookup: str | None = None  # "memory" | "disk" | "miss"
 
     # ------------------------------------------------------------------
@@ -217,9 +239,10 @@ class TraceCache:
         path.parent.mkdir(parents=True, exist_ok=True)
         envelope = {"format": DISK_FORMAT_VERSION,
                     "schema": _payload_schema(),
-                    "payload": pickle.dumps(
-                        _disk_payload(captured),
-                        protocol=pickle.HIGHEST_PROTOCOL)}
+                    "payload": zlib.compress(
+                        pickle.dumps(_disk_payload(captured),
+                                     protocol=pickle.HIGHEST_PROTOCOL),
+                        COMPRESS_LEVEL)}
         fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
                                         prefix=path.name + ".",
                                         suffix=".tmp")
@@ -233,6 +256,31 @@ class TraceCache:
             except OSError:
                 pass
             raise
+
+    def ingest_remote(self, key: TraceKey,
+                      payload: Optional[ExecResult] = None
+                      ) -> Optional[ExecResult]:
+        """Adopt an entry a capture worker produced for this cache.
+
+        A :class:`~repro.sim.parallel.CapturePool` worker either wrote
+        the entry to the shared disk directory (``payload=None`` — it is
+        rehydrated here) or shipped the pruned payload back over the
+        pipe.  Either way the capture was *paid elsewhere*: the adoption
+        is counted in ``remote_puts``, not as a hit, disk hit, or miss,
+        so the counters keep attributing functional work to whoever did
+        it.  Returns the adopted entry, or ``None`` when a disk-routed
+        entry vanished before adoption (e.g. the store's GC evicted it
+        mid-capture) — the caller must then recapture locally.
+        """
+        captured = payload
+        if captured is None:
+            captured = self._load_from_disk(key)
+        if captured is None:
+            return None
+        self._remember(key, captured)
+        self.remote_puts += 1
+        self._last_lookup = None  # see put(): no stale demotion context
+        return captured
 
     def _remember(self, key: TraceKey, captured: ExecResult) -> None:
         self._entries[key] = captured
@@ -269,6 +317,30 @@ class TraceCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def probe(self, key: TraceKey) -> bool:
+        """Cheap membership hint: envelope tags only, never the payload.
+
+        Unlike ``key in cache``, a disk probe validates the envelope's
+        format/schema tags without decompressing or unpickling the trace
+        itself, so callers that will immediately :meth:`get` on a
+        positive answer (e.g. :class:`~repro.sim.parallel.CapturePool`
+        classifying warm keys) don't deserialize every entry twice.  The
+        price is that an entry whose *inner* payload is corrupt can
+        probe True and still miss on the ``get`` — callers must treat a
+        positive probe as a hint, not a guarantee.
+        """
+        if key in self._entries:
+            return True
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return False
+        try:
+            with path.open("rb") as fh:
+                obj = pickle.load(fh)
+        except Exception:
+            return False
+        return _validate_envelope(obj)
+
     def __contains__(self, key: TraceKey) -> bool:
         # Membership mirrors get(): both layers count, neither is charged
         # a hit or miss.  The disk probe validates the full envelope —
@@ -285,6 +357,7 @@ class TraceCache:
             "hits": self.hits,
             "misses": self.misses,
             "disk_hits": self.disk_hits,
+            "remote_puts": self.remote_puts,
             "lookups": lookups,
             "entries": len(self._entries),
             "hit_rate": self.hits / lookups if lookups else 0.0,

@@ -1,0 +1,380 @@
+"""Parallel capture pipeline: byte-identity harness + failure paths.
+
+The harness proves the tentpole invariant: for **every** sweep the suite
+runs (Fig 6, Fig 7, Table I, Table III, the ablations), the rendered
+output is byte-identical whether captures run serially in-process or fan
+out over a :class:`~repro.sim.parallel.CapturePool`, and whether the
+shared trace store is cold or pre-warmed by a previous run.  The failure
+tests pin the degraded modes: a dead capture worker, a store key raced
+by two CapturePool processes, and the store's GC evicting an entry while
+a capture of it is in flight.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import threading
+import zlib
+
+import pytest
+
+from repro.eval.ablations import run_knob_sweep
+from repro.eval.fig6_scaling import render_fig6, run_fig6
+from repro.eval.fig7_latency import render_fig7, run_fig7
+from repro.eval.table1_kernels import render_table1, run_table1
+from repro.eval.table3_ppa import render_table3, run_table3
+from repro.kernels import build_fmatmul
+from repro.params import Ara2Config, AraXLConfig
+from repro.report import render_table
+from repro.sim import (CapturePool, CaptureTask, TraceCache, TraceStore,
+                       replay_trace)
+from repro.sim.trace_cache import (DISK_FORMAT_VERSION, _disk_payload,
+                                   _payload_schema, disk_path)
+import repro.sim.parallel as parallel_mod
+
+
+# ----------------------------------------------------------------------
+# The five-sweep byte-identity harness.  Each entry runs one sweep at a
+# small reduced operating point and returns its *rendered* output.
+# ----------------------------------------------------------------------
+def _fig6(cache, workers, capture_workers):
+    return render_fig6(run_fig6(
+        kernels=("fmatmul", "fdotproduct"), bytes_per_lane=(64,),
+        machines=[Ara2Config(lanes=8), AraXLConfig(lanes=8),
+                  AraXLConfig(lanes=16)],
+        scale="reduced", trace_cache=cache, workers=workers,
+        capture_workers=capture_workers))
+
+
+def _fig7(cache, workers, capture_workers):
+    return render_fig7(run_fig7(
+        kernels=("fmatmul", "softmax"), bytes_per_lane=(64, 128), lanes=8,
+        scale="reduced", trace_cache=cache, workers=workers,
+        capture_workers=capture_workers))
+
+
+def _table1(cache, workers, capture_workers):
+    return render_table1(run_table1(
+        config=AraXLConfig(lanes=8), bytes_per_lane=64, scale="reduced",
+        trace_cache=cache, workers=workers,
+        capture_workers=capture_workers))
+
+
+def _table3(cache, workers, capture_workers):
+    return render_table3(run_table3(
+        configs=[Ara2Config(lanes=8), AraXLConfig(lanes=8),
+                 AraXLConfig(lanes=16)],
+        scale="reduced", trace_cache=cache, workers=workers,
+        capture_workers=capture_workers))
+
+
+def _ablations(cache, workers, capture_workers):
+    hops = (1, 4)
+    configs = [AraXLConfig(lanes=8, ring_hop_latency=h) for h in hops]
+    rows = run_knob_sweep(configs,
+                          [("fdotproduct", 64, {}),
+                           ("fmatmul", 64, {"m": 8, "k": 16})],
+                          trace_cache=cache, workers=workers,
+                          capture_workers=capture_workers)
+    return render_table(
+        ("hop cycles", "fdotproduct util", "fmatmul util"),
+        [(hop, f"{u[0] * 100:.3f}%", f"{u[1] * 100:.3f}%")
+         for hop, u in zip(hops, rows)],
+        title="Ablation — RINGI hop latency (harness point)")
+
+
+SWEEPS = {"fig6": _fig6, "fig7": _fig7, "table1": _table1,
+          "table3": _table3, "ablations": _ablations}
+
+
+class TestByteIdentityHarness:
+    """Serial vs parallel capture, cold vs pre-warmed store — all sweeps."""
+
+    @pytest.mark.parametrize("name", sorted(SWEEPS))
+    def test_sweep_byte_identical(self, name, tmp_path):
+        sweep = SWEEPS[name]
+        serial = sweep(TraceStore(disk_dir=tmp_path / "serial"), 1, 1)
+        # Cold store, captures fanned over a pool, replays pooled too.
+        cold_parallel = sweep(TraceStore(disk_dir=tmp_path / "par"), 2, 3)
+        assert cold_parallel == serial
+        # Pre-warmed store: every point is a disk hit, same bytes out.
+        warm_parallel = sweep(TraceStore(disk_dir=tmp_path / "par"), 2, 3)
+        assert warm_parallel == serial
+        # Parallel capture without any disk store at all (payloads ship
+        # back over the pipe instead of landing as envelopes).
+        memory_only = sweep(TraceCache(), 1, 2)
+        assert memory_only == serial
+
+
+# ----------------------------------------------------------------------
+# CapturePool unit behaviour
+# ----------------------------------------------------------------------
+def _task(lanes=4, k=16, verify=False):
+    return CaptureTask.for_kernel("fmatmul", Ara2Config(lanes=lanes), 64,
+                                  {"m": 8, "k": k}, verify=verify)
+
+
+def _direct_timing(task):
+    run = task.build()
+    return run.run(task.config, verify=False).timing
+
+
+class TestCapturePool:
+    def test_workers_one_never_spawns_processes(self, monkeypatch):
+        monkeypatch.setattr(
+            parallel_mod, "ProcessPoolExecutor",
+            lambda *a, **k: pytest.fail("workers=1 must not build a pool"))
+        tasks = [_task(lanes=4), _task(lanes=8)]
+        captured = CapturePool(workers=1).capture_batch(tasks)
+        for task, cap in zip(tasks, captured):
+            assert replay_trace(task.config, cap).timing \
+                == _direct_timing(task)
+
+    def test_single_task_stays_in_process(self, monkeypatch):
+        monkeypatch.setattr(
+            parallel_mod, "ProcessPoolExecutor",
+            lambda *a, **k: pytest.fail("one task must capture in-process"))
+        [cap] = CapturePool(workers=4).capture_batch([_task()])
+        assert cap is not None
+
+    def test_batch_dedupes_by_trace_key(self, tmp_path):
+        """Tasks sharing a key run one functional capture, not three."""
+        store = TraceStore(disk_dir=tmp_path)
+        tasks = [_task(k=16), _task(k=16), _task(k=32)]
+        pool = CapturePool(workers=2, cache=store)
+        captured = pool.capture_batch(tasks)
+        assert captured[0] is captured[1]
+        assert captured[2] is not captured[0]
+        assert store.stats["remote_puts"] + store.stats["misses"] == 2
+
+    def test_cached_keys_served_in_process(self, tmp_path):
+        """A pre-warmed store serves the pool without any worker."""
+        store = TraceStore(disk_dir=tmp_path)
+        task = _task()
+        task.build().capture(task.config, cache=store, verify=False)
+        fresh = TraceStore(disk_dir=tmp_path)
+        pool = CapturePool(workers=2, cache=fresh)
+        [cap] = pool.capture_batch([task])
+        assert replay_trace(task.config, cap).timing == _direct_timing(task)
+        assert fresh.stats["disk_hits"] == 1
+        assert fresh.stats["remote_puts"] == 0
+
+    def test_autodetect_and_validation(self):
+        assert CapturePool().workers == 1  # explicit default stays serial
+        assert CapturePool(workers=None).workers >= 1
+        with pytest.raises(ValueError):
+            CapturePool(workers=0)
+
+    def test_empty_batch(self):
+        assert CapturePool(workers=2).capture_batch([]) == []
+
+    def test_dead_worker_falls_back_in_process(self, tmp_path, monkeypatch):
+        """A worker whose job never returns a result degrades to an
+        in-process capture instead of failing the sweep.  The job is
+        made unrunnable by patching the worker entry point to something
+        the executor cannot ship, so its future raises regardless of
+        the multiprocessing start method."""
+        monkeypatch.setattr(parallel_mod, "_capture_point",
+                            lambda task: (_ for _ in ()).throw(RuntimeError))
+        store = TraceStore(disk_dir=tmp_path)
+        tasks = [_task(lanes=4), _task(lanes=8)]
+        pool = CapturePool(workers=2, cache=store)
+        captured = pool.capture_batch(tasks)
+        assert pool.fallbacks == 2
+        assert store.stats["misses"] == 2  # in-process captures
+        assert store.stats["remote_puts"] == 0
+        for task, cap in zip(tasks, captured):
+            assert replay_trace(task.config, cap).timing \
+                == _direct_timing(task)
+
+    def test_gc_evicting_fresh_entry_falls_back(self, tmp_path, monkeypatch):
+        """Deterministic GC-mid-capture: the worker's entry vanishes
+        before the parent adopts it (ingest returns None)."""
+        store = TraceStore(disk_dir=tmp_path)
+        monkeypatch.setattr(TraceStore, "ingest_remote",
+                            lambda self, key, payload=None: None)
+        pool = CapturePool(workers=2, cache=store)
+        tasks = [_task(lanes=4), _task(lanes=8)]
+        captured = pool.capture_batch(tasks)
+        assert pool.fallbacks == 2
+        for task, cap in zip(tasks, captured):
+            assert replay_trace(task.config, cap).timing \
+                == _direct_timing(task)
+
+    def test_gc_racing_live_captures(self, tmp_path):
+        """An aggressive GC (budget 0) hammering the store while a
+        CapturePool captures into it: whatever the interleaving, every
+        point comes back correct (fallbacks absorb lost entries)."""
+        store = TraceStore(disk_dir=tmp_path)
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                store.gc(max_bytes=0)
+
+        thread = threading.Thread(target=hammer)
+        thread.start()
+        try:
+            tasks = [_task(lanes=4, k=k) for k in (16, 32, 48)]
+            captured = CapturePool(workers=2, cache=store) \
+                .capture_batch(tasks)
+        finally:
+            stop.set()
+            thread.join()
+        for task, cap in zip(tasks, captured):
+            assert replay_trace(task.config, cap).timing \
+                == _direct_timing(task)
+
+
+# ----------------------------------------------------------------------
+# Two CapturePool processes racing on the same store keys
+# ----------------------------------------------------------------------
+def _pool_capture_proc(disk_dir: str) -> None:
+    """Worker process: run a CapturePool over the same keys as its twin."""
+    store = TraceStore(disk_dir=disk_dir)
+    tasks = [CaptureTask.for_kernel("fmatmul", Ara2Config(lanes=4), 64,
+                                    {"m": 8, "k": k}) for k in (16, 32)]
+    captured = CapturePool(workers=2, cache=store).capture_batch(tasks)
+    assert all(cap is not None for cap in captured)
+
+
+class TestConcurrentCapturePools:
+    def test_two_pools_racing_one_store(self, tmp_path):
+        """Both pools capture the same keys; the store ends with one
+        whole envelope per key and no torn or orphaned files."""
+        procs = [multiprocessing.Process(target=_pool_capture_proc,
+                                         args=(str(tmp_path),))
+                 for _ in range(2)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        files = sorted(tmp_path.glob("trace_*.pkl"))
+        assert len(files) == 2  # one winner per key, no duplicates
+        assert not list(tmp_path.glob("*.tmp"))
+        for path in files:
+            with path.open("rb") as fh:
+                envelope = pickle.load(fh)  # must always unpickle whole
+            assert envelope["format"] == DISK_FORMAT_VERSION
+        # And the winner is a usable, correct trace.
+        task = CaptureTask.for_kernel("fmatmul", Ara2Config(lanes=4), 64,
+                                      {"m": 8, "k": 16})
+        entry = TraceStore(disk_dir=tmp_path).get(task.key())
+        assert entry is not None
+        assert replay_trace(task.config, entry).timing \
+            == _direct_timing(task)
+
+
+# ----------------------------------------------------------------------
+# remote_puts accounting
+# ----------------------------------------------------------------------
+class TestRemotePuts:
+    def _entry(self, tmp_path):
+        cfg = Ara2Config(lanes=4)
+        run = build_fmatmul(cfg, 64, m=8, k=16)
+        writer = TraceCache(disk_dir=tmp_path)
+        captured = run.capture(cfg, cache=writer, verify=False)
+        return run.trace_key(cfg), captured
+
+    def test_ingest_from_disk_counts_remote_put_only(self, tmp_path):
+        key, _ = self._entry(tmp_path)
+        reader = TraceCache(disk_dir=tmp_path)
+        adopted = reader.ingest_remote(key)
+        assert adopted is not None
+        stats = reader.stats
+        assert stats["remote_puts"] == 1
+        assert (stats["hits"], stats["disk_hits"], stats["misses"]) \
+            == (0, 0, 0)
+        assert stats["lookups"] == 0  # adoption is not a lookup
+        assert reader.get(key) is adopted  # now a memory hit
+        assert reader.stats["hits"] == 1
+
+    def test_ingest_with_shipped_payload(self, tmp_path):
+        key, captured = self._entry(tmp_path)
+        memory_only = TraceCache()
+        adopted = memory_only.ingest_remote(key, _disk_payload(captured))
+        assert adopted is not None
+        assert memory_only.stats["remote_puts"] == 1
+        assert memory_only.get(key) is adopted
+
+    def test_ingest_missing_entry_returns_none(self, tmp_path):
+        cache = TraceCache(disk_dir=tmp_path / "empty")
+        assert cache.ingest_remote(("nope", 1, "x")) is None
+        assert cache.stats["remote_puts"] == 0
+
+    def test_demote_after_ingest_is_a_noop(self, tmp_path):
+        key, _ = self._entry(tmp_path)
+        reader = TraceCache(disk_dir=tmp_path)
+        assert reader.get(key) is not None  # disk hit
+        assert reader.ingest_remote(key) is not None
+        before = dict(reader.stats)
+        reader.demote_last_hit()  # ingest cleared the lookup context
+        assert dict(reader.stats) == before
+
+
+# ----------------------------------------------------------------------
+# Envelope v4: zlib-compressed payloads
+# ----------------------------------------------------------------------
+class TestCompressedEnvelope:
+    def _capture(self, tmp_path):
+        cfg = Ara2Config(lanes=4)
+        run = build_fmatmul(cfg, 64, m=8, k=16)
+        cache = TraceCache(disk_dir=tmp_path)
+        captured = run.capture(cfg, cache=cache, verify=False)
+        return cfg, run, captured, run.trace_key(cfg)
+
+    def test_round_trip_and_compression_ratio(self, tmp_path):
+        cfg, run, captured, key = self._capture(tmp_path)
+        path = disk_path(tmp_path, key)
+        with path.open("rb") as fh:
+            envelope = pickle.load(fh)
+        raw = pickle.dumps(_disk_payload(captured),
+                           protocol=pickle.HIGHEST_PROTOCOL)
+        assert len(envelope["payload"]) < len(raw) / 2  # really compressed
+        assert zlib.decompress(envelope["payload"]) == raw
+        # A fresh cache rehydrates the entry and replays bit-identically.
+        entry = TraceCache(disk_dir=tmp_path).get(key)
+        assert entry is not None
+        assert replay_trace(cfg, entry).timing \
+            == run.run(cfg, verify=False).timing
+
+    def test_v3_uncompressed_envelope_is_a_miss(self, tmp_path):
+        """A pre-compression (v3) file reads as a plain stale miss."""
+        _, _, captured, key = self._capture(tmp_path)
+        path = disk_path(tmp_path, key)
+        v3 = {"format": 3, "schema": _payload_schema(),
+              "payload": pickle.dumps(_disk_payload(captured),
+                                      protocol=pickle.HIGHEST_PROTOCOL)}
+        path.write_bytes(pickle.dumps(v3))
+        stale = TraceCache(disk_dir=tmp_path)
+        assert key not in stale
+        assert stale.get(key) is None
+        assert stale.stats["misses"] == 1
+
+    def test_gc_purges_v3_entries(self, tmp_path):
+        _, _, captured, key = self._capture(tmp_path)
+        store = TraceStore(disk_dir=tmp_path)
+        v3 = tmp_path / "trace_aaaa.pkl"
+        v3.write_bytes(pickle.dumps(
+            {"format": 3, "schema": _payload_schema(),
+             "payload": pickle.dumps(_disk_payload(captured))}))
+        summary = store.gc()
+        assert summary["purged_stale"] == 1
+        assert not v3.exists()
+        assert disk_path(tmp_path, key).exists()  # the v4 entry survives
+
+    def test_corrupt_compressed_payload_is_a_miss(self, tmp_path):
+        """Valid tags around bytes zlib rejects: a miss, not a crash."""
+        _, _, _, key = self._capture(tmp_path)
+        path = disk_path(tmp_path, key)
+        bad = {"format": DISK_FORMAT_VERSION, "schema": _payload_schema(),
+               "payload": b"definitely not zlib"}
+        path.write_bytes(pickle.dumps(bad))
+        cache = TraceCache(disk_dir=tmp_path)
+        # Membership mirrors get(): an entry whose payload cannot
+        # rehydrate must not claim to exist.
+        assert key not in cache
+        assert cache.get(key) is None
+        assert cache.stats["misses"] == 1
