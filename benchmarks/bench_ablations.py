@@ -9,14 +9,13 @@ Three sweeps that probe the design decisions Section III motivates:
   the longer AraXL issue path.
 
 Every sweep varies pure timing knobs at a fixed lane count, so each
-kernel's trace is captured exactly once (fanned over a
-:class:`~repro.sim.parallel.CapturePool` when ``--capture-workers`` is
-raised) and the per-knob timing replays fan out over a
-:class:`~repro.sim.parallel.ReplayPool` (sized to the host) as each
-trace lands; results are byte-identical to a serial sweep regardless.
-The sweep driver itself lives in :mod:`repro.eval.ablations` so the
-parallel-capture byte-identity harness covers it alongside the paper
-sweeps.
+kernel's trace is captured exactly once and the per-knob timing
+replays fan out as each trace lands — both phases on one shared
+:class:`~repro.sim.parallel.SimPool` whose process budget comes from
+``--workers`` (captures hold at most ``--capture-workers`` of it);
+results are byte-identical to a serial sweep regardless.  The sweep
+driver itself lives in :mod:`repro.eval.ablations` so the parallel
+byte-identity harness covers it alongside the paper sweeps.
 """
 
 import dataclasses
@@ -28,7 +27,7 @@ from repro.report import render_table
 from conftest import save_output
 
 
-def test_ablation_ring_hop_latency(benchmark, trace_store,
+def test_ablation_ring_hop_latency(benchmark, trace_store, workers,
                                    capture_workers):
     hops = (1, 2, 4, 8)
 
@@ -36,7 +35,7 @@ def test_ablation_ring_hop_latency(benchmark, trace_store,
         configs = [AraXLConfig(lanes=32, ring_hop_latency=h) for h in hops]
         utils = run_knob_sweep(configs, [("fconv2d", 512, {"rows": 32}),
                                          ("fdotproduct", 512, {})],
-                               trace_cache=trace_store, workers=None,
+                               trace_cache=trace_store, workers=workers,
                                capture_workers=capture_workers)
         return [(hop, f"{u[0] * 100:.1f}%", f"{u[1] * 100:.1f}%")
                 for hop, u in zip(hops, utils)]
@@ -51,14 +50,15 @@ def test_ablation_ring_hop_latency(benchmark, trace_store,
     assert first - last < 5.0
 
 
-def test_ablation_glsu_depth(benchmark, trace_store, capture_workers):
+def test_ablation_glsu_depth(benchmark, trace_store, workers,
+                             capture_workers):
     extras = (0, 4, 8, 16)
 
     def sweep():
         configs = [AraXLConfig(lanes=32, glsu_extra_regs=e) for e in extras]
         utils = run_knob_sweep(configs, [("fmatmul", 512, {"m": 16, "k": 64}),
                                          ("fdotproduct", 512, {})],
-                               trace_cache=trace_store, workers=None,
+                               trace_cache=trace_store, workers=workers,
                                capture_workers=capture_workers)
         return [(extra, f"{u[0] * 100:.1f}%", f"{u[1] * 100:.1f}%")
                 for extra, u in zip(extras, utils)]
@@ -71,7 +71,8 @@ def test_ablation_glsu_depth(benchmark, trace_store, capture_workers):
     assert float(rows[-1][1][:-1]) > 95.0
 
 
-def test_ablation_queue_depth(benchmark, trace_store, capture_workers):
+def test_ablation_queue_depth(benchmark, trace_store, workers,
+                              capture_workers):
     depths = (1, 2, 4, 8)
 
     def sweep():
@@ -79,7 +80,7 @@ def test_ablation_queue_depth(benchmark, trace_store, capture_workers):
                                        unit_queue_depth=d) for d in depths]
         utils = run_knob_sweep(configs,
                                [("fmatmul", 128, {"m": 16, "k": 64})],
-                               trace_cache=trace_store, workers=None,
+                               trace_cache=trace_store, workers=workers,
                                capture_workers=capture_workers)
         return [(depth, f"{u[0] * 100:.1f}%")
                 for depth, u in zip(depths, utils)]

@@ -1,7 +1,11 @@
-"""Trace-cache effectiveness: cold vs warm sweeps, disk layer, parallel replay.
+"""Trace-cache effectiveness: cold vs warm sweeps, disk layer, shared pool.
 
 Runs the Fig 7 interface-cut sweep (the heaviest replay consumer: four
-timing configurations per operating point) several times:
+timing configurations per operating point) several times, each on its
+own :class:`~repro.sim.parallel.SimPool` so the pool's
+:class:`~repro.sim.parallel.PipelineStats` yield **per-phase wall-clock
+columns** (capture seconds and replay seconds, summed over workers) —
+pipeline efficiency, not just hit counts:
 
 * **cold** — fresh memory cache: every (kernel, B/lane) point pays one
   functional capture;
@@ -9,16 +13,16 @@ timing configurations per operating point) several times:
   replays run.  This round is the one ``benchmark.pedantic`` measures,
   and ``warm_s`` is read back from the benchmark's own stats so the
   reported wall-clock is exactly the measured round;
-* **warm, parallel** — same warm cache, replay phase fanned out over a
-  :class:`~repro.sim.parallel.ReplayPool` of ``min(4, cpu_count)``
-  workers (clamped so a small CI host measures fan-out, not
-  oversubscription; the row label records the effective count);
-* **cold, parallel capture** — a fresh shared store, capture phase
-  fanned out over a :class:`~repro.sim.parallel.CapturePool` of the
-  same clamped size with replays streaming in behind it (the two-pool
-  pipeline every sweep runner uses).  Worker captures land in the
-  parent store as ``remote puts``, keeping them distinguishable from
-  warm hits served by earlier sweeps;
+* **warm, parallel** — same warm cache, replay jobs fanned out over a
+  pool budget of ``min(4, cpu_count)`` workers (clamped so a small CI
+  host measures fan-out, not oversubscription; the row label records
+  the effective count);
+* **cold, parallel capture** — a fresh shared store, both phases on one
+  shared pool of the same clamped budget with the capture phase allowed
+  to fill it (``capture_workers`` = budget) and replays streaming in
+  behind.  Worker captures land in the parent store as ``remote
+  puts``, keeping them distinguishable from warm hits served by
+  earlier sweeps;
 * **disk cold / disk warm** — a disk-backed cache written by one run and
   rehydrated by a fresh cache instance, recording the disk layer's
   write-through cost and its ``disk_hits`` accounting;
@@ -26,7 +30,8 @@ timing configurations per operating point) several times:
   to: operating points another bench (or a previous suite run) already
   captured are served from disk, and this sweep's captures warm the
   store for the rest of the suite.  The store's manifest summary
-  (entries, bytes, entry ages, hits served) is appended to the table.
+  (entries, bytes, entry ages, lifetime hits served) is appended to the
+  table.
 
 The warm/cold ratio bounds what any further sweep over the same operating
 points costs, and the hit-rate column verifies the cache keying actually
@@ -37,14 +42,16 @@ import time
 
 from repro.eval.fig7_latency import run_fig7
 from repro.report import render_table
-from repro.sim import TraceCache, TraceStore, autodetect_workers
+from repro.sim import SimPool, TraceCache, TraceStore, autodetect_workers
 
 from conftest import save_output
 
 _KERNELS = ("fmatmul", "fconv2d", "fdotproduct", "softmax")
 _SIZES = (64, 128, 256)
 _POINTS = len(_KERNELS) * len(_SIZES)
-#: Replay fan-out, clamped to the *schedulable* CPUs (affinity/cgroup
+#: Replays per operating point: the baseline plus three interface cuts.
+_CONFIGS_PER_POINT = 4
+#: Pool budget, clamped to the *schedulable* CPUs (affinity/cgroup
 #: aware): on a <=2-CPU CI box a fixed 4 would measure oversubscription
 #: rather than parallel speedup.
 _PARALLEL_WORKERS = min(4, autodetect_workers())
@@ -58,53 +65,59 @@ def test_trace_reuse_cold_vs_warm(benchmark, tmp_path, trace_store):
     cache = TraceCache()
 
     def sweep(trace_cache=cache, workers=1, capture_workers=1):
-        return run_fig7(kernels=_KERNELS, bytes_per_lane=_SIZES,
-                        lanes=32, scale="reduced", trace_cache=trace_cache,
-                        workers=workers, capture_workers=capture_workers)
+        """One Fig 7 run on a fresh SimPool; returns (points, pool)."""
+        pool = SimPool(workers=workers, capture_workers=capture_workers,
+                       cache=trace_cache)
+        points = run_fig7(kernels=_KERNELS, bytes_per_lane=_SIZES,
+                          lanes=32, scale="reduced", sim_pool=pool)
+        return points, pool
 
     t0 = time.perf_counter()
-    cold_points = sweep()
+    cold_points, cold_pool = sweep()
     cold_s = time.perf_counter() - t0
     cold_stats = dict(cache.stats)
 
     # The pedantic round IS the warm measurement: read its wall-clock
     # back from the benchmark stats instead of timing a separate sweep.
-    warm_points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    warm_points, warm_pool = benchmark.pedantic(sweep, rounds=1,
+                                                iterations=1)
     warm_s = benchmark.stats.stats.total
     warm_stats = dict(cache.stats)
 
     t0 = time.perf_counter()
-    par_points = sweep(workers=_PARALLEL_WORKERS)
+    par_points, par_pool = sweep(workers=_PARALLEL_WORKERS)
     par_s = time.perf_counter() - t0
 
-    # Cold again, but with the capture phase fanned out: a fresh store
-    # directory so every point is a genuine (worker) capture.
+    # Cold again, but with the capture phase allowed to fill the shared
+    # pool: a fresh store directory so every point is a genuine (worker)
+    # capture.
     cap_store = TraceStore(disk_dir=tmp_path / "capture_store")
     t0 = time.perf_counter()
-    cap_points = sweep(trace_cache=cap_store,
-                       capture_workers=_PARALLEL_WORKERS)
+    cap_points, cap_pool = sweep(trace_cache=cap_store,
+                                 workers=_PARALLEL_WORKERS,
+                                 capture_workers=_PARALLEL_WORKERS)
     cap_s = time.perf_counter() - t0
 
     disk_dir = tmp_path / "trace_cache"
     disk_cold = TraceCache(disk_dir=disk_dir)
     t0 = time.perf_counter()
-    sweep(trace_cache=disk_cold)
+    _, disk_cold_pool = sweep(trace_cache=disk_cold)
     disk_cold_s = time.perf_counter() - t0
 
     disk_warm = TraceCache(disk_dir=disk_dir)  # fresh memory, shared disk
     t0 = time.perf_counter()
-    disk_points = sweep(trace_cache=disk_warm)
+    disk_points, disk_warm_pool = sweep(trace_cache=disk_warm)
     disk_warm_s = time.perf_counter() - t0
 
     # The suite-wide store: reads captures other benchmarks (or earlier
     # suite runs) left behind, and warms it for whatever runs next.
     store_before = dict(trace_store.stats)
     t0 = time.perf_counter()
-    store_points = sweep(trace_cache=trace_store)
+    store_points, store_pool = sweep(trace_cache=trace_store)
     store_s = time.perf_counter() - t0
     store_after = dict(trace_store.stats)
 
-    def row(label, seconds, stats, prev=None):
+    def row(label, seconds, stats, pool, prev=None):
         prev = prev or {"misses": 0, "hits": 0, "disk_hits": 0,
                         "remote_puts": 0}
         hits = stats["hits"] - prev["hits"]
@@ -112,31 +125,35 @@ def test_trace_reuse_cold_vs_warm(benchmark, tmp_path, trace_store):
         remote = stats.get("remote_puts", 0) - prev.get("remote_puts", 0)
         lookups = hits + disk_hits + stats["misses"] - prev["misses"]
         rate = hits / lookups if lookups else 0.0
+        ps = pool.pipeline_stats
         return (label, f"{seconds * 1000:.0f} ms",
+                f"{ps.capture_seconds * 1000:.0f} ms",
+                f"{ps.replay_seconds * 1000:.0f} ms",
                 stats["misses"] - prev["misses"], remote, hits, disk_hits,
                 f"{rate * 100:.0f}%")
 
     rows = [
-        row("cold (capture + replay)", cold_s, cold_stats),
-        row("warm (replay only)", warm_s, warm_stats, prev=cold_stats),
+        row("cold (capture + replay)", cold_s, cold_stats, cold_pool),
+        row("warm (replay only)", warm_s, warm_stats, warm_pool,
+            prev=cold_stats),
         row(f"warm, parallel ({_PARALLEL_WORKERS} workers)", par_s,
-            dict(cache.stats), prev=warm_stats),
+            dict(cache.stats), par_pool, prev=warm_stats),
         row(f"cold, parallel capture ({_PARALLEL_WORKERS} workers)", cap_s,
-            dict(cap_store.stats)),
+            dict(cap_store.stats), cap_pool),
         row("disk cold (capture + write-through)", disk_cold_s,
-            dict(disk_cold.stats)),
+            dict(disk_cold.stats), disk_cold_pool),
         row("disk warm (rehydrate + replay)", disk_warm_s,
-            dict(disk_warm.stats)),
-        row("shared store (suite-wide)", store_s, store_after,
+            dict(disk_warm.stats), disk_warm_pool),
+        row("shared store (suite-wide)", store_s, store_after, store_pool,
             prev=store_before),
         ("speedup (warm vs cold)", f"{cold_s / warm_s:.2f}x",
-         "-", "-", "-", "-", "-"),
+         "-", "-", "-", "-", "-", "-", "-"),
         (f"speedup (parallel x{_PARALLEL_WORKERS} vs warm)",
-         f"{warm_s / par_s:.2f}x", "-", "-", "-", "-", "-"),
+         f"{warm_s / par_s:.2f}x", "-", "-", "-", "-", "-", "-", "-"),
     ]
     table = render_table(
-        ("sweep", "wall-clock", "captures", "remote puts", "mem hits",
-         "disk hits", "mem hit rate"),
+        ("sweep", "wall-clock", "capture work", "replay work", "captures",
+         "remote puts", "mem hits", "disk hits", "mem hit rate"),
         rows,
         title="Trace reuse — Fig 7 sweep "
               f"({len(_KERNELS)} kernels x {len(_SIZES)} B/lane, 32L)")
@@ -144,17 +161,18 @@ def test_trace_reuse_cold_vs_warm(benchmark, tmp_path, trace_store):
     ss = trace_store.store_stats
     summary = render_table(
         ("entries", "bytes", "oldest age", "newest age", "mem hits",
-         "disk hits", "captures", "remote puts"),
+         "disk hits", "captures", "remote puts", "hits served"),
         [(ss["disk_entries"], ss["disk_bytes"],
           f"{ss['oldest_age_s']:.0f} s", f"{ss['newest_age_s']:.0f} s",
-          ss["hits"], ss["disk_hits"], ss["misses"], ss["remote_puts"])],
+          ss["hits"], ss["disk_hits"], ss["misses"], ss["remote_puts"],
+          ss["hits_served"])],
         title=f"Shared trace store — {ss['dir']} "
               f"(budget {ss['max_bytes'] // (1024 * 1024)} MiB)")
     save_output("trace_reuse", table + "\n\n" + summary)
 
     # Results must not depend on whether the trace was captured, reused,
-    # rehydrated from disk, shared with other benches, or replayed in
-    # worker processes.
+    # rehydrated from disk, shared with other benches, or run through a
+    # pooled schedule.
     assert _point_key(cold_points) == _point_key(warm_points)
     assert _point_key(cold_points) == _point_key(par_points)
     assert _point_key(cold_points) == _point_key(cap_points)
@@ -181,5 +199,16 @@ def test_trace_reuse_cold_vs_warm(benchmark, tmp_path, trace_store):
     served = [store_after[k] - store_before[k]
               for k in ("hits", "disk_hits", "misses")]
     assert sum(served) == _POINTS
+    # Per-phase accounting: every pool saw every operating point once in
+    # its capture phase and the full interface cross-product in replay.
+    for pool in (cold_pool, warm_pool, par_pool, cap_pool, disk_cold_pool,
+                 disk_warm_pool, store_pool):
+        assert pool.pipeline_stats.capture_points == _POINTS
+        assert pool.pipeline_stats.replay_points \
+            == _POINTS * _CONFIGS_PER_POINT
+    # The cold sweep's capture phase does real functional work; the warm
+    # sweep's capture phase only serves cache hits.
+    assert cold_pool.pipeline_stats.capture_seconds > 0.0
+    assert warm_pool.pipeline_stats.replay_seconds > 0.0
     # A warm sweep must be measurably faster than the cold one.
     assert warm_s < cold_s

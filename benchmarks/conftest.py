@@ -15,7 +15,12 @@ concurrent (``pytest-xdist``-style) workers, since the store's writes
 are atomic.  The store directory resolves from ``--trace-store``, then
 ``$REPRO_TRACE_STORE``, then ``benchmarks/out/trace_cache``; its GC
 (size cap, stale purge, orphan reaping) runs once at session start.
-Rendered outputs are byte-identical whatever the store's state.
+
+The sweeps run on a shared :class:`~repro.sim.parallel.SimPool` whose
+total process budget comes from ``--workers`` (default: autodetect) and
+whose capture phase holds at most ``--capture-workers`` of that budget
+while replays are pending.  Rendered outputs are byte-identical
+whatever the store's state or the pool sizing.
 """
 
 from __future__ import annotations
@@ -35,15 +40,29 @@ def pytest_addoption(parser):
         help="shared trace-store directory for the benchmark suite "
              "(default: $REPRO_TRACE_STORE, else benchmarks/out/trace_cache)")
     parser.addoption(
-        "--capture-workers", action="store", default=1, type=int, metavar="N",
-        help="capture-phase fan-out for the simulation benchmarks "
-             "(default 1: in-process; rendered outputs are byte-identical "
+        "--workers", action="store", default="auto", metavar="N|auto",
+        help="total worker-process budget of the shared capture/replay "
+             "pool the simulation benchmarks run on (default 'auto': the "
+             "host's schedulable CPUs; rendered outputs are byte-identical "
              "for any value)")
+    parser.addoption(
+        "--capture-workers", action="store", default=1, type=int, metavar="N",
+        help="soft share of the --workers budget the capture phase may "
+             "hold while replays are pending (default 1: captures stay "
+             "in-process; clamped to the budget; rendered outputs are "
+             "byte-identical for any value)")
+
+
+@pytest.fixture(scope="session")
+def workers(request) -> int | None:
+    """The shared pool's process budget ('auto' -> None = autodetect)."""
+    raw = request.config.getoption("--workers")
+    return None if raw == "auto" else max(1, int(raw))
 
 
 @pytest.fixture(scope="session")
 def capture_workers(request) -> int:
-    """Capture-phase fan-out every simulation benchmark threads through."""
+    """Capture-phase soft split every simulation benchmark threads through."""
     return max(1, int(request.config.getoption("--capture-workers")))
 
 

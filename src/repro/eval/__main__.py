@@ -28,6 +28,7 @@ def _workers(value: str) -> int | None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``python -m repro.eval`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval",
         description="Run paper experiments and print the rendered tables.")
@@ -39,13 +40,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="problem-size scale for the simulation sweeps")
     parser.add_argument("--workers", type=_workers, default=1,
                         metavar="N|auto",
-                        help="replay-phase fan-out (default 1; 'auto' sizes "
-                             "to the host CPUs)")
+                        help="total worker-process budget of the shared "
+                             "capture/replay pool (default 1: in-process; "
+                             "'auto' sizes to the host CPUs)")
     parser.add_argument("--capture-workers", type=_workers, default=1,
                         metavar="N|auto",
-                        help="capture-phase fan-out (default 1; 'auto' sizes "
-                             "to the host CPUs); captures stream into the "
-                             "replay pool as their traces land")
+                        help="soft share of the --workers budget the capture "
+                             "phase may hold while replays are pending "
+                             "(default 1: captures stay in-process; clamped "
+                             "to the budget); captures stream into the "
+                             "shared pool's replay jobs as traces land")
     parser.add_argument("--trace-store", default=None, metavar="DIR",
                         help="shared trace-store directory (default: "
                              "$REPRO_TRACE_STORE, else no disk store)")
@@ -62,6 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Run the requested experiments; returns a process exit code."""
     args = build_parser().parse_args(argv)
     names = sorted(EXPERIMENTS) if "all" in args.experiments \
         else list(dict.fromkeys(args.experiments))
@@ -94,6 +99,7 @@ def main(argv: list[str] | None = None) -> int:
               f"entries={stats['disk_entries']} "
               f"bytes={stats['disk_bytes']} "
               f"oldest_age={stats['oldest_age_s']:.0f}s "
+              f"lifetime_hits_served={stats['hits_served']} "
               f"served: mem={stats['hits']} disk={stats['disk_hits']} "
               f"captures={stats['misses']} "
               f"remote_captures={stats['remote_puts']}")

@@ -18,8 +18,7 @@ from dataclasses import dataclass
 from ..kernels import KERNELS
 from ..params import Ara2Config, AraXLConfig, SystemConfig
 from ..report.tables import render_table
-from ..sim import (CapturePool, CaptureTask, ReplayPool, TraceCache,
-                   run_pipeline)
+from ..sim import CaptureTask, SimPool, TraceCache, run_pipeline
 
 DEFAULT_BYTES_PER_LANE = (64, 128, 256, 512)
 
@@ -44,6 +43,7 @@ _SCALE_KWARGS = {
 
 
 def default_machines() -> list[SystemConfig]:
+    """The six machines of the paper's Fig 6 sweep."""
     return [Ara2Config(lanes=8), Ara2Config(lanes=16),
             AraXLConfig(lanes=8), AraXLConfig(lanes=16),
             AraXLConfig(lanes=32), AraXLConfig(lanes=64)]
@@ -51,6 +51,7 @@ def default_machines() -> list[SystemConfig]:
 
 @dataclass(frozen=True)
 class Fig6Point:
+    """One (kernel, machine, B/lane) measurement of the Fig 6 sweep."""
     kernel: str
     machine: str
     lanes: int
@@ -68,25 +69,32 @@ def run_fig6(kernels: tuple[str, ...] | None = None,
              verify: bool = False,
              trace_cache: TraceCache | None = None,
              workers: int | None = 1,
-             capture_workers: int | None = 1) -> list[Fig6Point]:
+             capture_workers: int | None = 1,
+             sim_pool: SimPool | None = None) -> list[Fig6Point]:
     """Execute the Fig 6 sweep; returns one point per (kernel, machine, size).
 
-    A capture/replay pipeline.  **Capture**: machines sharing a VLEN
-    (e.g. 8L-Ara2 and 8L-AraXL) execute the same program over the same
-    data, so one :class:`~repro.sim.parallel.CaptureTask` runs per
-    distinct trace key, fanned out over a
-    :class:`~repro.sim.parallel.CapturePool` (``capture_workers``).
-    **Replay**: every (kernel, machine, size) timing replay is
-    independent and fans out over a
-    :class:`~repro.sim.parallel.ReplayPool` (``workers``), each VLEN
-    group's replays starting as soon as its trace lands.  For either
-    knob, ``1`` stays in-process and ``None`` autodetects; the rendered
-    output is byte-identical for any combination.
+    A capture/replay pipeline over one shared
+    :class:`~repro.sim.parallel.SimPool`.  **Capture**: machines
+    sharing a VLEN (e.g. 8L-Ara2 and 8L-AraXL) execute the same program
+    over the same data, so one :class:`~repro.sim.parallel.CaptureTask`
+    runs per distinct trace key.  **Replay**: every (kernel, machine,
+    size) timing replay is independent, and each VLEN group's replays
+    enter the pool as soon as its trace lands.  ``workers`` is the
+    pool's total process budget (``1`` stays in-process, ``None``
+    autodetects) and ``capture_workers`` the soft share of it the
+    capture phase may hold while replays are pending; callers that want
+    the pool's :class:`~repro.sim.parallel.PipelineStats` afterwards
+    pass their own ``sim_pool`` (which then supplies the cache and
+    worker budget).  The rendered output is byte-identical for any
+    combination.
     """
     kernels = kernels or tuple(KERNELS)
     machines = machines if machines is not None else default_machines()
     kwargs_by_kernel = _SCALE_KWARGS[scale]
-    cache = trace_cache if trace_cache is not None else TraceCache()
+    if sim_pool is None:
+        cache = trace_cache if trace_cache is not None else TraceCache()
+        sim_pool = SimPool(workers=workers, capture_workers=capture_workers,
+                           cache=cache)
 
     # ---- plan: one capture per distinct trace key; every (kernel,
     # machine, size) point replays against its VLEN group's capture.
@@ -110,10 +118,7 @@ def run_fig6(kernels: tuple[str, ...] | None = None,
                 replays.append((config, cidx))
 
     # ---- pipeline: captures fan out, replays start as traces land.
-    reports = run_pipeline(
-        captures, replays,
-        CapturePool(workers=capture_workers, cache=cache),
-        ReplayPool(workers=workers, disk_dir=cache.disk_dir))
+    reports = run_pipeline(captures, replays, sim_pool)
 
     # ---- assembly: index the normalization baseline per (kernel, B/lane)
     # after the replay phase, so custom `machines=` lists are order-

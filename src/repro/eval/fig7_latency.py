@@ -18,8 +18,7 @@ from dataclasses import dataclass
 from ..kernels import KERNELS
 from ..params import AraXLConfig
 from ..report.tables import render_table
-from ..sim import (CapturePool, CaptureTask, ReplayPool, TraceCache,
-                   run_pipeline)
+from ..sim import CaptureTask, SimPool, TraceCache, run_pipeline
 from .fig6_scaling import _SCALE_KWARGS, DEFAULT_BYTES_PER_LANE
 
 #: Section IV-C claims: maximum utilization drop per interface in the
@@ -41,6 +40,7 @@ INTERFACE_SETUPS = {
 
 @dataclass(frozen=True)
 class Fig7Point:
+    """One (interface, kernel, B/lane) utilization-drop measurement."""
     interface: str
     kernel: str
     bytes_per_lane: int
@@ -59,19 +59,21 @@ def run_fig7(kernels: tuple[str, ...] | None = None,
              scale: str = "paper",
              trace_cache: TraceCache | None = None,
              workers: int | None = 1,
-             capture_workers: int | None = 1) -> list[Fig7Point]:
+             capture_workers: int | None = 1,
+             sim_pool: SimPool | None = None) -> list[Fig7Point]:
     """Run the Fig 7 sweep as a capture/replay pipeline.
 
     The register-cut configurations change only the timing model — the
     dynamic trace is identical across them — so the **capture phase**
-    executes each (kernel, B/lane) point functionally exactly once,
-    fanned out over a :class:`~repro.sim.parallel.CapturePool`
-    (``capture_workers``), and the **replay phase** times the captured
-    trace on the baseline plus every interface-cut machine over a
-    :class:`~repro.sim.parallel.ReplayPool` (``workers``) — each point's
-    replays starting as soon as its trace lands.  For either knob, ``1``
-    stays in-process and ``None`` autodetects; output is byte-identical
-    for any combination.
+    executes each (kernel, B/lane) point functionally exactly once and
+    the **replay phase** times the captured trace on the baseline plus
+    every interface-cut machine, each point's replays entering the
+    shared :class:`~repro.sim.parallel.SimPool` as soon as its trace
+    lands.  ``workers`` is the pool's total process budget (``1`` stays
+    in-process, ``None`` autodetects) and ``capture_workers`` the soft
+    share captures may hold while replays are pending; pass your own
+    ``sim_pool`` to read its :class:`~repro.sim.parallel.PipelineStats`
+    afterwards.  Output is byte-identical for any combination.
     """
     kernels = kernels or tuple(KERNELS)
     kwargs_by_kernel = _SCALE_KWARGS[scale]
@@ -79,7 +81,10 @@ def run_fig7(kernels: tuple[str, ...] | None = None,
     cut_configs = {interface: dataclasses.replace(
         base_config, **INTERFACE_SETUPS[interface])
         for interface in interfaces}
-    cache = trace_cache if trace_cache is not None else TraceCache()
+    if sim_pool is None:
+        cache = trace_cache if trace_cache is not None else TraceCache()
+        sim_pool = SimPool(workers=workers, capture_workers=capture_workers,
+                           cache=cache)
 
     # ---- plan: one capture per (kernel, B/lane) point; the baseline
     # replay plus one replay per interface cut reference it by index.
@@ -100,10 +105,7 @@ def run_fig7(kernels: tuple[str, ...] | None = None,
                 replays.append((cut_configs[interface], cidx))
 
     # ---- pipeline: captures fan out, replays start as traces land.
-    reports = run_pipeline(
-        captures, replays,
-        CapturePool(workers=capture_workers, cache=cache),
-        ReplayPool(workers=workers, disk_dir=cache.disk_dir))
+    reports = run_pipeline(captures, replays, sim_pool)
 
     points: list[Fig7Point] = []
     per_point = 1 + len(interfaces)
@@ -131,6 +133,7 @@ def max_drop(points: list[Fig7Point], interface: str,
 
 
 def render_fig7(points: list[Fig7Point]) -> str:
+    """One table per interface: kernels as rows, B/lane as columns."""
     out = []
     for interface in ("glsu", "reqi", "ringi"):
         pts = [p for p in points if p.interface == interface]

@@ -19,6 +19,7 @@ from ..ppa.frequency import araxl_frequency_ghz
 
 @dataclass(frozen=True)
 class Fig8Result:
+    """Floorplan geometry and wirelengths for one machine."""
     machine: str
     die_w_mm: float
     die_h_mm: float
@@ -32,6 +33,7 @@ class Fig8Result:
 
 
 def run_fig8(lanes: int = 16) -> Fig8Result:
+    """Build the AraXL floorplan at ``lanes`` and summarize it."""
     config = AraXLConfig(lanes=lanes)
     fp = build_floorplan(config)
     return Fig8Result(
@@ -49,6 +51,7 @@ def run_fig8(lanes: int = 16) -> Fig8Result:
 
 
 def render_fig8(result: Fig8Result) -> str:
+    """ASCII floorplan art plus the geometry summary lines."""
     lines = [
         result.art,
         "",

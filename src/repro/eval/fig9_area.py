@@ -28,6 +28,7 @@ PAPER_FIG9 = {
 
 @dataclass(frozen=True)
 class Fig9Result:
+    """Area breakdowns of the Ara2 and AraXL 16-lane designs."""
     ara2: AreaBreakdown
     araxl: AreaBreakdown
 
@@ -41,10 +42,12 @@ class Fig9Result:
 
 
 def run_fig9(lanes: int = 16) -> Fig9Result:
+    """Compute both area breakdowns at ``lanes`` lanes."""
     return Fig9Result(ara2=ara2_area(lanes), araxl=araxl_area(lanes))
 
 
 def render_fig9(result: Fig9Result) -> str:
+    """Component-by-component area table against the paper's bars."""
     ara2_row = result.ara2.fig9_row()
     araxl_row = result.araxl.fig9_row()
     paper2 = PAPER_FIG9["16L-Ara2"]

@@ -2,12 +2,12 @@
 
 Every entry takes ``(scale, workers, trace_cache, capture_workers)``.
 The **simulation sweeps** (:data:`SIMULATION_EXPERIMENTS`: fig6, fig7,
-table1, table3) honour all four — ``workers`` fans their replay phase
-out over a :class:`~repro.sim.parallel.ReplayPool`, ``capture_workers``
-fans their capture phase over a
-:class:`~repro.sim.parallel.CapturePool` (the two run as a pipeline:
-replays start as traces land), and ``trace_cache`` lets them attach to
-the suite's shared disk trace store.  The **static
+table1, table3) honour all four — ``workers`` is the total process
+budget of the shared :class:`~repro.sim.parallel.SimPool` both sweep
+phases run on, ``capture_workers`` the soft share of that budget the
+capture phase may hold while replays are pending (the two phases run
+as a pipeline: replays start as traces land), and ``trace_cache`` lets
+them attach to the suite's shared disk trace store.  The **static
 experiments** (:data:`STATIC_EXPERIMENTS`: fig1, fig8, fig9, table2)
 regenerate fixed paper data (survey points, floorplan geometry, area
 models); they accept the same arguments so the registry stays uniform,
@@ -109,10 +109,12 @@ def run_experiment(name: str, scale: str = "paper",
                    capture_workers: int | None = 1) -> str:
     """Run one experiment by id ('fig6', 'table3', ...); returns text.
 
-    ``workers`` fans the replay phase of the simulation sweeps out over
-    that many processes, and ``capture_workers`` does the same for the
-    capture phase, the two overlapping as a pipeline (``None``
-    autodetects, ``1`` stays in-process — for either knob).
+    ``workers`` is the total worker-process budget of the shared
+    :class:`~repro.sim.SimPool` the simulation sweeps run on (``None``
+    autodetects, ``1`` stays in-process), and ``capture_workers`` is
+    the soft share of that budget the capture phase may hold while
+    replays are pending (``1``, the default, captures in-process; the
+    value is clamped to the budget).
     ``trace_store`` attaches the run to a shared disk trace store: a
     :class:`~repro.sim.TraceCache`/:class:`~repro.sim.TraceStore`
     instance or a directory path; when omitted, ``$REPRO_TRACE_STORE``

@@ -15,6 +15,7 @@ from ..report.tables import render_table
 
 @dataclass(frozen=True)
 class SurveyEntry:
+    """One processor of the paper's Fig 1 survey scatter."""
     name: str
     vlen_bits: int
     fpus: int
@@ -55,6 +56,7 @@ def araxl_is_frontier() -> bool:
 
 
 def render_survey() -> str:
+    """The Fig 1 survey as a table, sorted by VLEN then FPU count."""
     rows = [(e.name, e.vlen_bits, e.fpus, "RISC-V" if e.riscv else "other")
             for e in sorted(SURVEY, key=lambda e: (e.vlen_bits, e.fpus))]
     table = render_table(

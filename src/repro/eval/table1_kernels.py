@@ -29,6 +29,7 @@ PAPER_TABLE1 = {
 
 @dataclass(frozen=True)
 class Table1Row:
+    """One kernel's peak-performance bounds and measurement."""
     kernel: str
     lmul: int
     paper_factor: float
@@ -46,26 +47,30 @@ def run_table1(config: SystemConfig | None = None,
                scale: str = "paper",
                trace_cache=None,
                workers: int | None = 1,
-               capture_workers: int | None = 1) -> list[Table1Row]:
+               capture_workers: int | None = 1,
+               sim_pool=None) -> list[Table1Row]:
     """Measure every kernel's peak at one operating point.
 
     A capture/replay pipeline like the other sweeps: the **capture
     phase** executes each kernel functionally once (or fetches its trace
     from ``trace_cache`` — e.g. the suite's shared disk store, where a
-    Fig 6/7 run over the same operating points has already paid for it),
-    fanned out over a :class:`~repro.sim.parallel.CapturePool`
-    (``capture_workers``), and the **replay phase** times each capture
-    through a :class:`~repro.sim.parallel.ReplayPool` (``workers``) as
-    its trace lands.  ``1`` stays in-process and ``None`` autodetects
-    for either knob; rows are byte-identical for any combination and
-    any cache state.
+    Fig 6/7 run over the same operating points has already paid for it)
+    and the **replay phase** times each capture as its trace lands, both
+    inside one shared :class:`~repro.sim.parallel.SimPool`.  ``workers``
+    is the pool's total process budget (``1`` stays in-process, ``None``
+    autodetects) and ``capture_workers`` the soft share captures may
+    hold while replays are pending; pass your own ``sim_pool`` to read
+    its stats afterwards.  Rows are byte-identical for any combination
+    and any cache state.
     """
-    from ..sim import CapturePool, CaptureTask, ReplayPool, TraceCache, \
-        run_pipeline
+    from ..sim import CaptureTask, SimPool, TraceCache, run_pipeline
     from .fig6_scaling import _SCALE_KWARGS
 
     config = config if config is not None else AraXLConfig(lanes=64)
-    cache = trace_cache if trace_cache is not None else TraceCache()
+    if sim_pool is None:
+        cache = trace_cache if trace_cache is not None else TraceCache()
+        sim_pool = SimPool(workers=workers, capture_workers=capture_workers,
+                           cache=cache)
 
     # ---- plan: one capture and one replay per kernel.
     meta = []
@@ -80,10 +85,7 @@ def run_table1(config: SystemConfig | None = None,
                                                bytes_per_lane, kw))
 
     # ---- pipeline: captures fan out, replays start as traces land.
-    reports = run_pipeline(
-        captures, replays,
-        CapturePool(workers=capture_workers, cache=cache),
-        ReplayPool(workers=workers, disk_dir=cache.disk_dir))
+    reports = run_pipeline(captures, replays, sim_pool)
 
     rows = []
     for (name, run), report in zip(meta, reports):
@@ -98,6 +100,7 @@ def run_table1(config: SystemConfig | None = None,
 
 
 def render_table1(rows: list[Table1Row]) -> str:
+    """Table I: paper law vs model law vs measured peak per kernel."""
     table_rows = [
         (r.kernel, r.lmul, f"{r.paper_factor:.3f}*LC",
          f"{r.model_factor:.3f}*LC", f"{r.measured_factor:.3f}*LC",

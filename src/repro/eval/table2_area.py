@@ -24,6 +24,7 @@ PAPER_TABLE2 = {
 
 @dataclass(frozen=True)
 class Table2Row:
+    """Area breakdown of one AraXL lane count (Table II row)."""
     lanes: int
     clusters_kge: float
     cva6_kge: float
@@ -39,6 +40,7 @@ class Table2Row:
 
 
 def run_table2(lane_counts: tuple[int, ...] = (16, 32, 64)) -> list[Table2Row]:
+    """Compute the Table II area breakdowns per lane count."""
     rows = []
     for lanes in lane_counts:
         b: AreaBreakdown = araxl_area(lanes)
@@ -55,6 +57,7 @@ def run_table2(lane_counts: tuple[int, ...] = (16, 32, 64)) -> list[Table2Row]:
 
 
 def render_table2(rows: list[Table2Row]) -> str:
+    """Table II: per-component kGE with the paper's reference values."""
     table_rows = []
     prev: Table2Row | None = None
     for r in rows:

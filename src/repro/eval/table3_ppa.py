@@ -30,6 +30,7 @@ PAPER_TABLE3 = {
 
 
 def default_configs() -> list[SystemConfig]:
+    """The four machines of the paper's Table III comparison."""
     return [Ara2Config(lanes=16), AraXLConfig(lanes=16),
             AraXLConfig(lanes=32), AraXLConfig(lanes=64)]
 
@@ -39,18 +40,27 @@ def run_table3(configs: list[SystemConfig] | None = None,
                scale: str = "paper",
                trace_cache=None,
                workers: int | None = 1,
-               capture_workers: int | None = 1) -> list[PpaPoint]:
-    from ..sim import CapturePool, CaptureTask, ReplayPool, TraceCache, \
-        run_pipeline
+               capture_workers: int | None = 1,
+               sim_pool=None) -> list[PpaPoint]:
+    """Run the Table III PPA sweep as a capture/replay pipeline.
+
+    ``workers`` is the shared pool's total process budget and
+    ``capture_workers`` the soft share its capture phase may hold; pass
+    ``sim_pool`` to supply (and afterwards inspect) the pool yourself.
+    """
+    from ..sim import CaptureTask, SimPool, TraceCache, run_pipeline
     from .fig6_scaling import _SCALE_KWARGS
 
     configs = configs if configs is not None else default_configs()
     kw = _SCALE_KWARGS[scale].get("fmatmul", {})
     # 16L-Ara2 and 16L-AraXL share a VLEN: fmatmul runs functionally
-    # once per VLEN group (fanned over the CapturePool), and every
-    # machine's timing replay enters the ReplayPool as its group's
-    # trace lands (workers=1 stays in-process for either phase).
-    cache = trace_cache if trace_cache is not None else TraceCache()
+    # once per VLEN group, and every machine's timing replay enters the
+    # shared SimPool as its group's trace lands (workers=1 stays
+    # in-process for both phases).
+    if sim_pool is None:
+        cache = trace_cache if trace_cache is not None else TraceCache()
+        sim_pool = SimPool(workers=workers, capture_workers=capture_workers,
+                           cache=cache)
     cidx_by_key: dict = {}
     captures: list[CaptureTask] = []
     replays = []
@@ -63,15 +73,13 @@ def run_table3(configs: list[SystemConfig] | None = None,
             captures.append(CaptureTask.for_kernel(
                 "fmatmul", config, bytes_per_lane, kw))
         replays.append((config, cidx))
-    reports = run_pipeline(
-        captures, replays,
-        CapturePool(workers=capture_workers, cache=cache),
-        ReplayPool(workers=workers, disk_dir=cache.disk_dir))
+    reports = run_pipeline(captures, replays, sim_pool)
     return [ppa_point(config, report)
             for (config, _cidx), report in zip(replays, reports)]
 
 
 def render_table3(points: list[PpaPoint]) -> str:
+    """Table III: model PPA rows lined up with the published numbers."""
     rows = [(
         VITRUVIUS_ROW["machine"], VITRUVIUS_ROW["L"],
         f"{VITRUVIUS_ROW['Freq [GHz]']:.2f}*",

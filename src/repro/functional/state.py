@@ -28,6 +28,7 @@ _FP_DTYPES = {32: np.dtype(np.float32), 64: np.dtype(np.float64)}
 
 
 def int_dtype(sew: int, signed: bool = False) -> np.dtype:
+    """NumPy integer dtype for one SEW (raises on unsupported widths)."""
     try:
         return _SEW_DTYPES[(sew, signed)]
     except KeyError:
@@ -35,6 +36,7 @@ def int_dtype(sew: int, signed: bool = False) -> np.dtype:
 
 
 def fp_dtype(sew: int) -> np.dtype:
+    """NumPy float dtype for one SEW (FP supports 32/64 only)."""
     try:
         return _FP_DTYPES[sew]
     except KeyError:

@@ -18,6 +18,7 @@ import numpy as np
 
 @dataclass(frozen=True)
 class IntOp:
+    """An integer vector operation: its ufunc and signedness."""
     func: Callable[[np.ndarray, np.ndarray], np.ndarray]
     signed: bool = False
 

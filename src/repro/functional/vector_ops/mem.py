@@ -51,4 +51,5 @@ def data_shape(mnemonic: str, pattern: MemPattern, vl: int, sew: int,
 
 
 def unit_dtype(ew_bytes: int) -> np.dtype:
+    """Unsigned dtype moving ``ew_bytes``-wide memory elements."""
     return np.dtype(f"u{ew_bytes}")

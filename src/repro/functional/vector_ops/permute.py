@@ -37,6 +37,7 @@ def slidedown(vs2_full: np.ndarray, vl: int, offset: int) -> np.ndarray:
 
 
 def slide1up(vs2: np.ndarray, scalar, vl: int) -> np.ndarray:
+    """Shift elements up one slot; ``scalar`` enters at index 0."""
     out = np.empty(vl, dtype=vs2.dtype)
     out[0] = scalar
     out[1:] = vs2[: vl - 1]
@@ -44,6 +45,7 @@ def slide1up(vs2: np.ndarray, scalar, vl: int) -> np.ndarray:
 
 
 def slide1down(vs2: np.ndarray, scalar, vl: int) -> np.ndarray:
+    """Shift elements down one slot; ``scalar`` enters at vl-1."""
     out = np.empty(vl, dtype=vs2.dtype)
     out[: vl - 1] = vs2[1:vl]
     out[vl - 1] = scalar

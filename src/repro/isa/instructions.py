@@ -39,6 +39,7 @@ class ExecUnit(enum.Enum):
 
 
 class MemPattern(enum.Enum):
+    """Memory access pattern of an instruction (drives LSU timing)."""
     NONE = "none"
     UNIT = "unit"  # unit-stride: full-bandwidth path
     STRIDED = "strided"  # low-throughput path (1 elem/cycle/cluster)
@@ -48,6 +49,7 @@ class MemPattern(enum.Enum):
 
 @dataclass(frozen=True)
 class InstrSpec:
+    """Static description of one mnemonic: format, unit, FLOPs, flags."""
     mnemonic: str
     fmt: str
     unit: ExecUnit
@@ -130,6 +132,7 @@ def _add(spec: InstrSpec) -> None:
 
 
 def spec_for(mnemonic: str) -> InstrSpec:
+    """Look one mnemonic up in the spec table (raises on unknown)."""
     try:
         return SPEC_TABLE[mnemonic]
     except KeyError:

@@ -16,6 +16,7 @@ from .instructions import Instruction
 
 @dataclass(frozen=True)
 class Program:
+    """An assembled instruction sequence with labels and a content hash."""
     instructions: tuple[Instruction, ...]
     labels: dict[str, int] = field(default_factory=dict)
     name: str = "program"

@@ -50,14 +50,17 @@ class VReg(_Reg):
 
 
 def x(index: int) -> XReg:
+    """Scalar integer register ``x<index>``."""
     return XReg(index)
 
 
 def f(index: int) -> FReg:
+    """Scalar floating-point register ``f<index>``."""
     return FReg(index)
 
 
 def v(index: int) -> VReg:
+    """Vector register ``v<index>``."""
     return VReg(index)
 
 

@@ -31,7 +31,10 @@ from .softmax import build_softmax as _build_softmax
 #: the program, input data and golden model all derive from those alone,
 #: so sweeps and tests revisiting an operating point share one KernelRun
 #: (and therefore one Program object, whose fingerprint/plan caches then
-#: amortize too).  Entries hold golden arrays, hence the small LRU cap.
+#: amortize too).  Since the lazy-golden split, entries hold only the
+#: program skeleton and closures over a lazy golden handle — arrays live
+#: in the byte-budgeted memo in :mod:`repro.kernels.common` — so this
+#: LRU's cap bounds entry count, not memory.
 _BUILD_CACHE: OrderedDict = OrderedDict()
 _BUILD_CACHE_CAP = 64
 

@@ -21,48 +21,105 @@ from ..isa.program import Program
 from ..params import SystemConfig
 from ..sim import RunResult, Simulator, TraceCache, replay_trace, trace_key
 
-#: Process-wide memo of kernel *skeletons*: the assembled program plus
-#: the golden input/output arrays — everything about a build that is a
-#: pure function of the program-shaping parameters (vl, lmul, problem
-#: dims) and independent of the machine that runs it.  Distinct
-#: operating points can share a skeleton — e.g. Fig 6's (8 lanes,
+#: Process-wide memo of kernel *program skeletons*: the assembled
+#: program plus its buffer base addresses — everything a sweep planner
+#: needs (the program fingerprint feeds ``trace_key``; peak bounds are
+#: arithmetic on the config) and nothing it doesn't.  Distinct
+#: operating points share a skeleton — e.g. Fig 6's (8 lanes,
 #: 128 B/lane) and (16 lanes, 64 B/lane) both solve the vl=128, LMUL=1
-#: problem — and a :class:`~repro.sim.parallel.CapturePool` worker
-#: handed several points of one kernel assembles and `numpy`s each
-#: skeleton once instead of once per point.  Entries hold golden
-#: arrays — a paper-scale fconv2d skeleton is tens of MB — so the LRU
-#: is capped by a byte budget over its array payloads, not by entry
-#: count.
-_SKELETON_CACHE: OrderedDict = OrderedDict()
-_SKELETON_CACHE_BYTES = 256 * 1024 * 1024
-_skeleton_cache_used = 0
+#: problem — and a :class:`~repro.sim.parallel.SimPool` worker handed
+#: several points of one kernel assembles each skeleton once.  Programs
+#: are small (instruction lists), so a plain entry-count LRU suffices.
+_PROGRAM_CACHE: OrderedDict = OrderedDict()
+_PROGRAM_CACHE_ENTRIES = 512
+
+#: Process-wide memo of *golden data*: the input arrays and reference
+#: outputs a kernel's ``setup``/``check`` closures consume.  Built
+#: **lazily** on first use — planning a sweep (building every
+#: :class:`KernelRun` for trace keys and peak bounds) never touches
+#: this cache, so parent RSS and planning time scale with assembly, not
+#: problem size; only the process that actually captures a point pays
+#: for (and memoizes) its arrays.  Entries hold golden arrays — a
+#: paper-scale fconv2d problem is tens of MB — so the LRU is capped by
+#: a byte budget over its array payloads, not by entry count.
+_GOLDEN_CACHE: OrderedDict = OrderedDict()
+_GOLDEN_CACHE_BYTES = 256 * 1024 * 1024
+_golden_cache_used = 0
+_golden_builds = 0  # monotonic; golden_builds() is the test hook
 
 
-def _skeleton_nbytes(value: tuple) -> int:
-    """Array bytes pinned by one skeleton (programs/ints are noise)."""
+def _golden_nbytes(value: tuple) -> int:
+    """Array bytes pinned by one golden entry (ints/floats are noise)."""
     return sum(getattr(item, "nbytes", 0) for item in value)
 
 
-def memo_skeleton(key: tuple, build: Callable[[], tuple]) -> tuple:
-    """Return the skeleton for ``key``, building (and caching) on miss.
+def memo_program(key: tuple, build: Callable[[], tuple]) -> tuple:
+    """Return the program skeleton for ``key``, building on miss.
 
     ``key`` must name every input of ``build`` (kernel name + the
-    program-shaping parameters); the cached value is shared across
-    :class:`KernelRun` instances, so ``build`` must return objects the
-    runs treat as immutable (programs, golden arrays, base addresses).
+    program-shaping parameters, including LMUL); the cached value is
+    shared across :class:`KernelRun` instances, so ``build`` must
+    return objects the runs treat as immutable (programs, base
+    addresses).
     """
-    global _skeleton_cache_used
-    hit = _SKELETON_CACHE.get(key)
+    hit = _PROGRAM_CACHE.get(key)
     if hit is not None:
-        _SKELETON_CACHE.move_to_end(key)
+        _PROGRAM_CACHE.move_to_end(key)
         return hit
-    value = _SKELETON_CACHE[key] = build()
-    _skeleton_cache_used += _skeleton_nbytes(value)
-    while _skeleton_cache_used > _SKELETON_CACHE_BYTES \
-            and len(_SKELETON_CACHE) > 1:
-        _, evicted = _SKELETON_CACHE.popitem(last=False)
-        _skeleton_cache_used -= _skeleton_nbytes(evicted)
+    value = _PROGRAM_CACHE[key] = build()
+    while len(_PROGRAM_CACHE) > _PROGRAM_CACHE_ENTRIES:
+        _PROGRAM_CACHE.popitem(last=False)
     return value
+
+
+def memo_golden(key: tuple, build: Callable[[], tuple]) -> tuple:
+    """Return the golden data for ``key``, building (and caching) on miss.
+
+    The byte-budgeted sibling of :func:`memo_program`.  Kernels never
+    call this at build time — only from inside their ``setup``/``check``
+    closures, via the handle :func:`lazy_golden` returns — which is what
+    keeps sweep *planning* free of array materialization.
+    """
+    global _golden_cache_used, _golden_builds
+    hit = _GOLDEN_CACHE.get(key)
+    if hit is not None:
+        _GOLDEN_CACHE.move_to_end(key)
+        return hit
+    value = _GOLDEN_CACHE[key] = build()
+    _golden_builds += 1
+    _golden_cache_used += _golden_nbytes(value)
+    while _golden_cache_used > _GOLDEN_CACHE_BYTES \
+            and len(_GOLDEN_CACHE) > 1:
+        _, evicted = _GOLDEN_CACHE.popitem(last=False)
+        _golden_cache_used -= _golden_nbytes(evicted)
+    return value
+
+
+def lazy_golden(key: tuple, build: Callable[[], tuple]
+                ) -> Callable[[], tuple]:
+    """A zero-argument handle that materializes golden data on demand.
+
+    Kernel builders close their ``setup``/``check`` functions over this
+    handle instead of over the arrays themselves; the first call builds
+    (and memoizes, via :func:`memo_golden`) the arrays, later calls are
+    cache hits.  Golden keys deliberately omit LMUL: the data depends
+    only on the problem shape, so two LMUL variants of one problem
+    share one entry.
+    """
+    return lambda: memo_golden(key, build)
+
+
+def golden_builds() -> int:
+    """How many golden-data builds this process has paid (test hook)."""
+    return _golden_builds
+
+
+def reset_skeleton_caches() -> None:
+    """Drop both process-wide memos (tests that count builds use this)."""
+    global _golden_cache_used
+    _PROGRAM_CACHE.clear()
+    _GOLDEN_CACHE.clear()
+    _golden_cache_used = 0
 
 
 def vl_and_lmul(config: SystemConfig, bytes_per_lane: int,

@@ -20,8 +20,8 @@ import numpy as np
 
 from ..isa.asm import Assembler
 from ..params import SystemConfig
-from .common import (KernelRun, Layout, check_array, memo_skeleton, rng_for,
-                     vl_and_lmul)
+from .common import (KernelRun, Layout, check_array, lazy_golden,
+                     memo_program, rng_for, vl_and_lmul)
 
 #: FP constants loaded into f10..f20 by :func:`emit_exp_consts`.
 EXP_CONSTS = (
@@ -99,11 +99,12 @@ def emit_exp_body(asm: Assembler, lmul: int, bias_reg: str = "x21") -> str:
 
 
 def exp_golden(x: np.ndarray) -> np.ndarray:
+    """Reference exp with the kernel's clamp applied."""
     return np.exp(np.clip(x, EXP_CONSTS[1], EXP_CONSTS[0]))
 
 
-def _exp_skeleton(n: int, lmul: int) -> tuple:
-    """Machine-independent build: program, buffer bases, golden data."""
+def _exp_program(n: int, lmul: int) -> tuple:
+    """Program-only skeleton: assembled program plus buffer bases."""
     layout = Layout()
     a_base = layout.alloc_f64("A", n)
     o_base = layout.alloc_f64("O", n)
@@ -120,28 +121,33 @@ def _exp_skeleton(n: int, lmul: int) -> tuple:
     result = emit_exp_body(asm, lmul)
     asm.vse64_v(result, "x7")
     asm.halt()
-    program = asm.build()
+    return asm.build(), a_base, o_base, const_base
 
+
+def _exp_golden(n: int) -> tuple:
+    """Golden data: inputs and reference exp (built on first use)."""
     rng = rng_for("exp", n)
     x_vec = rng.uniform(-10.0, 10.0, size=n)
-    golden = exp_golden(x_vec)
-    return program, a_base, o_base, const_base, x_vec, golden
+    return x_vec, exp_golden(x_vec)
 
 
 def build_exp(config: SystemConfig, bytes_per_lane: int) -> KernelRun:
+    """Build the exp run for one operating point (arrays stay lazy)."""
     vl, lmul = vl_and_lmul(config, bytes_per_lane)
     n = vl
 
-    program, a_base, o_base, const_base, x_vec, golden = memo_skeleton(
-        ("exp", n, lmul), lambda: _exp_skeleton(n, lmul))
+    program, a_base, o_base, const_base = memo_program(
+        ("exp", n, lmul), lambda: _exp_program(n, lmul))
+    golden = lazy_golden(("exp", n), lambda: _exp_golden(n))
 
     def setup(sim) -> None:
-        sim.mem.write_array(a_base, x_vec)
+        sim.mem.write_array(a_base, golden()[0])
         sim.mem.write_array(const_base, np.array(EXP_CONSTS))
 
     def check(sim) -> float:
         # Degree-6 Taylor over |r| <= ln2/2: relative error ~2e-7.
-        return check_array(sim, o_base, golden, "exp O", rtol=2e-6, atol=0.0)
+        return check_array(sim, o_base, golden()[1], "exp O",
+                           rtol=2e-6, atol=0.0)
 
     return KernelRun(
         name="exp",

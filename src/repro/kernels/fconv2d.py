@@ -26,15 +26,15 @@ import numpy as np
 
 from ..isa.asm import Assembler
 from ..params import SystemConfig
-from .common import (KernelRun, Layout, check_array, memo_skeleton, rng_for,
-                     vl_and_lmul)
+from .common import (KernelRun, Layout, check_array, lazy_golden,
+                     memo_program, rng_for, vl_and_lmul)
 
 FILTER = 7
 DEFAULT_ROWS = 256
 
 
-def _fconv2d_skeleton(rows: int, n: int, lmul: int) -> tuple:
-    """Machine-independent build: program, buffer bases, golden data."""
+def _fconv2d_program(rows: int, n: int, lmul: int) -> tuple:
+    """Program-only skeleton: assembled program plus buffer bases."""
     halo = FILTER - 1
     in_w = n + halo
     in_rows = rows + halo
@@ -89,35 +89,43 @@ def _fconv2d_skeleton(rows: int, n: int, lmul: int) -> tuple:
     asm.addi("x10", "x10", -1)
     asm.bnez("x10", "pair_loop")
     asm.halt()
-    program = asm.build()
+    return asm.build(), a_base, f_base, o_base
 
+
+def _fconv2d_golden(rows: int, n: int) -> tuple:
+    """Golden data: image, filter, reference output (built on first use)."""
+    halo = FILTER - 1
     rng = rng_for("fconv2d", rows, n)
-    a_img = rng.uniform(-1.0, 1.0, size=(in_rows, in_w))
+    a_img = rng.uniform(-1.0, 1.0, size=(rows + halo, n + halo))
     filt = rng.uniform(-1.0, 1.0, size=(FILTER, FILTER))
     golden = np.zeros((rows, n))
     for r in range(FILTER):
         for c in range(FILTER):
             golden += filt[r, c] * a_img[r:r + rows, c:c + n]
-    return program, a_base, f_base, o_base, a_img, filt, golden
+    return a_img, filt, golden
 
 
 def build_fconv2d(config: SystemConfig, bytes_per_lane: int,
                   rows: int = DEFAULT_ROWS) -> KernelRun:
+    """Build the fconv2d run for one operating point (arrays stay lazy)."""
     if rows % 2:
         raise ValueError(f"rows={rows} must be even (row-pair blocking)")
     vl, lmul = vl_and_lmul(config, bytes_per_lane)
     n = vl
 
-    program, a_base, f_base, o_base, a_img, filt, golden = memo_skeleton(
+    program, a_base, f_base, o_base = memo_program(
         ("fconv2d", rows, n, lmul),
-        lambda: _fconv2d_skeleton(rows, n, lmul))
+        lambda: _fconv2d_program(rows, n, lmul))
+    golden = lazy_golden(("fconv2d", rows, n),
+                         lambda: _fconv2d_golden(rows, n))
 
     def setup(sim) -> None:
+        a_img, filt, _ = golden()
         sim.mem.write_array(a_base, a_img.reshape(-1))
         sim.mem.write_array(f_base, filt.reshape(-1))
 
     def check(sim) -> float:
-        return check_array(sim, o_base, golden, "fconv2d O",
+        return check_array(sim, o_base, golden()[2], "fconv2d O",
                            rtol=1e-9, atol=1e-9 * FILTER * FILTER)
 
     return KernelRun(

@@ -21,12 +21,12 @@ import numpy as np
 
 from ..isa.asm import Assembler
 from ..params import SystemConfig
-from .common import (KernelRun, Layout, check_array, memo_skeleton, rng_for,
-                     vl_and_lmul)
+from .common import (KernelRun, Layout, check_array, lazy_golden,
+                     memo_program, rng_for, vl_and_lmul)
 
 
-def _fdotproduct_skeleton(n: int, lmul: int) -> tuple:
-    """Machine-independent build: program, buffer bases, golden data."""
+def _fdotproduct_program(n: int, lmul: int) -> tuple:
+    """Program-only skeleton: assembled program plus buffer bases."""
     layout = Layout()
     a_base = layout.alloc_f64("A", n)
     b_base = layout.alloc_f64("B", n)
@@ -48,29 +48,35 @@ def _fdotproduct_skeleton(n: int, lmul: int) -> tuple:
     asm.vfmv_f_s("f1", "v2")
     asm.fsd("f1", "x7", 0)
     asm.halt()
-    program = asm.build()
+    return asm.build(), a_base, b_base, r_base
 
-    rng = rng_for("fdotproduct", n)
+
+def _dot_golden(name: str, n: int) -> tuple:
+    """Golden data for either dot-product variant (built on first use)."""
+    rng = rng_for(name, n)
     a_vec = rng.uniform(-1.0, 1.0, size=n)
     b_vec = rng.uniform(-1.0, 1.0, size=n)
-    golden = np.array([np.dot(a_vec, b_vec)])
-    return program, a_base, b_base, r_base, a_vec, b_vec, golden
+    return a_vec, b_vec, np.array([np.dot(a_vec, b_vec)])
 
 
 def build_fdotproduct(config: SystemConfig, bytes_per_lane: int) -> KernelRun:
+    """Build the one-strip dot product (arrays stay lazy)."""
     vl, lmul = vl_and_lmul(config, bytes_per_lane)
     n = vl
 
-    program, a_base, b_base, r_base, a_vec, b_vec, golden = memo_skeleton(
+    program, a_base, b_base, r_base = memo_program(
         ("fdotproduct", n, lmul),
-        lambda: _fdotproduct_skeleton(n, lmul))
+        lambda: _fdotproduct_program(n, lmul))
+    golden = lazy_golden(("fdotproduct", n),
+                         lambda: _dot_golden("fdotproduct", n))
 
     def setup(sim) -> None:
+        a_vec, b_vec, _ = golden()
         sim.mem.write_array(a_base, a_vec)
         sim.mem.write_array(b_base, b_vec)
 
     def check(sim) -> float:
-        return check_array(sim, r_base, golden, "fdotproduct",
+        return check_array(sim, r_base, golden()[2], "fdotproduct",
                            rtol=1e-9, atol=1e-10 * n)
 
     return KernelRun(
@@ -97,16 +103,19 @@ def build_fdotproduct_strips(config: SystemConfig, bytes_per_lane: int,
     vl, lmul = vl_and_lmul(config, bytes_per_lane)
     n_total = vl * strips
 
-    program, a_base, b_base, r_base, a_vec, b_vec, golden = memo_skeleton(
+    program, a_base, b_base, r_base = memo_program(
         ("fdotproduct_strips", vl, strips, lmul),
-        lambda: _fdotproduct_strips_skeleton(vl, strips, lmul))
+        lambda: _fdotproduct_strips_program(vl, strips, lmul))
+    golden = lazy_golden(("fdotproduct_strips", n_total),
+                         lambda: _dot_golden("fdotproduct_strips", n_total))
 
     def setup(sim) -> None:
+        a_vec, b_vec, _ = golden()
         sim.mem.write_array(a_base, a_vec)
         sim.mem.write_array(b_base, b_vec)
 
     def check(sim) -> float:
-        return check_array(sim, r_base, golden, "fdotproduct_strips",
+        return check_array(sim, r_base, golden()[2], "fdotproduct_strips",
                            rtol=1e-9, atol=1e-10 * n_total)
 
     return KernelRun(
@@ -121,8 +130,8 @@ def build_fdotproduct_strips(config: SystemConfig, bytes_per_lane: int,
     )
 
 
-def _fdotproduct_strips_skeleton(vl: int, strips: int, lmul: int) -> tuple:
-    """Machine-independent build: program, buffer bases, golden data."""
+def _fdotproduct_strips_program(vl: int, strips: int, lmul: int) -> tuple:
+    """Program-only skeleton: assembled program plus buffer bases."""
     n_total = vl * strips
 
     layout = Layout()
@@ -156,10 +165,4 @@ def _fdotproduct_strips_skeleton(vl: int, strips: int, lmul: int) -> tuple:
     asm.vfmv_f_s("f1", vres)
     asm.fsd("f1", "x7", 0)
     asm.halt()
-    program = asm.build()
-
-    rng = rng_for("fdotproduct_strips", n_total)
-    a_vec = rng.uniform(-1.0, 1.0, size=n_total)
-    b_vec = rng.uniform(-1.0, 1.0, size=n_total)
-    golden = np.array([np.dot(a_vec, b_vec)])
-    return program, a_base, b_base, r_base, a_vec, b_vec, golden
+    return asm.build(), a_base, b_base, r_base

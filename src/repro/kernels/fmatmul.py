@@ -17,12 +17,10 @@ Peak: one FMA per lane per cycle -> 2 * lanes DP-FLOP/cycle (Table I).
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..isa.asm import Assembler
 from ..params import SystemConfig
-from .common import (KernelRun, Layout, check_array, memo_skeleton, rng_for,
-                     vl_and_lmul)
+from .common import (KernelRun, Layout, check_array, lazy_golden,
+                     memo_program, rng_for, vl_and_lmul)
 
 #: Rows of A processed per accumulator block (register-budget bound:
 #: ROW_BLOCK accumulator groups + one B-row group must fit 32 registers
@@ -33,8 +31,8 @@ DEFAULT_M = 64
 DEFAULT_K = 256
 
 
-def _fmatmul_skeleton(m: int, k: int, n: int, lmul: int) -> tuple:
-    """Machine-independent build: program, buffer bases, golden data."""
+def _fmatmul_program(m: int, k: int, n: int, lmul: int) -> tuple:
+    """Program-only skeleton: assembled program plus buffer bases."""
     layout = Layout()
     a_base = layout.alloc_f64("A", m * k)
     b_base = layout.alloc_f64("B", k * n)
@@ -83,17 +81,20 @@ def _fmatmul_skeleton(m: int, k: int, n: int, lmul: int) -> tuple:
     asm.addi("x10", "x10", -1)
     asm.bnez("x10", "block_loop")
     asm.halt()
-    program = asm.build()
+    return asm.build(), a_base, b_base, c_base
 
+
+def _fmatmul_golden(m: int, k: int, n: int) -> tuple:
+    """Golden data: inputs and reference product (built on first use)."""
     rng = rng_for("fmatmul", m, k, n)
     a_mat = rng.uniform(-1.0, 1.0, size=(m, k))
     b_mat = rng.uniform(-1.0, 1.0, size=(k, n))
-    golden = a_mat @ b_mat
-    return program, a_base, b_base, c_base, a_mat, b_mat, golden
+    return a_mat, b_mat, a_mat @ b_mat
 
 
 def build_fmatmul(config: SystemConfig, bytes_per_lane: int,
                   m: int = DEFAULT_M, k: int = DEFAULT_K) -> KernelRun:
+    """Build the fmatmul run for one operating point (arrays stay lazy)."""
     vl, lmul = vl_and_lmul(config, bytes_per_lane)
     n = vl  # Table I: N spans exactly one strip
     if m % ROW_BLOCK:
@@ -101,18 +102,21 @@ def build_fmatmul(config: SystemConfig, bytes_per_lane: int,
     if k % 2:
         raise ValueError(f"k={k} must be even (B double buffering)")
 
-    program, a_base, b_base, c_base, a_mat, b_mat, golden = memo_skeleton(
+    program, a_base, b_base, c_base = memo_program(
         ("fmatmul", m, k, n, lmul),
-        lambda: _fmatmul_skeleton(m, k, n, lmul))
+        lambda: _fmatmul_program(m, k, n, lmul))
+    golden = lazy_golden(("fmatmul", m, k, n),
+                         lambda: _fmatmul_golden(m, k, n))
 
     def setup(sim) -> None:
+        a_mat, b_mat, _ = golden()
         sim.mem.write_array(a_base, a_mat.reshape(-1))
         sim.mem.write_array(b_base, b_mat.reshape(-1))
 
     def check(sim) -> float:
         # The simulator FMA is not fused and accumulates in a different
         # association order than BLAS; tolerance covers K=256 partials.
-        return check_array(sim, c_base, golden, "fmatmul C",
+        return check_array(sim, c_base, golden()[2], "fmatmul C",
                            rtol=1e-9, atol=1e-7 * k)
 
     return KernelRun(

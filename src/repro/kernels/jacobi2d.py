@@ -13,14 +13,14 @@ from __future__ import annotations
 
 from ..isa.asm import Assembler
 from ..params import SystemConfig
-from .common import (KernelRun, Layout, check_array, memo_skeleton, rng_for,
-                     vl_and_lmul)
+from .common import (KernelRun, Layout, check_array, lazy_golden,
+                     memo_program, rng_for, vl_and_lmul)
 
 DEFAULT_ROWS = 256
 
 
-def _jacobi2d_skeleton(rows: int, n: int, lmul: int) -> tuple:
-    """Machine-independent build: program, buffer bases, golden data."""
+def _jacobi2d_program(rows: int, n: int, lmul: int) -> tuple:
+    """Program-only skeleton: assembled program plus buffer bases."""
     in_w = n + 2  # one halo column each side
     in_rows = rows + 2  # one halo row top and bottom
 
@@ -67,30 +67,36 @@ def _jacobi2d_skeleton(rows: int, n: int, lmul: int) -> tuple:
     asm.addi("x10", "x10", -1)
     asm.bnez("x10", "row_loop")
     asm.halt()
-    program = asm.build()
+    return asm.build(), a_base, o_base, const_base
 
+
+def _jacobi2d_golden(rows: int, n: int) -> tuple:
+    """Golden data: grid and reference update (built on first use)."""
     rng = rng_for("jacobi2d", rows, n)
-    grid = rng.uniform(-1.0, 1.0, size=(in_rows, in_w))
+    grid = rng.uniform(-1.0, 1.0, size=(rows + 2, n + 2))
     golden = 0.25 * (grid[:-2, 1:-1] + grid[2:, 1:-1]
                      + grid[1:-1, :-2] + grid[1:-1, 2:])
-    return program, a_base, o_base, const_base, grid, golden
+    return grid, golden
 
 
 def build_jacobi2d(config: SystemConfig, bytes_per_lane: int,
                    rows: int = DEFAULT_ROWS) -> KernelRun:
+    """Build the jacobi2d run for one operating point (arrays stay lazy)."""
     vl, lmul = vl_and_lmul(config, bytes_per_lane)
     n = vl
 
-    program, a_base, o_base, const_base, grid, golden = memo_skeleton(
+    program, a_base, o_base, const_base = memo_program(
         ("jacobi2d", rows, n, lmul),
-        lambda: _jacobi2d_skeleton(rows, n, lmul))
+        lambda: _jacobi2d_program(rows, n, lmul))
+    golden = lazy_golden(("jacobi2d", rows, n),
+                         lambda: _jacobi2d_golden(rows, n))
 
     def setup(sim) -> None:
-        sim.mem.write_array(a_base, grid.reshape(-1))
+        sim.mem.write_array(a_base, golden()[0].reshape(-1))
         sim.mem.store_f64(const_base, 0.25)
 
     def check(sim) -> float:
-        return check_array(sim, o_base, golden, "jacobi2d O")
+        return check_array(sim, o_base, golden()[1], "jacobi2d O")
 
     return KernelRun(
         name="jacobi2d",

@@ -18,8 +18,8 @@ import numpy as np
 
 from ..isa.asm import Assembler
 from ..params import SystemConfig
-from .common import (KernelRun, Layout, check_array, memo_skeleton, rng_for,
-                     vl_and_lmul)
+from .common import (KernelRun, Layout, check_array, lazy_golden,
+                     memo_program, rng_for, vl_and_lmul)
 from .expk import EXP_CONSTS, emit_exp_body, emit_exp_consts, exp_golden
 
 #: FPU op-slots and DP-FLOP per element (Table I row 6).
@@ -27,8 +27,8 @@ SOFTMAX_FPU_OPS = 25
 SOFTMAX_FLOPS = 32
 
 
-def _softmax_skeleton(n: int, lmul: int) -> tuple:
-    """Machine-independent build: program, buffer bases, golden data."""
+def _softmax_program(n: int, lmul: int) -> tuple:
+    """Program-only skeleton: assembled program plus buffer bases."""
     layout = Layout()
     a_base = layout.alloc_f64("A", n)
     o_base = layout.alloc_f64("O", n)
@@ -59,30 +59,33 @@ def _softmax_skeleton(n: int, lmul: int) -> tuple:
     asm.vfmul_vf(result, result, "f7")
     asm.vse64_v(result, "x7")
     asm.halt()
-    program = asm.build()
+    return asm.build(), a_base, o_base, const_base, ninf_base
 
+
+def _softmax_golden(n: int) -> tuple:
+    """Golden data: inputs and reference softmax (built on first use)."""
     rng = rng_for("softmax", n)
     x_vec = rng.uniform(-8.0, 8.0, size=n)
     shifted = exp_golden(x_vec - np.max(x_vec))
-    golden = shifted / np.sum(shifted)
-    return program, a_base, o_base, const_base, ninf_base, x_vec, golden
+    return x_vec, shifted / np.sum(shifted)
 
 
 def build_softmax(config: SystemConfig, bytes_per_lane: int) -> KernelRun:
+    """Build the softmax run for one operating point (arrays stay lazy)."""
     vl, lmul = vl_and_lmul(config, bytes_per_lane)
     n = vl
 
-    (program, a_base, o_base, const_base, ninf_base,
-     x_vec, golden) = memo_skeleton(
-        ("softmax", n, lmul), lambda: _softmax_skeleton(n, lmul))
+    program, a_base, o_base, const_base, ninf_base = memo_program(
+        ("softmax", n, lmul), lambda: _softmax_program(n, lmul))
+    golden = lazy_golden(("softmax", n), lambda: _softmax_golden(n))
 
     def setup(sim) -> None:
-        sim.mem.write_array(a_base, x_vec)
+        sim.mem.write_array(a_base, golden()[0])
         sim.mem.write_array(const_base, np.array(EXP_CONSTS))
         sim.mem.store_f64(ninf_base, -np.inf)
 
     def check(sim) -> float:
-        return check_array(sim, o_base, golden, "softmax O",
+        return check_array(sim, o_base, golden()[1], "softmax O",
                            rtol=5e-6, atol=1e-12)
 
     return KernelRun(

@@ -15,6 +15,7 @@ from ..errors import ConfigError
 
 @dataclass(frozen=True)
 class BankedL2:
+    """Banked shared L2: size, banking, latency and bandwidth knobs."""
     size_bytes: int = 16 * 2 ** 20
     banks: int = 8
     line_bytes: int = 64

@@ -45,6 +45,7 @@ class Block:
 
 @dataclass
 class Floorplan:
+    """A placed die: dimensions plus the block list."""
     machine: str
     die_w: float
     die_h: float

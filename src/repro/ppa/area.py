@@ -96,6 +96,7 @@ class AreaBreakdown:
 
 
 def kge_to_mm2(kge: float) -> float:
+    """Convert kGE to mm^2 at the calibrated gate density."""
     return kge * 1000.0 / GE_PER_MM2
 
 

@@ -17,6 +17,7 @@ from .power import PowerEstimate, power_watts, _area_for
 
 @dataclass(frozen=True)
 class PpaPoint:
+    """One machine's PPA summary (frequency, GFLOPs, W, mm^2)."""
     machine: str
     lanes: int
     freq_ghz: float

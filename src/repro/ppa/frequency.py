@@ -26,12 +26,14 @@ CONGESTION_SLOPE = 0.96
 
 
 def ara2_frequency_ghz(lanes: int) -> float:
+    """Ara2 frequency law: wire-dominated slowdown past 4 lanes."""
     if lanes <= 4:
         return BASE_FREQ_GHZ
     return BASE_FREQ_GHZ / (1.0 + ARA2_WIRE_SLOPE * (lanes - 4))
 
 
 def araxl_frequency_ghz(lanes: int) -> float:
+    """AraXL frequency law: congestion-driven derating from the floorplan."""
     from ..physdesign import build_floorplan, congestion_score
 
     config = lanes if isinstance(lanes, AraXLConfig) else AraXLConfig(lanes=lanes)

@@ -42,6 +42,7 @@ _UNIT_COMPONENTS = {
 
 @dataclass(frozen=True)
 class PowerEstimate:
+    """Idle/active power split for one machine at one frequency."""
     machine: str
     freq_ghz: float
     idle_watts: float

@@ -10,22 +10,26 @@ shared across operating points via
 :class:`~repro.sim.trace_cache.TraceCache` — and across the whole
 benchmark suite via the disk-backed, garbage-collected
 :class:`~repro.sim.trace_store.TraceStore` — and both sweep phases fan
-out over worker processes via :mod:`repro.sim.parallel`:
-:class:`~repro.sim.parallel.CapturePool` for the functional captures,
-:class:`~repro.sim.parallel.ReplayPool` for the timing replays, and
-:func:`~repro.sim.parallel.run_pipeline` to stream the former into the
-latter.
+out over one shared worker pool via :mod:`repro.sim.parallel`:
+:class:`~repro.sim.parallel.SimPool` executes tagged capture/replay
+jobs inside a single ``workers=`` process budget,
+:func:`~repro.sim.parallel.run_pipeline` streams each capture's replays
+into the pool as its trace lands, and
+:class:`~repro.sim.parallel.CapturePool` /
+:class:`~repro.sim.parallel.ReplayPool` remain as batch-API facades
+over the same machinery.
 """
 
 from .simulator import Simulator, replay_trace, run_program
 from .result import RunResult
 from .trace_cache import TraceCache, trace_key
 from .trace_store import TraceStore, attach_store, resolve_store_dir
-from .parallel import (CapturePool, CaptureTask, ReplayPool,
-                       autodetect_workers, replay_batch, run_pipeline)
+from .parallel import (CapturePool, CaptureTask, PipelineStats, ReplayPool,
+                       SimPool, autodetect_workers, replay_batch,
+                       run_pipeline)
 
-__all__ = ["CapturePool", "CaptureTask", "Simulator", "RunResult",
-           "TraceCache", "TraceStore", "ReplayPool", "attach_store",
-           "autodetect_workers", "replay_batch", "replay_trace",
-           "resolve_store_dir", "run_pipeline", "run_program",
-           "trace_key"]
+__all__ = ["CapturePool", "CaptureTask", "PipelineStats", "Simulator",
+           "RunResult", "SimPool", "TraceCache", "TraceStore", "ReplayPool",
+           "attach_store", "autodetect_workers", "replay_batch",
+           "replay_trace", "resolve_store_dir", "run_pipeline",
+           "run_program", "trace_key"]

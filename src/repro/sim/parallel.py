@@ -1,4 +1,4 @@
-"""Parallel capture and replay: fan both sweep phases out over processes.
+"""Parallel capture and replay: one shared pool, tagged jobs, two phases.
 
 PR 1 made :meth:`~repro.sim.simulator.Simulator.capture` and
 :class:`~repro.timing.engine.TimingEngine` replay fully independent: one
@@ -8,55 +8,82 @@ a fresh end-to-end run.  The paper's evaluation sweeps (Fig 6/7,
 Table I/III, the ablations) are therefore embarrassingly parallel in
 *both* phases: replays of one capture are independent of each other, and
 captures of distinct ``(program fingerprint, vlen_bits, setup)`` keys
-are independent of everything.  Two pools exploit this:
+are independent of everything.
 
-* :class:`ReplayPool` fans the timing replays of captured traces out
-  over a process pool (batch API below, streaming session via
-  :meth:`ReplayPool.session`);
-* :class:`CapturePool` fans the functional captures of a cold sweep out
-  the same way: one :class:`CaptureTask` per distinct trace key, workers
-  rebuilding the kernel from its ``(name, config, B/lane, kwargs)`` spec
-  and writing the captured trace into the shared disk store through the
-  normal atomic-envelope :meth:`~repro.sim.trace_cache.TraceCache.put`
-  path, so the parent — and any concurrently-running replay worker —
-  picks it up as an ordinary disk hit.  ``workers=1`` captures
-  in-process (byte-identical, no executor), and a dead worker's tasks
-  fall back to in-process capture rather than failing the sweep.
+:class:`SimPool` exploits this with **one** process pool.  Earlier
+revisions ran two private executors (a capture pool feeding a replay
+pool), which could hold up to ``capture_workers + workers`` live
+processes during the overlap window — oversubscription on exactly the
+small hosts that need parallelism least.  A :class:`SimPool` owns a
+single :class:`~concurrent.futures.ProcessPoolExecutor` sized by one
+``workers=`` budget and executes *tagged* jobs on it:
 
-:func:`run_pipeline` chains the two into the cold-sweep pipeline: each
-operating point's replay tasks enter the replay pool *as soon as* its
-trace lands, so capture and replay overlap instead of running as strict
-serial phases.
+* ``capture`` jobs run one functional capture per distinct trace key
+  (workers rebuild the kernel from its picklable :class:`CaptureTask`
+  spec and write the captured trace into the shared disk store through
+  the normal atomic-envelope
+  :meth:`~repro.sim.trace_cache.TraceCache.put` path);
+* ``replay`` jobs time a captured trace on one or more machine configs.
 
-ReplayPool in detail:
+``capture_workers=`` survives as a **soft priority split**: while replay
+jobs are in flight, at most ``min(capture_workers, workers)`` capture
+jobs are submitted concurrently, leaving the remaining slots to drain
+replays; when no replays are pending, captures may fill the whole
+budget.  ``capture_workers=1`` (the default) keeps the capture phase
+in-process — the old two-pool ``workers=1``-capture semantics — and
+``workers=1`` keeps *everything* in-process with no executor at all.
+Whatever the knobs, the total number of live worker processes never
+exceeds the ``workers=`` budget, and rendered sweep output is
+byte-identical: only scheduling changes, never results.
 
-* **Batch API** — a replay *task* is ``(config, captured)`` (optionally
-  ``(config, captured, trace_key)``); :meth:`ReplayPool.replay_batch`
-  returns one :class:`~repro.timing.report.TimingReport` per task **in
-  task order**, regardless of worker scheduling.
-* **One payload per VLEN group** — tasks sharing a captured trace are
-  grouped, and each group ships its single pruned disk payload
-  (:func:`~repro.sim.trace_cache._disk_payload`, the same pruning the
-  disk cache uses), so lambdas, plan caches and the functional memory
-  image never cross a process boundary.  Batches with fewer groups than
-  workers split each group's configs into chunks so single-kernel
-  many-config sweeps (the ablations) still occupy the whole pool.
-* **Disk-backed workers** — given a ``disk_dir`` shared with the
-  sweep's :class:`~repro.sim.trace_cache.TraceCache`, groups whose key
-  is already on disk ship *no* payload at all: the worker rehydrates
-  from its process-local cache (falling back to an explicit payload
-  resend if the file is stale or missing).
-* **Autodetection and fallback** — ``workers=None`` sizes the pool to
-  the host's CPUs; ``workers=1`` bypasses multiprocessing entirely and
-  replays in-process, byte-identical to the pooled path.
+:func:`run_pipeline` is the cold-sweep pipeline over one
+:class:`SimPool`: each operating point's replay jobs enter the pool *as
+soon as* its trace lands, so capture and replay overlap instead of
+running as strict serial phases.  Replay submissions are **chunked
+adaptively**: a capture whose key sits in the shared disk store ships no
+payload, so its replays can split across however many pool slots are
+currently idle — a busy pool gets one job (queueing more buys nothing),
+a draining pool gets enough chunks to refill.  Payload-shipping
+submissions (no shared disk) stay whole, since every extra chunk would
+re-pipe the pruned trace pickle.
+
+Both phases are instrumented: every job (pooled or in-process) reports
+its wall-clock, aggregated per worker and per phase in
+:class:`PipelineStats` (:attr:`SimPool.pipeline_stats`), so benchmark
+tables can report capture/replay seconds per point — pipeline
+*efficiency*, not just cache hit counts.
+
+:class:`CapturePool` and :class:`ReplayPool` remain as thin batch-API
+facades over a private :class:`SimPool` (their historical constructors
+and ``capture_batch`` / ``replay_batch`` / ``stats`` surfaces are used
+throughout the test and benchmark suites); neither owns an executor of
+its own anymore.
+
+Worker-side details shared by both job kinds:
+
+* **One process-local cache per worker** — with a ``disk_dir`` it
+  rehydrates payload-free replay jobs and write-throughs captures;
+  either way its memory layer lets keys repeated across jobs skip
+  re-shipping, and a worker that captured a trace serves its own replay
+  jobs from memory.
+* **One payload per trace key** — replay jobs ship the single pruned
+  disk payload (:func:`~repro.sim.trace_cache._disk_payload`, the same
+  pruning the disk cache uses) only when the key is not already in the
+  shared store; stale or vanished store entries trigger an explicit
+  payload resend (:data:`_NEEDS_PAYLOAD`).
+* **Failure degradation** — a dead capture worker, or a store GC that
+  evicts a fresh entry before the parent adopts it, degrades to an
+  in-process capture (counted in :attr:`SimPool.fallbacks`) rather than
+  failing the sweep.
 * **Per-worker statistics** — each job reports its worker's cache
-  counters; :attr:`ReplayPool.stats` aggregates them across the pool.
+  counters; :attr:`SimPool.stats` aggregates them across the pool.
 """
 
 from __future__ import annotations
 
 import os
-from collections import OrderedDict
+import time
+from collections import OrderedDict, deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -75,6 +102,10 @@ ReplayTask = tuple
 #: A pipeline replay plan entry: ``(config, capture_index)``.
 PipelineReplay = tuple
 
+#: The parent's pid slot in per-worker stats: in-process work (serial
+#: paths, warm serves, fallbacks) is attributed to worker id 0.
+PARENT_WORKER = 0
+
 
 def autodetect_workers() -> int:
     """Worker count for this host: the schedulable CPU count, min 1."""
@@ -86,9 +117,73 @@ def autodetect_workers() -> int:
     return max(1, count or os.cpu_count() or 1)
 
 
+# ----------------------------------------------------------------------
+# Pipeline statistics: per-phase wall-clock, aggregated per worker.
+# ----------------------------------------------------------------------
+@dataclass
+class PipelineStats:
+    """Wall-clock instrumentation of one pool's capture/replay phases.
+
+    ``*_points`` counts operating points served per phase (a replay job
+    covering three configs contributes three points), ``*_seconds``
+    sums the jobs' measured wall-clock, and ``per_worker`` breaks both
+    down by worker pid (:data:`PARENT_WORKER` is the parent process:
+    serial paths, warm cache serves, and fallback captures).  Seconds
+    are *work* seconds summed across workers — with N workers busy they
+    accrue up to N times faster than the pipeline's elapsed time, which
+    is exactly what makes ``capture_seconds / capture_points`` a
+    scheduling-independent per-point cost.
+    """
+
+    capture_points: int = 0
+    capture_seconds: float = 0.0
+    replay_points: int = 0
+    replay_seconds: float = 0.0
+    per_worker: dict = field(default_factory=dict)
+
+    def note(self, tag: str, pid: int, points: int, seconds: float) -> None:
+        """Record one finished job of ``tag`` ('capture' | 'replay')."""
+        if tag == "capture":
+            self.capture_points += points
+            self.capture_seconds += seconds
+        else:
+            self.replay_points += points
+            self.replay_seconds += seconds
+        slot = self.per_worker.setdefault(
+            pid, {"capture_points": 0, "capture_seconds": 0.0,
+                  "replay_points": 0, "replay_seconds": 0.0})
+        slot[f"{tag}_points"] += points
+        slot[f"{tag}_seconds"] += seconds
+
+    def seconds_per_point(self, tag: str) -> float:
+        """Mean per-point wall-clock for one phase (0.0 when unused)."""
+        points = self.capture_points if tag == "capture" \
+            else self.replay_points
+        seconds = self.capture_seconds if tag == "capture" \
+            else self.replay_seconds
+        return seconds / points if points else 0.0
+
+
+@dataclass
+class _Job:
+    """Parent-side bookkeeping for one tagged submission.
+
+    ``indices`` are capture-task indices for a capture job and result
+    indices for a replay job; ``captured`` is kept on replay jobs so a
+    stale-entry resend or an in-process degradation never needs the
+    worker's copy.
+    """
+
+    tag: str                                   # "capture" | "replay"
+    key: Optional[TraceKey] = None
+    captured: Optional[ExecResult] = None
+    configs: list = field(default_factory=list)
+    indices: list = field(default_factory=list)
+
+
 @dataclass
 class _Group:
-    """All tasks of one batch that replay the same captured trace."""
+    """All tasks of one replay batch that share a captured trace."""
 
     key: Optional[TraceKey]
     captured: ExecResult
@@ -114,9 +209,10 @@ def _merge_snapshot(per_worker: dict[int, dict], pid: int,
 
 
 # ----------------------------------------------------------------------
-# Worker side.  One process-local TraceCache per worker: with a disk_dir
-# it rehydrates payload-free jobs; either way its memory layer lets keys
-# repeated across batches skip re-shipping.
+# Worker side.  One process-local TraceCache per worker serves BOTH job
+# kinds: with a disk_dir it rehydrates payload-free replay jobs and
+# write-throughs captures; either way its memory layer lets a worker
+# that captured a trace replay it without ever touching disk.
 # ----------------------------------------------------------------------
 _WORKER_CACHE: Optional[TraceCache] = None
 
@@ -130,9 +226,30 @@ def _init_worker(disk_dir: Optional[str], capacity: int) -> None:
     _WORKER_CACHE = TraceCache(capacity=capacity, disk_dir=disk_dir)
 
 
-def _replay_group(key: Optional[TraceKey], payload: Optional[ExecResult],
-                  configs: list[SystemConfig]):
-    """Replay one trace group in a worker; returns (pid, reports, stats)."""
+def _capture_job(task: "CaptureTask"):
+    """Capture one task in a worker; returns (pid, key, payload, stats, s).
+
+    With a disk-backed worker cache the capture lands in the shared
+    store through the normal atomic-envelope ``put`` and ``payload`` is
+    None — the parent (and any concurrent replay worker) rehydrates it
+    as a disk hit.  Without shared disk the pruned payload ships back
+    over the pipe instead.
+    """
+    t0 = time.perf_counter()
+    cache = _WORKER_CACHE
+    run = task.build()
+    captured = run.capture(task.config, cache=cache, verify=task.verify)
+    on_disk = cache is not None and cache.disk_dir is not None
+    payload = None if on_disk else _disk_payload(captured)
+    stats = dict(cache.stats) if cache is not None else {}
+    return (os.getpid(), run.trace_key(task.config), payload, stats,
+            time.perf_counter() - t0)
+
+
+def _replay_job(key: Optional[TraceKey], payload: Optional[ExecResult],
+                configs: list[SystemConfig]):
+    """Replay one trace's configs in a worker; (pid, reports, stats, s)."""
+    t0 = time.perf_counter()
     cache = _WORKER_CACHE
     captured = None
     if cache is not None and key is not None:
@@ -146,246 +263,76 @@ def _replay_group(key: Optional[TraceKey], payload: Optional[ExecResult],
             # parent (or another worker) already owns the disk write.
     reports = [replay_trace(config, captured).timing for config in configs]
     stats = dict(cache.stats) if cache is not None else {}
-    return os.getpid(), reports, stats
+    return os.getpid(), reports, stats, time.perf_counter() - t0
 
 
-class ReplayPool:
-    """Fans :func:`~repro.sim.simulator.replay_trace` calls over processes.
+def _run_job(tag: str, *args):
+    """The pool's single entry point: dispatch one tagged job.
 
-    ``workers=None`` autodetects from the host CPU count; ``workers=1``
-    replays in-process with no executor, pickling, or subprocess spawn —
-    the results are byte-identical either way.  ``disk_dir`` (typically
-    the sweep cache's own ``disk_dir``) lets workers rehydrate captures
-    from the shared disk layer instead of receiving them over the pipe.
+    Every submission to a :class:`SimPool` executor goes through here,
+    so one worker pool — and one process-local cache — serves both
+    phases.  ``tag`` is ``"capture"`` or ``"replay"``.
     """
-
-    def __init__(self, workers: int | None = None,
-                 disk_dir: str | Path | None = None,
-                 capacity: int = DEFAULT_CAPACITY) -> None:
-        if workers is not None and workers < 1:
-            raise ValueError("workers must be >= 1 (or None to autodetect)")
-        self.workers = autodetect_workers() if workers is None else int(workers)
-        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
-        self.capacity = capacity
-        self._worker_stats: dict[int, dict] = {}
-
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _normalize(tasks: Sequence[ReplayTask]) -> list[tuple]:
-        norm = []
-        for task in tasks:
-            if len(task) == 2:
-                config, captured = task
-                key = None
-            else:
-                config, captured, key = task
-            norm.append((config, captured, key))
-        return norm
-
-    @staticmethod
-    def _group(norm: list[tuple]) -> "OrderedDict[int, _Group]":
-        groups: OrderedDict[int, _Group] = OrderedDict()
-        for idx, (config, captured, key) in enumerate(norm):
-            group = groups.get(id(captured))
-            if group is None:
-                group = groups[id(captured)] = _Group(key=key,
-                                                     captured=captured)
-            group.configs.append(config)
-            group.indices.append(idx)
-        return groups
-
-    def _jobs(self, groups: "OrderedDict[int, _Group]") -> list[_Group]:
-        """Split groups into jobs so every worker gets work.
-
-        One job per group is ideal when there are at least as many groups
-        as workers (the payload ships once per group).  Sweeps with few
-        groups but many configs — e.g. an ablation varying one timing
-        knob over a single kernel — would otherwise serialize inside one
-        worker, so each group is chunked into up to
-        ``workers // len(groups)`` jobs; re-shipping the pruned payload
-        per chunk is cheap relative to the replays it buys back.
-        """
-        per_group = max(1, self.workers // len(groups))
-        jobs: list[_Group] = []
-        for group in groups.values():
-            chunks = min(per_group, len(group.configs))
-            size = -(-len(group.configs) // chunks)  # ceil division
-            for start in range(0, len(group.configs), size):
-                jobs.append(_Group(key=group.key, captured=group.captured,
-                                   configs=group.configs[start:start + size],
-                                   indices=group.indices[start:start + size]))
-        return jobs
-
-    # ------------------------------------------------------------------
-    def replay_batch(self, tasks: Sequence[ReplayTask]) -> list[TimingReport]:
-        """Replay every task; reports come back in task order."""
-        norm = self._normalize(tasks)
-        if not norm:
-            return []
-        if self.workers == 1 or len(norm) == 1:
-            # In-process serial baseline (workers=1) — also the only
-            # sensible plan for a one-task batch.
-            return [replay_trace(config, captured).timing
-                    for config, captured, _ in norm]
-        jobs = self._jobs(self._group(norm))
-        results: list[Optional[TimingReport]] = [None] * len(norm)
-        max_workers = min(self.workers, len(jobs))
-        disk_dir = str(self.disk_dir) if self.disk_dir is not None else None
-        with ProcessPoolExecutor(max_workers=max_workers,
-                                 initializer=_init_worker,
-                                 initargs=(disk_dir, self.capacity)) as pool:
-            pending = {}
-            for job in jobs:
-                payload = None if self._on_disk(job.key) \
-                    else _disk_payload(job.captured)
-                fut = pool.submit(_replay_group, job.key, payload,
-                                  job.configs)
-                pending[fut] = job
-            while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for fut in done:
-                    job = pending.pop(fut)
-                    outcome = fut.result()
-                    if outcome is _NEEDS_PAYLOAD:
-                        # Stale/missing disk entry: resend with payload.
-                        retry = pool.submit(_replay_group, job.key,
-                                            _disk_payload(job.captured),
-                                            job.configs)
-                        pending[retry] = job
-                        continue
-                    pid, reports, stats = outcome
-                    self._merge_worker_stats(pid, stats)
-                    for idx, report in zip(job.indices, reports):
-                        results[idx] = report
-        return results  # type: ignore[return-value]
-
-    def _merge_worker_stats(self, pid: int, stats: dict) -> None:
-        _merge_snapshot(self._worker_stats, pid, stats)
-
-    def _on_disk(self, key: Optional[TraceKey]) -> bool:
-        if self.disk_dir is None or key is None:
-            return False
-        return disk_path(self.disk_dir, key).exists()
-
-    # ------------------------------------------------------------------
-    def session(self) -> "ReplaySession":
-        """Open a streaming replay session against this pool.
-
-        Unlike :meth:`replay_batch`, a session accepts task groups
-        incrementally — the pipeline submits each operating point's
-        replays the moment its capture lands — and hands results back
-        tagged with caller-chosen indices.  ``workers=1`` sessions
-        replay every submission in-process immediately (no executor,
-        byte-identical results)."""
-        return ReplaySession(self)
-
-    # ------------------------------------------------------------------
-    @property
-    def stats(self) -> dict:
-        """Cache counters aggregated over every worker this pool used."""
-        agg = {"hits": 0, "disk_hits": 0, "misses": 0,
-               "workers": len(self._worker_stats),
-               "per_worker": dict(self._worker_stats)}
-        for stats in self._worker_stats.values():
-            for counter in ("hits", "disk_hits", "misses"):
-                agg[counter] += stats.get(counter, 0)
-        return agg
-
-
-def replay_batch(tasks: Sequence[ReplayTask], workers: int | None = 1,
-                 disk_dir: str | Path | None = None) -> list[TimingReport]:
-    """One-shot convenience wrapper around :class:`ReplayPool`."""
-    return ReplayPool(workers=workers,
-                      disk_dir=disk_dir).replay_batch(tasks)
-
-
-class ReplaySession:
-    """Incremental replay against a :class:`ReplayPool`'s workers.
-
-    Created by :meth:`ReplayPool.session` and used as a context manager.
-    :meth:`submit` takes one capture's replay configs plus the caller's
-    result indices; :meth:`drain` blocks until every submitted replay
-    finished and returns ``(index, report)`` pairs.  Submissions overlap
-    with each other — and, in the pipeline, with captures still running
-    in the capture pool — while ``workers=1`` keeps everything
-    in-process and executor-free.
-    """
-
-    def __init__(self, pool: ReplayPool) -> None:
-        self.pool = pool
-        self._executor: Optional[ProcessPoolExecutor] = None
-        self._pending: dict = {}
-        self._done: list[tuple[int, TimingReport]] = []
-
-    def __enter__(self) -> "ReplaySession":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
-            self._executor = None
-
-    def _ensure_executor(self) -> ProcessPoolExecutor:
-        if self._executor is None:
-            disk_dir = str(self.pool.disk_dir) \
-                if self.pool.disk_dir is not None else None
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.pool.workers,
-                initializer=_init_worker,
-                initargs=(disk_dir, self.pool.capacity))
-        return self._executor
-
-    # ------------------------------------------------------------------
-    def submit(self, configs: Sequence[SystemConfig], captured: ExecResult,
-               key: Optional[TraceKey], indices: Sequence[int]) -> None:
-        """Queue one captured trace's replays; results carry ``indices``."""
-        if not configs:
-            return
-        if self.pool.workers == 1:
-            for config, idx in zip(configs, indices):
-                self._done.append((idx, replay_trace(config,
-                                                     captured).timing))
-            return
-        executor = self._ensure_executor()
-        # Chunk so one submission can occupy the whole pool — but only
-        # when the key is on shared disk, where extra chunks ship no
-        # payload (workers rehydrate).  Without shared disk every chunk
-        # would pipe its own pruned-payload pickle, so the submission
-        # stays whole; streaming concurrency then comes from the other
-        # in-flight submissions.
-        on_disk = self.pool._on_disk(key)
-        payload = None if on_disk else _disk_payload(captured)
-        chunks = min(self.pool.workers, len(configs)) if on_disk else 1
-        size = -(-len(configs) // chunks)  # ceil division
-        for start in range(0, len(configs), size):
-            job = _Group(key=key, captured=captured,
-                         configs=list(configs[start:start + size]),
-                         indices=list(indices[start:start + size]))
-            fut = executor.submit(_replay_group, key, payload, job.configs)
-            self._pending[fut] = job
-
-    def drain(self) -> list[tuple[int, TimingReport]]:
-        """Wait for every submitted replay; returns (index, report) pairs."""
-        while self._pending:
-            done, _ = wait(self._pending, return_when=FIRST_COMPLETED)
-            for fut in done:
-                job = self._pending.pop(fut)
-                outcome = fut.result()
-                if outcome is _NEEDS_PAYLOAD:
-                    # Stale/missing disk entry: resend with payload.
-                    retry = self._executor.submit(
-                        _replay_group, job.key, _disk_payload(job.captured),
-                        job.configs)
-                    self._pending[retry] = job
-                    continue
-                pid, reports, stats = outcome
-                self.pool._merge_worker_stats(pid, stats)
-                self._done.extend(zip(job.indices, reports))
-        return self._done
+    if tag == "capture":
+        return _capture_job(*args)
+    return _replay_job(*args)
 
 
 # ----------------------------------------------------------------------
-# Capture side: fan functional captures over a process pool.
+# Batch planning helpers (replay-only batches).
+# ----------------------------------------------------------------------
+def _normalize_tasks(tasks: Sequence[ReplayTask]) -> list[tuple]:
+    """Coerce ``(config, captured[, key])`` task tuples to triples."""
+    norm = []
+    for task in tasks:
+        if len(task) == 2:
+            config, captured = task
+            key = None
+        else:
+            config, captured, key = task
+        norm.append((config, captured, key))
+    return norm
+
+
+def _group_tasks(norm: list[tuple]) -> "OrderedDict[int, _Group]":
+    """Group batch tasks by the captured trace they replay."""
+    groups: OrderedDict[int, _Group] = OrderedDict()
+    for idx, (config, captured, key) in enumerate(norm):
+        group = groups.get(id(captured))
+        if group is None:
+            group = groups[id(captured)] = _Group(key=key, captured=captured)
+        group.configs.append(config)
+        group.indices.append(idx)
+    return groups
+
+
+def _batch_jobs(groups: "OrderedDict[int, _Group]",
+                workers: int) -> list[_Group]:
+    """Split a batch's groups into jobs so every worker gets work.
+
+    One job per group is ideal when there are at least as many groups
+    as workers (the payload ships once per group).  Batches with few
+    groups but many configs — e.g. an ablation varying one timing knob
+    over a single kernel — would otherwise serialize inside one worker,
+    so each group is chunked into up to ``workers // len(groups)`` jobs;
+    re-shipping the pruned payload per chunk is cheap relative to the
+    replays it buys back.  (The *streaming* pipeline instead adapts its
+    chunking to live queue depth: :meth:`SimPool._adaptive_chunks`.)
+    """
+    per_group = max(1, workers // len(groups))
+    jobs: list[_Group] = []
+    for group in groups.values():
+        chunks = min(per_group, len(group.configs))
+        size = -(-len(group.configs) // chunks)  # ceil division
+        for start in range(0, len(group.configs), size):
+            jobs.append(_Group(key=group.key, captured=group.captured,
+                               configs=group.configs[start:start + size],
+                               indices=group.indices[start:start + size]))
+    return jobs
+
+
+# ----------------------------------------------------------------------
+# Capture task specs.
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class CaptureTask:
@@ -406,74 +353,424 @@ class CaptureTask:
     def for_kernel(kernel: str, config: SystemConfig, bytes_per_lane: int,
                    kwargs: dict | None = None,
                    verify: bool = False) -> "CaptureTask":
+        """Build a task spec from a kernel registry name and its knobs."""
         return CaptureTask(kernel=kernel, config=config,
                            bytes_per_lane=int(bytes_per_lane),
                            kwargs=tuple(sorted((kwargs or {}).items())),
                            verify=verify)
 
     def build(self):
-        """(Re)build the kernel; memoized process-wide by the registry."""
+        """(Re)build the kernel; memoized process-wide by the registry.
+
+        Cheap since the lazy-golden split: building assembles (or
+        fetches the memoized) program skeleton but never materializes
+        golden arrays — those are built on first ``setup``/``check``
+        use, i.e. only where a capture actually executes.
+        """
         from ..kernels import KERNELS  # deferred: kernels import repro.sim
 
         return KERNELS[self.kernel](self.config, self.bytes_per_lane,
                                     **dict(self.kwargs))
 
     def key(self) -> TraceKey:
+        """The trace key this task's capture will land under."""
         return self.build().trace_key(self.config)
 
 
-_CAPTURE_CACHE: Optional[TraceCache] = None
+# ----------------------------------------------------------------------
+# The shared pool.
+# ----------------------------------------------------------------------
+class SimPool:
+    """One process pool executing tagged capture/replay jobs.
 
+    * ``workers=`` is the **total** process budget — the executor is
+      sized by it, so capture and replay fan-out together can never
+      hold more than ``workers`` live processes.  ``None`` autodetects
+      the host's schedulable CPUs; ``1`` runs everything in-process
+      with no executor, byte-identical to any pooled schedule.
+    * ``capture_workers=`` is a **soft priority split**: while replay
+      jobs are pending, at most ``min(capture_workers, workers)``
+      capture jobs are in flight, keeping slots free to drain replays;
+      with no replays pending, captures may fill the whole budget.
+      ``1`` (the default) captures in the parent process.  ``None``
+      autodetects (and is then clamped to the budget).
+    * ``cache`` is the trace cache/store both phases go through; its
+      ``disk_dir`` (if any) is what lets workers exchange traces as
+      disk envelopes instead of pipe payloads.
 
-def _init_capture_worker(disk_dir: Optional[str], capacity: int) -> None:
-    global _CAPTURE_CACHE
-    _CAPTURE_CACHE = TraceCache(capacity=capacity, disk_dir=disk_dir)
-
-
-def _capture_point(task: CaptureTask):
-    """Capture one task in a worker; returns (pid, key, payload, stats).
-
-    With a disk-backed worker cache the capture lands in the shared
-    store through the normal atomic-envelope ``put`` and ``payload`` is
-    None — the parent (and any concurrent replay worker) rehydrates it
-    as a disk hit.  Without shared disk the pruned payload ships back
-    over the pipe instead.
-    """
-    cache = _CAPTURE_CACHE
-    run = task.build()
-    captured = run.capture(task.config, cache=cache, verify=task.verify)
-    on_disk = cache is not None and cache.disk_dir is not None
-    payload = None if on_disk else _disk_payload(captured)
-    stats = dict(cache.stats) if cache is not None else {}
-    return os.getpid(), run.trace_key(task.config), payload, stats
-
-
-class CapturePool:
-    """Fans functional captures over processes, writing into ``cache``.
-
-    The capture-phase twin of :class:`ReplayPool`: one worker task per
-    distinct trace key, ``workers=1`` capturing in-process with no
-    executor (byte-identical to the pooled path), ``workers=None``
-    autodetecting the host CPUs.  Keys already present in ``cache``
-    (memory or shared disk) are served in-process with the same
-    hit/verify accounting as a serial sweep; a worker that dies — or a
-    store whose GC evicts the fresh entry before the parent adopts it —
-    degrades to an in-process capture instead of failing the sweep
-    (counted in :attr:`fallbacks`).
+    The pool is lazy: the executor spawns on first pooled submission
+    and is torn down at the end of each :func:`run_pipeline` /
+    batch call (or explicitly via :meth:`shutdown` / ``with pool:``).
     """
 
     def __init__(self, workers: int | None = 1,
+                 capture_workers: int | None = None,
                  cache: TraceCache | None = None,
                  capacity: int = DEFAULT_CAPACITY) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1 (or None to autodetect)")
-        self.workers = autodetect_workers() if workers is None else int(workers)
+        if capture_workers is not None and capture_workers < 1:
+            raise ValueError(
+                "capture_workers must be >= 1 (or None to autodetect)")
+        self.workers = autodetect_workers() if workers is None \
+            else int(workers)
+        split = autodetect_workers() if capture_workers is None \
+            else int(capture_workers)
+        #: The soft split, clamped to the budget: the cap on in-flight
+        #: capture jobs while replay jobs are pending.
+        self.capture_workers = max(1, min(split, self.workers))
         self.cache = cache if cache is not None else TraceCache()
         self.capacity = capacity
+        self._executor: Optional[ProcessPoolExecutor] = None
         self._worker_stats: dict[int, dict] = {}
         #: In-process captures forced by a worker death or a lost entry.
         self.fallbacks = 0
+        #: Per-phase wall-clock, aggregated per worker.
+        self.pipeline_stats = PipelineStats()
 
+    # -- executor lifecycle --------------------------------------------
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            disk_dir = str(self.cache.disk_dir) \
+                if self.cache.disk_dir is not None else None
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(disk_dir, self.capacity))
+        return self._executor
+
+    def shutdown(self) -> None:
+        """Tear the executor down (if one was ever spawned).
+
+        ``wait=True`` matters: the teardown must leave no executor
+        management threads or worker processes behind, because callers
+        may ``fork`` afterwards (e.g. ``multiprocessing.Process`` in
+        tests and benchmark drivers) and a fork taken while an executor
+        thread holds one of its internal locks deadlocks the child.
+        Pending futures are cancelled first, so the wait is bounded by
+        the jobs already running.
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "SimPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- shared helpers ------------------------------------------------
+    def _on_disk(self, key: Optional[TraceKey]) -> bool:
+        if self.cache.disk_dir is None or key is None:
+            return False
+        return disk_path(self.cache.disk_dir, key).exists()
+
+    def _merge_worker_stats(self, pid: int, stats: dict) -> None:
+        _merge_snapshot(self._worker_stats, pid, stats)
+
+    def _capture_local(self, task: CaptureTask,
+                       points: int = 1) -> ExecResult:
+        """Capture (or cache-serve) one task in the parent, timed.
+
+        ``points=0`` records the wall-clock without claiming another
+        operating point — used when the point was already counted (a
+        worker captured it but the entry was lost before adoption), so
+        ``capture_points`` stays "points served", never "captures run".
+        """
+        t0 = time.perf_counter()
+        run = task.build()
+        captured = run.capture(task.config, cache=self.cache,
+                               verify=task.verify)
+        self.pipeline_stats.note("capture", PARENT_WORKER, points,
+                                 time.perf_counter() - t0)
+        return captured
+
+    def _fallback(self, task: CaptureTask, points: int = 1) -> ExecResult:
+        self.fallbacks += 1
+        return self._capture_local(task, points=points)
+
+    def _replay_local(self, job: _Job, results: list) -> None:
+        """Replay one job's configs in the parent, timed.
+
+        The degradation path when the shared executor can no longer run
+        the job (a worker died, or the whole pool broke): the parent
+        holds ``job.captured``, so the sweep completes instead of
+        failing.
+        """
+        t0 = time.perf_counter()
+        for idx, config in zip(job.indices, job.configs):
+            results[idx] = replay_trace(config, job.captured).timing
+        self.pipeline_stats.note("replay", PARENT_WORKER, len(job.indices),
+                                 time.perf_counter() - t0)
+
+    def _adaptive_chunks(self, n_configs: int, on_disk: bool,
+                         queue_depth: int) -> int:
+        """Chunk count for one capture's replay submission.
+
+        Adapts to the live queue instead of splitting every submission
+        ``workers`` ways: payload-free (shared-disk) submissions split
+        across the pool's currently *idle* slots — a busy pool gets one
+        job (extra chunks would only queue), a drained pool gets enough
+        chunks to refill.  Payload-shipping submissions never split:
+        each chunk would re-pipe the pruned trace pickle.
+        """
+        if not on_disk or n_configs <= 1:
+            return 1
+        idle = self.workers - queue_depth
+        return max(1, min(n_configs, idle))
+
+    def _submit_replays(self, pending: dict, captured: ExecResult,
+                        key: Optional[TraceKey],
+                        configs: Sequence[SystemConfig],
+                        indices: Sequence[int],
+                        results: list) -> None:
+        """Queue one captured trace's replays onto the shared executor.
+
+        A pool that can no longer accept work (broken by an earlier
+        worker death) degrades each chunk to an in-process replay
+        instead of failing the sweep.
+        """
+        if not configs:
+            return
+        executor = self._ensure_executor()
+        on_disk = self._on_disk(key)
+        payload = None if on_disk else _disk_payload(captured)
+        chunks = self._adaptive_chunks(len(configs), on_disk, len(pending))
+        size = -(-len(configs) // chunks)  # ceil division
+        for start in range(0, len(configs), size):
+            job = _Job(tag="replay", key=key, captured=captured,
+                       configs=list(configs[start:start + size]),
+                       indices=list(indices[start:start + size]))
+            try:
+                fut = executor.submit(_run_job, "replay", key, payload,
+                                      job.configs)
+            except Exception:
+                self._replay_local(job, results)
+                continue
+            pending[fut] = job
+
+    def _finish_replay(self, pending: dict, job: _Job, outcome,
+                       results: list) -> bool:
+        """Record one replay job's outcome; False = resent for payload."""
+        if outcome is _NEEDS_PAYLOAD:
+            # Stale/missing disk entry: resend with an explicit payload
+            # (in-process if the pool can no longer take the job).
+            try:
+                retry = self._ensure_executor().submit(
+                    _run_job, "replay", job.key,
+                    _disk_payload(job.captured), job.configs)
+            except Exception:
+                self._replay_local(job, results)
+                return True
+            pending[retry] = job
+            return False
+        pid, reports, stats, seconds = outcome
+        self._merge_worker_stats(pid, stats)
+        self.pipeline_stats.note("replay", pid, len(job.indices), seconds)
+        for idx, report in zip(job.indices, reports):
+            results[idx] = report
+        return True
+
+    # ------------------------------------------------------------------
+    # The two-phase pipeline.
+    # ------------------------------------------------------------------
+    def run(self, captures: Sequence[CaptureTask],
+            replays: Sequence[PipelineReplay]) -> list[TimingReport]:
+        """Capture every task, replaying each point as its trace lands.
+
+        ``captures[i]`` names one distinct operating point;
+        ``replays[j] = (config, i)`` times capture ``i`` on ``config``.
+        Returns one report per replay entry **in replay order** —
+        byte-identical for any ``workers`` / ``capture_workers``
+        combination (both phases are deterministic; only scheduling
+        changes).
+        """
+        captures = list(captures)
+        replays = list(replays)
+        plans: list[list[int]] = [[] for _ in captures]
+        for ridx, (_config, cidx) in enumerate(replays):
+            plans[cidx].append(ridx)
+        results: list[Optional[TimingReport]] = [None] * len(replays)
+
+        if self.workers == 1:
+            # Fully in-process: the serial baseline every pooled
+            # schedule must match byte-for-byte.
+            for cidx, task in enumerate(captures):
+                captured = self._capture_local(task)
+                if not plans[cidx]:
+                    continue
+                t0 = time.perf_counter()
+                for ridx in plans[cidx]:
+                    results[ridx] = replay_trace(replays[ridx][0],
+                                                 captured).timing
+                self.pipeline_stats.note("replay", PARENT_WORKER,
+                                         len(plans[cidx]),
+                                         time.perf_counter() - t0)
+            return results  # type: ignore[return-value]
+
+        # Classify captures: keys the cache can already serve are
+        # handled in the parent with ordinary hit accounting; cold keys
+        # go to the pool (or the parent, if the split says so).  Tasks
+        # sharing a trace key collapse into one capture whose result
+        # serves every aliased task's replays.
+        by_key: "OrderedDict[TraceKey, list[int]]" = OrderedDict()
+        for cidx, task in enumerate(captures):
+            by_key.setdefault(task.key(), []).append(cidx)
+        warm: list[tuple[TraceKey, list[int]]] = []
+        cold: "deque[tuple[TraceKey, list[int]]]" = deque()
+        for key, cidxs in by_key.items():
+            # Tag-only probe (no payload deserialization, no counter);
+            # the capture() below then counts the hit — or recaptures,
+            # if the probed entry's payload turns out unreadable —
+            # exactly as a serial sweep would.
+            (warm if self.cache.probe(key) else cold).append((key, cidxs))
+
+        pooled_captures = self.capture_workers > 1 and len(captures) > 1
+        pending: dict = {}
+        in_flight_captures = 0
+        pending_replays = 0
+
+        def capture_allowance() -> int:
+            # The soft split: full budget while no replays compete.
+            return self.capture_workers if pending_replays else self.workers
+
+        def top_up_captures() -> None:
+            nonlocal in_flight_captures
+            if not pooled_captures:
+                return
+            executor = self._ensure_executor()
+            while cold and in_flight_captures < capture_allowance():
+                key, cidxs = cold.popleft()
+                try:
+                    fut = executor.submit(_run_job, "capture",
+                                          captures[cidxs[0]])
+                except Exception:
+                    # Broken pool: capture (and replay) in the parent.
+                    submit_point(cidxs, key,
+                                 self._fallback(captures[cidxs[0]]))
+                    continue
+                pending[fut] = _Job(tag="capture", key=key,
+                                    indices=list(cidxs))
+                in_flight_captures += 1
+
+        def submit_point(cidxs: list[int], key: TraceKey,
+                         captured: ExecResult) -> None:
+            nonlocal pending_replays
+            indices = [ridx for cidx in cidxs for ridx in plans[cidx]]
+            before = len(pending)
+            self._submit_replays(pending, captured,
+                                 key, [replays[r][0] for r in indices],
+                                 indices, results)
+            pending_replays += len(pending) - before
+
+        try:
+            # Cold keys enter the pool first, so the warm serving below
+            # overlaps with captures already in flight.
+            top_up_captures()
+            for key, cidxs in warm:
+                submit_point(cidxs, key,
+                             self._capture_local(captures[cidxs[0]]))
+            if not pooled_captures:
+                # capture_workers == 1: the capture phase stays in the
+                # parent (old two-pool semantics) while submitted
+                # replays drain in the pool behind it.
+                while cold:
+                    key, cidxs = cold.popleft()
+                    submit_point(cidxs, key,
+                                 self._capture_local(captures[cidxs[0]]))
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    job = pending.pop(fut)
+                    if job.tag == "capture":
+                        in_flight_captures -= 1
+                        task = captures[job.indices[0]]
+                        try:
+                            outcome = fut.result()
+                        except Exception:
+                            # Dead worker (or a broken pool taking every
+                            # sibling future with it): capture locally.
+                            captured = self._fallback(task)
+                        else:
+                            pid, _wkey, payload, stats, seconds = outcome
+                            self._merge_worker_stats(pid, stats)
+                            self.pipeline_stats.note("capture", pid, 1,
+                                                     seconds)
+                            captured = self.cache.ingest_remote(job.key,
+                                                                payload)
+                            if captured is None:
+                                # The store's GC evicted the entry
+                                # between the worker's put and adoption;
+                                # the point is already counted, so the
+                                # re-capture adds seconds, not points.
+                                captured = self._fallback(task, points=0)
+                        submit_point(job.indices, job.key, captured)
+                    else:
+                        pending_replays -= 1
+                        try:
+                            outcome = fut.result()
+                        except Exception:
+                            # Dead worker/broken pool: the parent holds
+                            # the capture — finish this chunk itself.
+                            self._replay_local(job, results)
+                        else:
+                            if not self._finish_replay(pending, job,
+                                                       outcome, results):
+                                pending_replays += 1  # resent: pending
+                    top_up_captures()
+        finally:
+            self.shutdown()
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Replay-only batches.
+    # ------------------------------------------------------------------
+    def replay_batch(self, tasks: Sequence[ReplayTask]) -> list[TimingReport]:
+        """Replay every task; reports come back in task order."""
+        norm = _normalize_tasks(tasks)
+        if not norm:
+            return []
+        if self.workers == 1 or len(norm) == 1:
+            # In-process serial baseline (workers=1) — also the only
+            # sensible plan for a one-task batch.
+            t0 = time.perf_counter()
+            reports = [replay_trace(config, captured).timing
+                       for config, captured, _ in norm]
+            self.pipeline_stats.note("replay", PARENT_WORKER, len(norm),
+                                     time.perf_counter() - t0)
+            return reports
+        jobs = _batch_jobs(_group_tasks(norm), self.workers)
+        results: list[Optional[TimingReport]] = [None] * len(norm)
+        try:
+            executor = self._ensure_executor()
+            pending: dict = {}
+            for group in jobs:
+                payload = None if self._on_disk(group.key) \
+                    else _disk_payload(group.captured)
+                job = _Job(tag="replay", key=group.key,
+                           captured=group.captured, configs=group.configs,
+                           indices=group.indices)
+                fut = executor.submit(_run_job, "replay", job.key, payload,
+                                      job.configs)
+                pending[fut] = job
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    job = pending.pop(fut)
+                    try:
+                        outcome = fut.result()
+                    except Exception:
+                        # Dead worker/broken pool: finish in-process.
+                        self._replay_local(job, results)
+                        continue
+                    self._finish_replay(pending, job, outcome, results)
+        finally:
+            self.shutdown()
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Capture-only batches.
     # ------------------------------------------------------------------
     def capture_batch(self, tasks: Sequence[CaptureTask]) -> list[ExecResult]:
         """Capture every task; results come back in task order."""
@@ -486,18 +783,15 @@ class CapturePool:
                        ) -> Iterator[tuple[int, TraceKey, ExecResult]]:
         """Yield ``(task_index, key, captured)`` as captures land.
 
-        ``workers=1`` yields in task order (plain serial sweep);
-        pooled captures yield in completion order, which is what lets
-        :func:`run_pipeline` start replays while later captures are
-        still running.  Tasks sharing a trace key execute exactly once.
+        ``workers=1`` yields in task order (plain serial sweep); pooled
+        captures yield in completion order.  Tasks sharing a trace key
+        execute exactly once.
         """
         tasks = list(tasks)
         if self.workers == 1 or len(tasks) == 1:
             for idx, task in enumerate(tasks):
-                run = task.build()
-                yield (idx, run.trace_key(task.config),
-                       run.capture(task.config, cache=self.cache,
-                                   verify=task.verify))
+                captured = self._capture_local(task)
+                yield idx, task.build().trace_key(task.config), captured
             return
 
         groups: "OrderedDict[TraceKey, list[int]]" = OrderedDict()
@@ -506,33 +800,21 @@ class CapturePool:
         local: list[tuple[TraceKey, list[int]]] = []
         remote: list[tuple[TraceKey, list[int]]] = []
         for key, indices in groups.items():
-            # Tag-only probe (no payload deserialization, no counter);
-            # the capture() below then counts the hit — or recaptures,
-            # if the probed entry's payload turns out unreadable —
-            # exactly as a serial sweep would.
             (local if self.cache.probe(key) else remote).append(
                 (key, indices))
         # Cold keys go to the workers *first*, so the serial warm-serve
         # loop below overlaps with captures already in flight instead of
         # keeping the pool idle for its duration.
-        pool = None
         pending: dict = {}
-        if remote:
-            disk_dir = str(self.cache.disk_dir) \
-                if self.cache.disk_dir is not None else None
-            pool = ProcessPoolExecutor(
-                max_workers=min(self.workers, len(remote)),
-                initializer=_init_capture_worker,
-                initargs=(disk_dir, self.capacity))
-            for key, indices in remote:
-                fut = pool.submit(_capture_point, tasks[indices[0]])
-                pending[fut] = (key, indices)
         try:
+            if remote:
+                executor = self._ensure_executor()
+                for key, indices in remote:
+                    fut = executor.submit(_run_job, "capture",
+                                          tasks[indices[0]])
+                    pending[fut] = (key, indices)
             for key, indices in local:
-                task = tasks[indices[0]]
-                captured = task.build().capture(task.config,
-                                                cache=self.cache,
-                                                verify=task.verify)
+                captured = self._capture_local(tasks[indices[0]])
                 for idx in indices:
                     yield idx, key, captured
             while pending:
@@ -541,30 +823,27 @@ class CapturePool:
                     key, indices = pending.pop(fut)
                     task = tasks[indices[0]]
                     try:
-                        pid, _wkey, payload, stats = fut.result()
+                        pid, _wkey, payload, stats, seconds = fut.result()
                     except Exception:
                         # Dead worker (or a broken pool taking every
                         # sibling future with it): capture in-process.
                         captured = self._fallback(task)
                     else:
-                        _merge_snapshot(self._worker_stats, pid, stats)
+                        self._merge_worker_stats(pid, stats)
+                        self.pipeline_stats.note("capture", pid, 1, seconds)
                         captured = self.cache.ingest_remote(key, payload)
                         if captured is None:
                             # The store's GC evicted the entry between
-                            # the worker's put and our adoption.
-                            captured = self._fallback(task)
+                            # the worker's put and our adoption; the
+                            # point is already counted, so the local
+                            # re-capture adds seconds, not points.
+                            captured = self._fallback(task, points=0)
                     for idx in indices:
                         yield idx, key, captured
         finally:
             # Also reached via GeneratorExit if the consumer abandons
             # the stream: never leak the worker processes.
-            if pool is not None:
-                pool.shutdown(wait=False, cancel_futures=True)
-
-    def _fallback(self, task: CaptureTask) -> ExecResult:
-        self.fallbacks += 1
-        return task.build().capture(task.config, cache=self.cache,
-                                    verify=task.verify)
+            self.shutdown()
 
     # ------------------------------------------------------------------
     @property
@@ -582,30 +861,119 @@ class CapturePool:
 
 def run_pipeline(captures: Sequence[CaptureTask],
                  replays: Sequence[PipelineReplay],
-                 capture_pool: CapturePool,
-                 replay_pool: ReplayPool) -> list[TimingReport]:
-    """Two-pool cold-sweep pipeline: capture fan-out feeding replay fan-out.
+                 pool: SimPool) -> list[TimingReport]:
+    """Cold-sweep pipeline over one shared :class:`SimPool`.
 
     ``captures[i]`` names one distinct operating point;
     ``replays[j] = (config, i)`` times capture ``i`` on ``config``.
-    Captures stream over ``capture_pool`` and each point's replay tasks
-    are submitted to ``replay_pool`` the moment its trace lands, so a
-    sweep's replay phase overlaps the remainder of its capture phase.
-    Returns one report per replay entry **in replay order** — byte-
-    identical for any worker counts on either pool (both phases are
-    deterministic; only scheduling changes).
+    Captures fan out over the pool's tagged jobs and each point's replay
+    tasks are submitted the moment its trace lands, so a sweep's replay
+    phase overlaps the remainder of its capture phase — all inside the
+    single ``workers=`` process budget.  Returns one report per replay
+    entry **in replay order**, byte-identical for any pool sizing.
+    Per-phase wall-clock lands in ``pool.pipeline_stats``.
     """
-    captures = list(captures)
-    replays = list(replays)
-    plans: list[list[int]] = [[] for _ in captures]
-    for ridx, (_config, cidx) in enumerate(replays):
-        plans[cidx].append(ridx)
-    results: list[Optional[TimingReport]] = [None] * len(replays)
-    with replay_pool.session() as session:
-        for cidx, key, captured in capture_pool.capture_stream(captures):
-            indices = plans[cidx]
-            session.submit([replays[r][0] for r in indices], captured,
-                           key, indices)
-        for ridx, report in session.drain():
-            results[ridx] = report
-    return results  # type: ignore[return-value]
+    return pool.run(captures, replays)
+
+
+# ----------------------------------------------------------------------
+# Historical facades.  Both wrap a private SimPool — neither owns an
+# executor of its own — and keep the batch APIs the tests and benchmark
+# suite use.
+# ----------------------------------------------------------------------
+class ReplayPool:
+    """Replay-only batch facade over a private :class:`SimPool`.
+
+    ``workers=None`` autodetects from the host CPU count; ``workers=1``
+    replays in-process with no executor, pickling, or subprocess spawn —
+    the results are byte-identical either way.  ``disk_dir`` (typically
+    the sweep cache's own ``disk_dir``) lets workers rehydrate captures
+    from the shared disk layer instead of receiving them over the pipe.
+    """
+
+    def __init__(self, workers: int | None = None,
+                 disk_dir: str | Path | None = None,
+                 capacity: int = DEFAULT_CAPACITY) -> None:
+        self._sim = SimPool(
+            workers=workers,
+            cache=TraceCache(capacity=capacity, disk_dir=disk_dir),
+            capacity=capacity)
+
+    @property
+    def workers(self) -> int:
+        return self._sim.workers
+
+    @property
+    def disk_dir(self) -> Optional[Path]:
+        return self._sim.cache.disk_dir
+
+    def replay_batch(self, tasks: Sequence[ReplayTask]) -> list[TimingReport]:
+        """Replay every task; reports come back in task order."""
+        return self._sim.replay_batch(tasks)
+
+    @property
+    def stats(self) -> dict:
+        """Cache counters aggregated over every worker this pool used."""
+        return self._sim.stats
+
+    @property
+    def pipeline_stats(self) -> PipelineStats:
+        return self._sim.pipeline_stats
+
+
+def replay_batch(tasks: Sequence[ReplayTask], workers: int | None = 1,
+                 disk_dir: str | Path | None = None) -> list[TimingReport]:
+    """One-shot convenience wrapper around :class:`ReplayPool`."""
+    return ReplayPool(workers=workers,
+                      disk_dir=disk_dir).replay_batch(tasks)
+
+
+class CapturePool:
+    """Capture-only batch facade over a private :class:`SimPool`.
+
+    One worker task per distinct trace key, ``workers=1`` capturing
+    in-process with no executor (byte-identical to the pooled path),
+    ``workers=None`` autodetecting the host CPUs.  Keys already present
+    in ``cache`` (memory or shared disk) are served in-process with the
+    same hit/verify accounting as a serial sweep; a worker that dies —
+    or a store whose GC evicts the fresh entry before the parent adopts
+    it — degrades to an in-process capture instead of failing the sweep
+    (counted in :attr:`fallbacks`).
+    """
+
+    def __init__(self, workers: int | None = 1,
+                 cache: TraceCache | None = None,
+                 capacity: int = DEFAULT_CAPACITY) -> None:
+        self._sim = SimPool(workers=workers, capture_workers=workers,
+                            cache=cache, capacity=capacity)
+
+    @property
+    def workers(self) -> int:
+        return self._sim.workers
+
+    @property
+    def cache(self) -> TraceCache:
+        return self._sim.cache
+
+    @property
+    def fallbacks(self) -> int:
+        """In-process captures forced by a worker death or a lost entry."""
+        return self._sim.fallbacks
+
+    def capture_batch(self, tasks: Sequence[CaptureTask]) -> list[ExecResult]:
+        """Capture every task; results come back in task order."""
+        return self._sim.capture_batch(tasks)
+
+    def capture_stream(self, tasks: Sequence[CaptureTask]
+                       ) -> Iterator[tuple[int, TraceKey, ExecResult]]:
+        """Yield ``(task_index, key, captured)`` as captures land."""
+        return self._sim.capture_stream(tasks)
+
+    @property
+    def stats(self) -> dict:
+        """Cache counters aggregated over every worker this pool used."""
+        return self._sim.stats
+
+    @property
+    def pipeline_stats(self) -> PipelineStats:
+        return self._sim.pipeline_stats

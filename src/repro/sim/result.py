@@ -10,6 +10,7 @@ from ..timing.report import TimingReport
 
 @dataclass
 class RunResult:
+    """A run's functional outcome paired with its timing report."""
     functional: ExecResult
     timing: TimingReport
 

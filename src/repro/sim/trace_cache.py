@@ -38,14 +38,22 @@ Disk entries are written for *concurrent* readers and writers sharing one
   writer leaves at worst an orphaned ``*.tmp``.
 * **Versioned envelope** — the pickle is a dict
   ``{"format": DISK_FORMAT_VERSION, "schema": <ExecResult field names>,
-  "payload": <the pruned ExecResult, pickled then zlib-compressed>}``.
-  A stale file from an older code revision (wrong version, drifted
-  ``ExecResult`` fields, or a pre-envelope bare pickle) is treated as a
-  plain miss — the caller recaptures and the subsequent
-  :meth:`TraceCache.put` overwrites the stale file in place.  Nesting
-  the payload as bytes lets envelope *validation* (``__contains__``
-  probes, the store GC's stale purge) check the tags without
-  deserializing — or decompressing — the trace itself.
+  "hits_served": <int>, "payload": <the pruned ExecResult, pickled then
+  zlib-compressed>}``.  A stale file from an older code revision (wrong
+  version, drifted ``ExecResult`` fields, or a pre-envelope bare
+  pickle) is treated as a plain miss — the caller recaptures and the
+  subsequent :meth:`TraceCache.put` overwrites the stale file in place.
+  Nesting the payload as bytes lets envelope *validation*
+  (``__contains__`` probes, the store GC's stale purge) check the tags
+  without deserializing — or decompressing — the trace itself.
+* **Popularity counter** — ``hits_served`` counts how many times the
+  entry's disk layer served a whole trace; the suite store
+  (:class:`~repro.sim.trace_store.TraceStore`) bumps it on every disk
+  hit so a future GC can weight eviction by popularity, not just
+  recency.  The field is optional-within-v4: an entry written before
+  the counter existed simply reads as 0, and a plain
+  :class:`TraceCache` (e.g. a transient pool worker's cache) never
+  bumps it.
 * **Compressed payload** — the nested payload bytes are
   zlib-compressed (v4).  Trace pickles are dominated by repetitive
   event records, so compression cuts entries by roughly an order of
@@ -149,6 +157,30 @@ def _validate_envelope(obj: object) -> bool:
             and isinstance(obj.get("payload"), bytes))
 
 
+def _write_envelope(path: Path, envelope: dict) -> None:
+    """Atomically (re)write one envelope dict at ``path``.
+
+    The envelope is pickled to a private tempfile in the destination
+    directory and renamed over ``path``; concurrent writers race only
+    on the final :func:`os.replace`, which is atomic, so the file is
+    always one writer's complete output.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
+                                    prefix=path.name + ".",
+                                    suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 def _unwrap_envelope(obj: object) -> Optional[ExecResult]:
     """Payload of a disk envelope, or None for any stale/foreign shape."""
     if not _validate_envelope(obj):
@@ -215,7 +247,19 @@ class TraceCache:
                 obj = pickle.load(fh)
         except Exception:
             return None  # corrupt/truncated file: fall through to a miss
-        return _unwrap_envelope(obj)
+        entry = _unwrap_envelope(obj)
+        if entry is not None:
+            self._note_disk_serve(path, obj)
+        return entry
+
+    def _note_disk_serve(self, path: Path, envelope: dict) -> None:
+        """Hook: the disk layer just served ``envelope`` whole.
+
+        A plain cache does nothing; :class:`~repro.sim.trace_store
+        .TraceStore` overrides this to persist the entry's
+        ``hits_served`` bump (which also freshens its ``mtime``, the
+        GC's LRU signal).
+        """
 
     def put(self, key: TraceKey, captured: ExecResult) -> None:
         # A put invalidates the "last lookup" context: a demote_last_hit()
@@ -231,31 +275,18 @@ class TraceCache:
     def _write_disk(path: Path, captured: ExecResult) -> None:
         """Atomically (re)write one disk entry.
 
-        The envelope is pickled to a private tempfile in the destination
-        directory and renamed over ``path``; concurrent writers race only
-        on the final :func:`os.replace`, which is atomic, so the file is
-        always one writer's complete output.
+        A (re)capture starts the entry's ``hits_served`` life over at
+        zero: the payload is new bytes, so inherited popularity would
+        claim service the new trace never rendered.
         """
-        path.parent.mkdir(parents=True, exist_ok=True)
         envelope = {"format": DISK_FORMAT_VERSION,
                     "schema": _payload_schema(),
+                    "hits_served": 0,
                     "payload": zlib.compress(
                         pickle.dumps(_disk_payload(captured),
                                      protocol=pickle.HIGHEST_PROTOCOL),
                         COMPRESS_LEVEL)}
-        fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
-                                        prefix=path.name + ".",
-                                        suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        _write_envelope(path, envelope)
 
     def ingest_remote(self, key: TraceKey,
                       payload: Optional[ExecResult] = None

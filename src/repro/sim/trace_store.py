@@ -39,8 +39,10 @@ and write the same directory:
   are unlinked rather than left to shadow the budget;
 * **size cap** — while the store exceeds its byte budget, the
   oldest-``mtime`` entries are evicted first.  :meth:`TraceStore.get`
-  freshens an entry's ``mtime`` on every disk hit, so the ordering is a
-  true LRU over *use*, not a FIFO over write time.
+  rewrites an entry on every disk hit (persisting its ``hits_served``
+  popularity counter, which also freshens ``mtime``), so the ordering
+  is a true LRU over *use*, not a FIFO over write time — and a future
+  GC can weight eviction by the persisted per-entry popularity.
 
 Every deletion tolerates the file vanishing underneath it (another
 process may evict, rewrite, or replace concurrently); losing a race
@@ -49,10 +51,11 @@ see whole files thanks to the atomic-rename write protocol.
 
 Manifest and stats
 ------------------
-:meth:`TraceStore.manifest` lists every entry with its size and age;
-:attr:`TraceStore.store_stats` adds the aggregate (entry count, total
-bytes, oldest/newest age) to the usual hit/miss counters so benchmark
-tables can surface what the shared store actually served.
+:meth:`TraceStore.manifest` lists every entry with its size, age and
+``hits_served`` count; :attr:`TraceStore.store_stats` adds the
+aggregate (entry count, total bytes, oldest/newest age, total hits
+served) to the usual hit/miss counters so benchmark tables can surface
+what the shared store actually served.
 """
 
 from __future__ import annotations
@@ -63,8 +66,8 @@ import time
 from pathlib import Path
 from typing import Optional, Union
 
-from .trace_cache import (DEFAULT_CAPACITY, TraceCache, TraceKey,
-                          _validate_envelope)
+from .trace_cache import (DEFAULT_CAPACITY, TraceCache, _validate_envelope,
+                          _write_envelope)
 
 #: Environment variable naming the shared store directory.
 ENV_STORE_DIR = "REPRO_TRACE_STORE"
@@ -128,17 +131,23 @@ class TraceStore(TraceCache):
         self.tmp_max_age_s = float(tmp_max_age_s)
 
     # ------------------------------------------------------------------
-    def _load_from_disk(self, key: TraceKey):
-        """Disk load that freshens ``mtime`` on a hit, making the GC's
-        eviction order an LRU over use rather than a FIFO over writes."""
-        entry = super()._load_from_disk(key)
-        if entry is not None:
-            path = self._disk_path(key)
-            try:
-                os.utime(path)
-            except OSError:
-                pass  # entry may have been evicted/replaced concurrently
-        return entry
+    def _note_disk_serve(self, path, envelope: dict) -> None:
+        """Persist the popularity bump for one served entry.
+
+        ``hits_served`` is incremented and the envelope atomically
+        rewritten in place — which also freshens the entry's ``mtime``,
+        keeping the GC's eviction order an LRU over *use* rather than a
+        FIFO over writes.  The counter is advisory: concurrent readers
+        race last-writer-wins (a lost bump costs accuracy, never
+        correctness), and a file evicted mid-bump is simply re-created
+        with its payload intact.
+        """
+        envelope = dict(envelope)
+        envelope["hits_served"] = int(envelope.get("hits_served", 0)) + 1
+        try:
+            _write_envelope(path, envelope)
+        except OSError:
+            pass  # entry may have been evicted/replaced concurrently
 
     # ------------------------------------------------------------------
     def gc(self, max_bytes: Optional[int] = None) -> dict:
@@ -208,7 +217,12 @@ class TraceStore(TraceCache):
 
     # ------------------------------------------------------------------
     def manifest(self) -> list[dict]:
-        """Per-entry view of the store: file name, size, age in seconds."""
+        """Per-entry view: file name, size, age, and hits served.
+
+        ``hits_served`` is read from each entry's envelope tags (the
+        payload stays packed — a manifest pass never decompresses a
+        trace); an unreadable or pre-counter envelope reports 0.
+        """
         if self.disk_dir is None or not self.disk_dir.is_dir():
             return []
         now = time.time()
@@ -218,8 +232,17 @@ class TraceStore(TraceCache):
                 stat = path.stat()
             except OSError:
                 continue
+            hits_served = 0
+            try:
+                with path.open("rb") as fh:
+                    obj = pickle.load(fh)
+                if isinstance(obj, dict):
+                    hits_served = int(obj.get("hits_served", 0))
+            except Exception:
+                pass  # stale/corrupt: listed with zero hits until GC'd
             rows.append({"file": path.name, "bytes": stat.st_size,
-                         "age_s": max(0.0, now - stat.st_mtime)})
+                         "age_s": max(0.0, now - stat.st_mtime),
+                         "hits_served": hits_served})
         return rows
 
     @property
@@ -234,6 +257,7 @@ class TraceStore(TraceCache):
             "disk_bytes": sum(row["bytes"] for row in manifest),
             "oldest_age_s": max(ages) if ages else 0.0,
             "newest_age_s": min(ages) if ages else 0.0,
+            "hits_served": sum(row["hits_served"] for row in manifest),
             "max_bytes": self.max_bytes,
         })
         return stats

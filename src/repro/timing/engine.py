@@ -49,6 +49,7 @@ class _Groups:
 
 
 class TimingEngine:
+    """Replays a dynamic trace against one machine model, cycle-level."""
     def __init__(self, model: MachineModel) -> None:
         self.model = model
 

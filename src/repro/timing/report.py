@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 @dataclass
 class TimingReport:
+    """Cycle-level outcome of one replay: cycles, FLOPs, unit busy time."""
     machine: str
     cycles: float
     dp_flops: float

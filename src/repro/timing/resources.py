@@ -21,6 +21,7 @@ from ..errors import TimingError
 
 @dataclass
 class Resource:
+    """A throughput-limited unit with a bounded in-order queue."""
     name: str
     queue_depth: int = 4
     ready_time: float = 0.0

@@ -16,6 +16,7 @@ from .common import MachineModel
 
 
 class Ara2Model(MachineModel):
+    """Lumped Ara2 baseline machine model (single-cluster timing laws)."""
     def __init__(self, config: Ara2Config) -> None:
         if not isinstance(config, Ara2Config):
             raise TypeError("Ara2Model requires an Ara2Config")

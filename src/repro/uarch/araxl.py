@@ -25,6 +25,7 @@ from .ringi import RingiModel
 
 
 class AraXLModel(MachineModel):
+    """AraXL machine model: clusters joined by REQI/GLSU/RINGI."""
     def __init__(self, config: AraXLConfig) -> None:
         if not isinstance(config, AraXLConfig):
             raise TypeError("AraXLModel requires an AraXLConfig")

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 @dataclass(frozen=True)
 class GlsuModel:
+    """Global load/store unit timing: pipeline depth per configuration."""
     clusters: int
     lanes_per_cluster: int
     base_stages: int = 3  # addrgen + request/response handshake registers

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 @dataclass(frozen=True)
 class RingiModel:
+    """Ring interconnect timing: per-hop latency law."""
     clusters: int
     hop_latency: int = 2
     extra_regs: int = 0

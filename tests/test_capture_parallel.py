@@ -2,12 +2,15 @@
 
 The harness proves the tentpole invariant: for **every** sweep the suite
 runs (Fig 6, Fig 7, Table I, Table III, the ablations), the rendered
-output is byte-identical whether captures run serially in-process or fan
-out over a :class:`~repro.sim.parallel.CapturePool`, and whether the
-shared trace store is cold or pre-warmed by a previous run.  The failure
-tests pin the degraded modes: a dead capture worker, a store key raced
-by two CapturePool processes, and the store's GC evicting an entry while
-a capture of it is in flight.
+output is byte-identical whether the capture/replay pipeline runs
+serially in-process or as tagged jobs on a shared
+:class:`~repro.sim.parallel.SimPool`, and whether the shared trace
+store is cold or pre-warmed by a previous run.  The failure tests pin
+the degraded modes: a dead capture worker, a store key raced by two
+pools in separate processes, and the store's GC evicting an entry while
+a capture of it is in flight.  (:class:`~repro.sim.parallel.CapturePool`
+here is the batch facade over a private SimPool — the unit tests below
+double as coverage for that surface.)
 """
 
 from __future__ import annotations
@@ -172,11 +175,11 @@ class TestCapturePool:
     def test_dead_worker_falls_back_in_process(self, tmp_path, monkeypatch):
         """A worker whose job never returns a result degrades to an
         in-process capture instead of failing the sweep.  The job is
-        made unrunnable by patching the worker entry point to something
-        the executor cannot ship, so its future raises regardless of
-        the multiprocessing start method."""
-        monkeypatch.setattr(parallel_mod, "_capture_point",
-                            lambda task: (_ for _ in ()).throw(RuntimeError))
+        made unrunnable by patching the tagged worker entry point to
+        something the executor cannot ship, so its future raises
+        regardless of the multiprocessing start method."""
+        monkeypatch.setattr(parallel_mod, "_run_job",
+                            lambda *a: (_ for _ in ()).throw(RuntimeError))
         store = TraceStore(disk_dir=tmp_path)
         tasks = [_task(lanes=4), _task(lanes=8)]
         pool = CapturePool(workers=2, cache=store)

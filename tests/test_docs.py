@@ -1,0 +1,65 @@
+"""Documentation sanity under tier-1: the docs lint must stay green.
+
+Runs the same checks as ``tools/check_docs.py`` (the CI docs job):
+README/docs links resolve, the documented ``python -m repro.eval``
+command lines parse with the real argument parser, and every module
+under ``src/repro`` carries docstrings.  Keeping these in tier-1 means
+a broken doc example fails the same command a contributor already runs.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _load_linter():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+linter = _load_linter()
+
+
+def test_doc_files_exist():
+    """README.md and both docs/ pages are present."""
+    for doc in linter.iter_doc_files(REPO_ROOT):
+        assert doc.is_file(), f"missing documentation file: {doc}"
+
+
+def test_links_resolve():
+    """Every relative markdown link points at a real file."""
+    assert linter.check_links(REPO_ROOT) == []
+
+
+def test_cli_examples_parse():
+    """Documented CLI invocations run (parse) as written."""
+    examples = linter.iter_cli_examples(REPO_ROOT)
+    assert examples, "docs must contain at least one CLI example"
+    assert linter.check_cli_examples(REPO_ROOT) == []
+
+
+def test_readme_documents_every_cli_flag():
+    """Each eval CLI option appears somewhere in the README."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.eval.__main__ import build_parser
+    finally:
+        sys.path.pop(0)
+    readme = (REPO_ROOT / "README.md").read_text()
+    for action in build_parser()._actions:
+        for option in action.option_strings:
+            if option in ("-h", "--help"):
+                continue
+            assert option in readme, f"README does not mention {option}"
+
+
+def test_module_docstrings_present():
+    """Every repro module and public top-level def has a docstring."""
+    assert linter.check_docstrings(REPO_ROOT) == []

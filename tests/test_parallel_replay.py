@@ -65,7 +65,9 @@ class TestReplayPool:
         _, captured = _fmatmul_capture(cfg)
         tasks = [(cfg, captured), (other, captured)] * 2
         pool = ReplayPool(workers=2)
-        jobs = pool._jobs(pool._group(pool._normalize(tasks)))
+        jobs = parallel_mod._batch_jobs(
+            parallel_mod._group_tasks(parallel_mod._normalize_tasks(tasks)),
+            workers=2)
         assert len(jobs) == 2  # one group chunked into two jobs
         assert [i for job in jobs for i in job.indices] == [0, 1, 2, 3]
         reports = pool.replay_batch(tasks)

@@ -343,3 +343,118 @@ class TestRegistry:
         assert any((tmp_path / "envstore").glob("trace_*.pkl"))
         monkeypatch.delenv(ENV_STORE_DIR)
         assert out == run_experiment("table1", scale="reduced")
+
+
+# ----------------------------------------------------------------------
+# hits_served: the persisted per-entry popularity counter
+# ----------------------------------------------------------------------
+class TestHitsServed:
+    def _envelope(self, path):
+        with path.open("rb") as fh:
+            return pickle.load(fh)
+
+    def test_fresh_entry_starts_at_zero(self, tmp_path):
+        store = TraceStore(disk_dir=tmp_path)
+        key = _capture_entry(store)
+        assert self._envelope(_entry_file(store, key))["hits_served"] == 0
+        assert store.manifest()[0]["hits_served"] == 0
+
+    def test_disk_hit_bumps_and_persists(self, tmp_path):
+        writer = TraceStore(disk_dir=tmp_path)
+        key = _capture_entry(writer)
+        path = _entry_file(writer, key)
+
+        reader = TraceStore(disk_dir=tmp_path)  # cold memory, warm disk
+        assert reader.get(key) is not None  # disk hit -> bump
+        assert self._envelope(path)["hits_served"] == 1
+        assert reader.get(key) is not None  # memory hit -> no bump
+        assert self._envelope(path)["hits_served"] == 1
+        assert TraceStore(disk_dir=tmp_path).get(key) is not None
+        assert self._envelope(path)["hits_served"] == 2
+
+    def test_bump_freshens_mtime_for_lru(self, tmp_path):
+        store = TraceStore(disk_dir=tmp_path)
+        key = _capture_entry(store)
+        path = _entry_file(store, key)
+        _set_age(path, 1000)
+        aged = path.stat().st_mtime
+        assert TraceStore(disk_dir=tmp_path).get(key) is not None
+        assert path.stat().st_mtime > aged  # the rewrite IS the freshen
+
+    def test_payload_survives_bumps(self, tmp_path):
+        from repro.sim import replay_trace
+
+        store = TraceStore(disk_dir=tmp_path)
+        cfg = Ara2Config(lanes=4)
+        run = build_fmatmul(cfg, 64, m=8, k=16)
+        run.capture(cfg, cache=store, verify=False)
+        key = run.trace_key(cfg)
+        for _ in range(3):
+            entry = TraceStore(disk_dir=tmp_path).get(key)
+            assert entry is not None
+        assert replay_trace(cfg, entry).timing \
+            == run.run(cfg, verify=False).timing
+
+    def test_pre_counter_envelope_reads_as_zero_then_bumps(self, tmp_path):
+        """A v4 file written before the counter existed is still valid."""
+        store = TraceStore(disk_dir=tmp_path)
+        key = _capture_entry(store)
+        path = _entry_file(store, key)
+        envelope = self._envelope(path)
+        del envelope["hits_served"]  # simulate an early-v4 entry
+        path.write_bytes(pickle.dumps(envelope))
+
+        assert store.manifest()[0]["hits_served"] == 0
+        reader = TraceStore(disk_dir=tmp_path)
+        assert reader.get(key) is not None  # missing field -> treated as 0
+        assert self._envelope(path)["hits_served"] == 1
+
+    def test_recapture_resets_counter(self, tmp_path):
+        store = TraceStore(disk_dir=tmp_path)
+        key = _capture_entry(store)
+        path = _entry_file(store, key)
+        assert TraceStore(disk_dir=tmp_path).get(key) is not None
+        assert self._envelope(path)["hits_served"] == 1
+        # A put (recapture) rewrites the payload: new life, zero hits.
+        cfg = Ara2Config(lanes=4)
+        run = build_fmatmul(cfg, 64, m=8, k=16)
+        store.put(key, run.capture(cfg, verify=False))
+        assert self._envelope(path)["hits_served"] == 0
+
+    def test_ingest_remote_counts_as_a_serve(self, tmp_path):
+        """Adopting a worker's disk-routed capture is a disk serve too."""
+        writer = TraceStore(disk_dir=tmp_path)
+        key = _capture_entry(writer)
+        path = _entry_file(writer, key)
+        reader = TraceStore(disk_dir=tmp_path)
+        assert reader.ingest_remote(key) is not None
+        assert self._envelope(path)["hits_served"] == 1
+
+    def test_plain_cache_never_bumps(self, tmp_path):
+        """Transient TraceCache readers (pool workers) leave it alone."""
+        store = TraceStore(disk_dir=tmp_path)
+        key = _capture_entry(store)
+        path = _entry_file(store, key)
+        assert TraceCache(disk_dir=tmp_path).get(key) is not None
+        assert self._envelope(path)["hits_served"] == 0
+
+    def test_store_stats_totals_hits_served(self, tmp_path):
+        store = TraceStore(disk_dir=tmp_path)
+        key_a = _capture_entry(store, k=16)
+        key_b = _capture_entry(store, k=32)
+        for _ in range(2):
+            assert TraceStore(disk_dir=tmp_path).get(key_a) is not None
+        assert TraceStore(disk_dir=tmp_path).get(key_b) is not None
+        stats = store.store_stats
+        assert stats["hits_served"] == 3
+        by_file = {row["file"]: row["hits_served"]
+                   for row in store.manifest()}
+        assert sorted(by_file.values()) == [1, 2]
+
+    def test_gc_still_validates_bumped_entries(self, tmp_path):
+        store = TraceStore(disk_dir=tmp_path)
+        key = _capture_entry(store)
+        assert TraceStore(disk_dir=tmp_path).get(key) is not None
+        summary = store.gc()
+        assert summary["purged_stale"] == 0
+        assert summary["entries"] == 1
