@@ -35,7 +35,11 @@ pipeline efficiency, not just hit counts:
 
 The warm/cold ratio bounds what any further sweep over the same operating
 points costs, and the hit-rate column verifies the cache keying actually
-fires across the sweep.
+fires across the sweep.  The trailing ``fallbacks`` / ``retries`` /
+``quarantined`` columns surface each pool's
+:class:`~repro.sim.faults.FaultLog` recovery counters — asserted zero
+here, so a benchmark run silently limping through recoveries (and
+timing the limp) fails instead of publishing skewed numbers.
 """
 
 import time
@@ -126,11 +130,13 @@ def test_trace_reuse_cold_vs_warm(benchmark, tmp_path, trace_store):
         lookups = hits + disk_hits + stats["misses"] - prev["misses"]
         rate = hits / lookups if lookups else 0.0
         ps = pool.pipeline_stats
+        faults = ps.faults
         return (label, f"{seconds * 1000:.0f} ms",
                 f"{ps.capture_seconds * 1000:.0f} ms",
                 f"{ps.replay_seconds * 1000:.0f} ms",
                 stats["misses"] - prev["misses"], remote, hits, disk_hits,
-                f"{rate * 100:.0f}%")
+                f"{rate * 100:.0f}%",
+                faults.fallbacks, faults.retries, faults.quarantined)
 
     rows = [
         row("cold (capture + replay)", cold_s, cold_stats, cold_pool),
@@ -147,13 +153,15 @@ def test_trace_reuse_cold_vs_warm(benchmark, tmp_path, trace_store):
         row("shared store (suite-wide)", store_s, store_after, store_pool,
             prev=store_before),
         ("speedup (warm vs cold)", f"{cold_s / warm_s:.2f}x",
-         "-", "-", "-", "-", "-", "-", "-"),
+         "-", "-", "-", "-", "-", "-", "-", "-", "-", "-"),
         (f"speedup (parallel x{_PARALLEL_WORKERS} vs warm)",
-         f"{warm_s / par_s:.2f}x", "-", "-", "-", "-", "-", "-", "-"),
+         f"{warm_s / par_s:.2f}x", "-", "-", "-", "-", "-", "-", "-",
+         "-", "-", "-"),
     ]
     table = render_table(
         ("sweep", "wall-clock", "capture work", "replay work", "captures",
-         "remote puts", "mem hits", "disk hits", "mem hit rate"),
+         "remote puts", "mem hits", "disk hits", "mem hit rate",
+         "fallbacks", "retries", "quarantined"),
         rows,
         title="Trace reuse — Fig 7 sweep "
               f"({len(_KERNELS)} kernels x {len(_SIZES)} B/lane, 32L)")
@@ -206,6 +214,11 @@ def test_trace_reuse_cold_vs_warm(benchmark, tmp_path, trace_store):
         assert pool.pipeline_stats.capture_points == _POINTS
         assert pool.pipeline_stats.replay_points \
             == _POINTS * _CONFIGS_PER_POINT
+        # The fault columns are recovery counters: with no fault plan
+        # active, every one of them must be zero in every sweep.
+        faults = pool.pipeline_stats.faults
+        assert faults.recovered_total() == 0
+        assert faults.worker_crashes == 0 and faults.job_errors == 0
     # The cold sweep's capture phase does real functional work; the warm
     # sweep's capture phase only serves cache hits.
     assert cold_pool.pipeline_stats.capture_seconds > 0.0

@@ -13,8 +13,18 @@ import argparse
 import os
 import sys
 
+from ..sim.parallel import SimPool
+from ..sim.trace_cache import TraceCache
 from ..sim.trace_store import ENV_STORE_DIR, TraceStore
-from .runner import EXPERIMENTS, run_experiment
+from .runner import EXPERIMENTS, SIMULATION_EXPERIMENTS, run_experiment
+
+
+def _job_timeout(value: str) -> float:
+    """``--job-timeout`` parser: a positive number of seconds."""
+    seconds = float(value)
+    if seconds <= 0:
+        raise argparse.ArgumentTypeError("job timeout must be > 0 seconds")
+    return seconds
 
 
 def _workers(value: str) -> int | None:
@@ -50,6 +60,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default 1: captures stay in-process; clamped "
                              "to the budget); captures stream into the "
                              "shared pool's replay jobs as traces land")
+    parser.add_argument("--job-timeout", type=_job_timeout, default=None,
+                        metavar="SECONDS",
+                        help="per-job deadline on the shared pool: a pooled "
+                             "capture/replay job running longer is treated "
+                             "as hung, its worker abandoned and the job "
+                             "reassigned (default: no deadline)")
     parser.add_argument("--trace-store", default=None, metavar="DIR",
                         help="shared trace-store directory (default: "
                              "$REPRO_TRACE_STORE, else no disk store)")
@@ -86,12 +102,29 @@ def main(argv: list[str] | None = None) -> int:
         summary = store.gc()
         print(f"[trace store gc] {summary}")
 
-    for name in names:
-        text = run_experiment(name, scale=args.scale, workers=args.workers,
-                              trace_store=store,
-                              capture_workers=args.capture_workers)
-        print(text)
-        print()
+    # One shared SimPool carries every simulation sweep, so its fault
+    # log aggregates recoveries across the whole invocation (and its
+    # executor — including any rebuilt replacement — is reused).
+    pool = None
+    if any(name in SIMULATION_EXPERIMENTS for name in names):
+        pool = SimPool(workers=args.workers,
+                       capture_workers=args.capture_workers,
+                       cache=store if store is not None else TraceCache(),
+                       job_timeout=args.job_timeout)
+
+    try:
+        for name in names:
+            text = run_experiment(name, scale=args.scale,
+                                  workers=args.workers,
+                                  trace_store=store,
+                                  capture_workers=args.capture_workers,
+                                  job_timeout=args.job_timeout,
+                                  sim_pool=pool)
+            print(text)
+            print()
+    finally:
+        if pool is not None:
+            pool.shutdown()
 
     if args.store_stats and store is not None:
         stats = store.store_stats
@@ -102,7 +135,23 @@ def main(argv: list[str] | None = None) -> int:
               f"lifetime_hits_served={stats['hits_served']} "
               f"served: mem={stats['hits']} disk={stats['disk_hits']} "
               f"captures={stats['misses']} "
-              f"remote_captures={stats['remote_puts']}")
+              f"remote_captures={stats['remote_puts']} "
+              f"corrupt_purged={stats['corrupt_purged']}")
+    if args.store_stats and pool is not None:
+        fl = pool.fault_log
+        cache = pool.cache
+        recovered = (fl.recovered_total() + cache.corrupt_purged
+                     + cache.io_retries + int(cache.memory_only))
+        print(f"[fault log] crashes={fl.worker_crashes} "
+              f"job_errors={fl.job_errors} "
+              f"timeouts={fl.timeouts} retries={fl.retries} "
+              f"rebuilds={fl.pool_rebuilds} "
+              f"quarantined={fl.quarantined} fallbacks={fl.fallbacks} "
+              f"serial_degradations={fl.serial_degradations} "
+              f"corrupt_purged={cache.corrupt_purged} "
+              f"io_retries={cache.io_retries} "
+              f"memory_only={int(cache.memory_only)} "
+              f"recovered_total={recovered}")
     return 0
 
 

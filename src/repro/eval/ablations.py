@@ -28,6 +28,7 @@ def run_knob_sweep(configs: Sequence[SystemConfig],
                    trace_cache: TraceCache | None = None,
                    workers: int | None = 1,
                    capture_workers: int | None = 1,
+                   job_timeout: float | None = None,
                    sim_pool: SimPool | None = None) -> list[list[float]]:
     """Utilization matrix for timing-knob ``configs`` x ``kernel_specs``.
 
@@ -46,7 +47,7 @@ def run_knob_sweep(configs: Sequence[SystemConfig],
     if sim_pool is None:
         cache = trace_cache if trace_cache is not None else TraceCache()
         sim_pool = SimPool(workers=workers, capture_workers=capture_workers,
-                           cache=cache)
+                           cache=cache, job_timeout=job_timeout)
     runs = []
     captures: list[CaptureTask] = []
     replays = []

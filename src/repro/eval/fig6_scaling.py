@@ -70,6 +70,7 @@ def run_fig6(kernels: tuple[str, ...] | None = None,
              trace_cache: TraceCache | None = None,
              workers: int | None = 1,
              capture_workers: int | None = 1,
+             job_timeout: float | None = None,
              sim_pool: SimPool | None = None) -> list[Fig6Point]:
     """Execute the Fig 6 sweep; returns one point per (kernel, machine, size).
 
@@ -94,7 +95,7 @@ def run_fig6(kernels: tuple[str, ...] | None = None,
     if sim_pool is None:
         cache = trace_cache if trace_cache is not None else TraceCache()
         sim_pool = SimPool(workers=workers, capture_workers=capture_workers,
-                           cache=cache)
+                           cache=cache, job_timeout=job_timeout)
 
     # ---- plan: one capture per distinct trace key; every (kernel,
     # machine, size) point replays against its VLEN group's capture.

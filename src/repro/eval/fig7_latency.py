@@ -60,6 +60,7 @@ def run_fig7(kernels: tuple[str, ...] | None = None,
              trace_cache: TraceCache | None = None,
              workers: int | None = 1,
              capture_workers: int | None = 1,
+             job_timeout: float | None = None,
              sim_pool: SimPool | None = None) -> list[Fig7Point]:
     """Run the Fig 7 sweep as a capture/replay pipeline.
 
@@ -84,7 +85,7 @@ def run_fig7(kernels: tuple[str, ...] | None = None,
     if sim_pool is None:
         cache = trace_cache if trace_cache is not None else TraceCache()
         sim_pool = SimPool(workers=workers, capture_workers=capture_workers,
-                           cache=cache)
+                           cache=cache, job_timeout=job_timeout)
 
     # ---- plan: one capture per (kernel, B/lane) point; the baseline
     # replay plus one replay per interface cut reference it by index.

@@ -52,38 +52,52 @@ def static_experiment(render: Callable[[], str]) -> Callable[..., str]:
     """
     @functools.wraps(render)
     def runner(scale: str, workers: int | None = 1, trace_cache=None,
-               capture_workers: int | None = 1) -> str:
+               capture_workers: int | None = 1,
+               job_timeout: float | None = None, sim_pool=None) -> str:
         del scale, workers, trace_cache, capture_workers  # static data
+        del job_timeout, sim_pool
         return render()
     return runner
 
 
 def _fig6(scale: str, workers: int | None = 1, trace_cache=None,
-          capture_workers: int | None = 1) -> str:
+          capture_workers: int | None = 1,
+          job_timeout: float | None = None, sim_pool=None) -> str:
     return render_fig6(run_fig6(scale=scale, workers=workers,
                                 trace_cache=trace_cache,
-                                capture_workers=capture_workers))
+                                capture_workers=capture_workers,
+                                job_timeout=job_timeout,
+                                sim_pool=sim_pool))
 
 
 def _fig7(scale: str, workers: int | None = 1, trace_cache=None,
-          capture_workers: int | None = 1) -> str:
+          capture_workers: int | None = 1,
+          job_timeout: float | None = None, sim_pool=None) -> str:
     return render_fig7(run_fig7(scale=scale, workers=workers,
                                 trace_cache=trace_cache,
-                                capture_workers=capture_workers))
+                                capture_workers=capture_workers,
+                                job_timeout=job_timeout,
+                                sim_pool=sim_pool))
 
 
 def _table1(scale: str, workers: int | None = 1, trace_cache=None,
-            capture_workers: int | None = 1) -> str:
+            capture_workers: int | None = 1,
+            job_timeout: float | None = None, sim_pool=None) -> str:
     return render_table1(run_table1(scale=scale, workers=workers,
                                     trace_cache=trace_cache,
-                                    capture_workers=capture_workers))
+                                    capture_workers=capture_workers,
+                                    job_timeout=job_timeout,
+                                    sim_pool=sim_pool))
 
 
 def _table3(scale: str, workers: int | None = 1, trace_cache=None,
-            capture_workers: int | None = 1) -> str:
+            capture_workers: int | None = 1,
+            job_timeout: float | None = None, sim_pool=None) -> str:
     return render_table3(run_table3(scale=scale, workers=workers,
                                     trace_cache=trace_cache,
-                                    capture_workers=capture_workers))
+                                    capture_workers=capture_workers,
+                                    job_timeout=job_timeout,
+                                    sim_pool=sim_pool))
 
 
 #: Experiment id -> callable(scale, workers, trace_cache,
@@ -106,7 +120,9 @@ assert not SIMULATION_EXPERIMENTS & STATIC_EXPERIMENTS
 def run_experiment(name: str, scale: str = "paper",
                    workers: int | None = 1,
                    trace_store=None,
-                   capture_workers: int | None = 1) -> str:
+                   capture_workers: int | None = 1,
+                   job_timeout: float | None = None,
+                   sim_pool=None) -> str:
     """Run one experiment by id ('fig6', 'table3', ...); returns text.
 
     ``workers`` is the total worker-process budget of the shared
@@ -119,8 +135,12 @@ def run_experiment(name: str, scale: str = "paper",
     :class:`~repro.sim.TraceCache`/:class:`~repro.sim.TraceStore`
     instance or a directory path; when omitted, ``$REPRO_TRACE_STORE``
     names the store, and with neither the run keeps a private in-memory
-    cache.  Rendered output is byte-identical for any ``workers`` value
-    and any store state (cold, warm, or GC'd mid-run).
+    cache.  ``job_timeout`` arms the pool's per-job deadline (seconds;
+    hung workers are cancelled and their jobs reassigned) and
+    ``sim_pool`` substitutes an already-built shared pool, in which
+    case the other pool knobs are ignored.  Rendered output is
+    byte-identical for any ``workers`` value, any store state (cold,
+    warm, or GC'd mid-run), and any recovered fault.
     """
     try:
         runner = EXPERIMENTS[name]
@@ -130,4 +150,5 @@ def run_experiment(name: str, scale: str = "paper",
         ) from None
     cache = attach_store(trace_store) if name in SIMULATION_EXPERIMENTS \
         else None
-    return runner(scale, workers, cache, capture_workers)
+    return runner(scale, workers, cache, capture_workers,
+                  job_timeout, sim_pool)

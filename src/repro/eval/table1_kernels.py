@@ -48,6 +48,7 @@ def run_table1(config: SystemConfig | None = None,
                trace_cache=None,
                workers: int | None = 1,
                capture_workers: int | None = 1,
+               job_timeout: float | None = None,
                sim_pool=None) -> list[Table1Row]:
     """Measure every kernel's peak at one operating point.
 
@@ -70,7 +71,7 @@ def run_table1(config: SystemConfig | None = None,
     if sim_pool is None:
         cache = trace_cache if trace_cache is not None else TraceCache()
         sim_pool = SimPool(workers=workers, capture_workers=capture_workers,
-                           cache=cache)
+                           cache=cache, job_timeout=job_timeout)
 
     # ---- plan: one capture and one replay per kernel.
     meta = []

@@ -41,6 +41,7 @@ def run_table3(configs: list[SystemConfig] | None = None,
                trace_cache=None,
                workers: int | None = 1,
                capture_workers: int | None = 1,
+               job_timeout: float | None = None,
                sim_pool=None) -> list[PpaPoint]:
     """Run the Table III PPA sweep as a capture/replay pipeline.
 
@@ -60,7 +61,7 @@ def run_table3(configs: list[SystemConfig] | None = None,
     if sim_pool is None:
         cache = trace_cache if trace_cache is not None else TraceCache()
         sim_pool = SimPool(workers=workers, capture_workers=capture_workers,
-                           cache=cache)
+                           cache=cache, job_timeout=job_timeout)
     cidx_by_key: dict = {}
     captures: list[CaptureTask] = []
     replays = []

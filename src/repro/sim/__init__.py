@@ -18,18 +18,26 @@ into the pool as its trace lands, and
 :class:`~repro.sim.parallel.CapturePool` /
 :class:`~repro.sim.parallel.ReplayPool` remain as batch-API facades
 over the same machinery.
+
+Fault tolerance lives in :mod:`repro.sim.faults`: a seeded
+:class:`~repro.sim.faults.FaultPlan` deterministically injects worker
+crashes/hangs and store-tier corruption/``ENOSPC`` so the pool's
+recovery ladder (retry, executor rebuild, quarantine, serial
+degradation — all counted in a :class:`~repro.sim.faults.FaultLog`)
+is provable in tests and CI.
 """
 
 from .simulator import Simulator, replay_trace, run_program
 from .result import RunResult
+from .faults import FaultLog, FaultPlan
 from .trace_cache import TraceCache, trace_key
 from .trace_store import TraceStore, attach_store, resolve_store_dir
 from .parallel import (CapturePool, CaptureTask, PipelineStats, ReplayPool,
                        SimPool, autodetect_workers, replay_batch,
                        run_pipeline)
 
-__all__ = ["CapturePool", "CaptureTask", "PipelineStats", "Simulator",
-           "RunResult", "SimPool", "TraceCache", "TraceStore", "ReplayPool",
-           "attach_store", "autodetect_workers", "replay_batch",
-           "replay_trace", "resolve_store_dir", "run_pipeline",
-           "run_program", "trace_key"]
+__all__ = ["CapturePool", "CaptureTask", "FaultLog", "FaultPlan",
+           "PipelineStats", "Simulator", "RunResult", "SimPool",
+           "TraceCache", "TraceStore", "ReplayPool", "attach_store",
+           "autodetect_workers", "replay_batch", "replay_trace",
+           "resolve_store_dir", "run_pipeline", "run_program", "trace_key"]

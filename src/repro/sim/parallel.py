@@ -77,6 +77,29 @@ Worker-side details shared by both job kinds:
   failing the sweep.
 * **Per-worker statistics** — each job reports its worker's cache
   counters; :attr:`SimPool.stats` aggregates them across the pool.
+
+Fault tolerance (the full ladder lives in ``docs/robustness.md``):
+
+* **Classification, never silence** — every pooled-job exception is
+  classified (``BrokenProcessPool`` family vs anything else) and
+  counted by type in the pool's :class:`~repro.sim.faults.FaultLog`
+  (``pool.pipeline_stats.faults``); ``KeyboardInterrupt`` /
+  ``SystemExit`` re-raise cleanly out of the pipeline loop.
+* **Bounded retry** — a failed pipeline job is resubmitted to the pool
+  exactly once (a fresh attempt number, so a seeded
+  :class:`~repro.sim.faults.FaultPlan` can let the retry succeed)
+  before degrading in-process.
+* **Executor rebuild** — a broken executor is retired (not reused: a
+  ``BrokenProcessPool`` poisons every later submission) and the next
+  submission builds a fresh one, up to ``max_rebuilds`` times; beyond
+  that the whole sweep degrades to serial in-process execution and
+  still completes byte-identically.
+* **Poison-job quarantine** — a job that takes workers down twice runs
+  in-process and its key is flagged in ``FaultLog.quarantined_keys``.
+* **Deadlines** — ``job_timeout=`` (default off) bounds each pooled
+  job's wall-clock; an expired job is abandoned (its worker may be
+  hung — the process is terminated at shutdown) and handled like any
+  other failure: retried once, then served in-process.
 """
 
 from __future__ import annotations
@@ -84,7 +107,8 @@ from __future__ import annotations
 import os
 import time
 from collections import OrderedDict, deque
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
+                                ProcessPoolExecutor, wait)
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Optional, Sequence
@@ -92,9 +116,13 @@ from typing import Iterator, Optional, Sequence
 from ..functional.executor import ExecResult
 from ..params import SystemConfig
 from ..timing.report import TimingReport
+from .faults import FaultLog, FaultPlan, JobTimeout
 from .simulator import replay_trace
 from .trace_cache import (DEFAULT_CAPACITY, TraceCache, TraceKey,
                           _disk_payload, disk_path)
+
+#: Executor rebuilds allowed before a sweep degrades to serial.
+DEFAULT_MAX_REBUILDS = 3
 
 #: A replay task: ``(config, captured)`` or ``(config, captured, key)``.
 ReplayTask = tuple
@@ -140,6 +168,8 @@ class PipelineStats:
     replay_points: int = 0
     replay_seconds: float = 0.0
     per_worker: dict = field(default_factory=dict)
+    #: Structured fault/recovery counters (see FaultLog).
+    faults: FaultLog = field(default_factory=FaultLog)
 
     def note(self, tag: str, pid: int, points: int, seconds: float) -> None:
         """Record one finished job of ``tag`` ('capture' | 'replay')."""
@@ -171,7 +201,10 @@ class _Job:
     ``indices`` are capture-task indices for a capture job and result
     indices for a replay job; ``captured`` is kept on replay jobs so a
     stale-entry resend or an in-process degradation never needs the
-    worker's copy.
+    worker's copy.  ``attempts`` numbers the submissions of this job
+    (feeding the fault plan's deterministic per-attempt rolls) and
+    ``deadline`` is the monotonic instant after which the job is
+    abandoned (None = no ``job_timeout``).
     """
 
     tag: str                                   # "capture" | "replay"
@@ -179,6 +212,8 @@ class _Job:
     captured: Optional[ExecResult] = None
     configs: list = field(default_factory=list)
     indices: list = field(default_factory=list)
+    attempts: int = 0
+    deadline: Optional[float] = None
 
 
 @dataclass
@@ -216,14 +251,25 @@ def _merge_snapshot(per_worker: dict[int, dict], pid: int,
 # ----------------------------------------------------------------------
 _WORKER_CACHE: Optional[TraceCache] = None
 
+#: The fault plan active in this worker process (None in the parent and
+#: in fault-free workers) — injected crashes/hangs only ever happen in
+#: pool workers, so every injected fault is recoverable by design.
+_WORKER_FAULTS: Optional[FaultPlan] = None
+
 #: Sentinel result: the worker had no payload and could not rehydrate the
 #: key from its cache; the parent must resend with an explicit payload.
 _NEEDS_PAYLOAD = None
 
 
-def _init_worker(disk_dir: Optional[str], capacity: int) -> None:
-    global _WORKER_CACHE
-    _WORKER_CACHE = TraceCache(capacity=capacity, disk_dir=disk_dir)
+def _init_worker(disk_dir: Optional[str], capacity: int,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
+    global _WORKER_CACHE, _WORKER_FAULTS
+    # The worker cache shares the pool's fault plan, so store-tier
+    # faults (corrupt payloads, ENOSPC) fire on worker write-throughs
+    # with the same deterministic rolls as in the parent.
+    _WORKER_CACHE = TraceCache(capacity=capacity, disk_dir=disk_dir,
+                               fault_plan=fault_plan)
+    _WORKER_FAULTS = fault_plan
 
 
 def _capture_job(task: "CaptureTask"):
@@ -239,7 +285,11 @@ def _capture_job(task: "CaptureTask"):
     cache = _WORKER_CACHE
     run = task.build()
     captured = run.capture(task.config, cache=cache, verify=task.verify)
-    on_disk = cache is not None and cache.disk_dir is not None
+    # A cache ENOSPC-demoted to memory-only never landed the entry on
+    # disk — ship the payload over the pipe instead of pointing the
+    # parent at a file that does not exist.
+    on_disk = (cache is not None and cache.disk_dir is not None
+               and not cache.memory_only)
     payload = None if on_disk else _disk_payload(captured)
     stats = dict(cache.stats) if cache is not None else {}
     return (os.getpid(), run.trace_key(task.config), payload, stats,
@@ -266,13 +316,19 @@ def _replay_job(key: Optional[TraceKey], payload: Optional[ExecResult],
     return os.getpid(), reports, stats, time.perf_counter() - t0
 
 
-def _run_job(tag: str, *args):
+def _run_job(tag: str, token: str, attempt: int, *args):
     """The pool's single entry point: dispatch one tagged job.
 
     Every submission to a :class:`SimPool` executor goes through here,
     so one worker pool — and one process-local cache — serves both
-    phases.  ``tag`` is ``"capture"`` or ``"replay"``.
+    phases.  ``tag`` is ``"capture"`` or ``"replay"``; ``token`` and
+    ``attempt`` identify this (job, submission) pair for the fault
+    plan's deterministic injection rolls — a retried job carries a
+    fresh attempt number, so a plan can crash the first attempt and
+    let the retry through.
     """
+    if _WORKER_FAULTS is not None:
+        _WORKER_FAULTS.inject_job_faults(f"{tag}:{token}", attempt)
     if tag == "capture":
         return _capture_job(*args)
     return _replay_job(*args)
@@ -406,12 +462,17 @@ class SimPool:
     def __init__(self, workers: int | None = 1,
                  capture_workers: int | None = None,
                  cache: TraceCache | None = None,
-                 capacity: int = DEFAULT_CAPACITY) -> None:
+                 capacity: int = DEFAULT_CAPACITY,
+                 fault_plan: Optional[FaultPlan] = None,
+                 job_timeout: Optional[float] = None,
+                 max_rebuilds: int = DEFAULT_MAX_REBUILDS) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1 (or None to autodetect)")
         if capture_workers is not None and capture_workers < 1:
             raise ValueError(
                 "capture_workers must be >= 1 (or None to autodetect)")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ValueError("job_timeout must be > 0 seconds (or None)")
         self.workers = autodetect_workers() if workers is None \
             else int(workers)
         split = autodetect_workers() if capture_workers is None \
@@ -421,12 +482,31 @@ class SimPool:
         self.capture_workers = max(1, min(split, self.workers))
         self.cache = cache if cache is not None else TraceCache()
         self.capacity = capacity
+        #: Fault plan shipped to pool workers (None unless configured
+        #: explicitly or via $REPRO_FAULT_PLAN).
+        self.fault_plan = (fault_plan if fault_plan is not None
+                           else FaultPlan.from_env())
+        #: Per-job wall-clock deadline in seconds (None = no deadline).
+        self.job_timeout = job_timeout
+        #: Executor rebuilds allowed before degrading to serial.
+        self.max_rebuilds = int(max_rebuilds)
         self._executor: Optional[ProcessPoolExecutor] = None
         self._worker_stats: dict[int, dict] = {}
         #: In-process captures forced by a worker death or a lost entry.
         self.fallbacks = 0
         #: Per-phase wall-clock, aggregated per worker.
         self.pipeline_stats = PipelineStats()
+        #: Structured fault/recovery counters (alias of
+        #: ``pipeline_stats.faults``).
+        self.fault_log = self.pipeline_stats.faults
+        # Fault-tolerance state: retired-but-unreclaimed executors, the
+        # futures of abandoned (timed-out) jobs, executor break count,
+        # per-key failure strikes, and the serial-degradation latch.
+        self._zombies: list = []
+        self._abandoned: list = []
+        self._breaks = 0
+        self._strikes: dict = {}
+        self._serial_only = False
 
     # -- executor lifecycle --------------------------------------------
     def _ensure_executor(self) -> ProcessPoolExecutor:
@@ -436,11 +516,129 @@ class SimPool:
             self._executor = ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_init_worker,
-                initargs=(disk_dir, self.capacity))
+                initargs=(disk_dir, self.capacity, self.fault_plan))
         return self._executor
 
+    def _pool_usable(self) -> bool:
+        """Can the pool still accept submissions (possibly rebuilding)?"""
+        return not self._serial_only
+
+    def _retire_broken(self) -> None:
+        """Retire a broken executor so the next submission rebuilds.
+
+        A ``BrokenProcessPool`` poisons every later submission on the
+        same executor, so it is moved to the zombie list (reclaimed at
+        :meth:`shutdown` — tearing it down here could block mid-sweep)
+        and the slot cleared for :meth:`_ensure_executor` to rebuild.
+        After ``max_rebuilds`` breaks the pool latches serial-only:
+        every subsequent job runs in the parent and the sweep still
+        completes byte-identically.
+        """
+        executor = self._executor
+        if executor is None or not getattr(executor, "_broken", False):
+            return
+        self._zombies.append(executor)
+        self._executor = None
+        self._breaks += 1
+        if self._breaks > self.max_rebuilds:
+            if not self._serial_only:
+                self._serial_only = True
+                self.fault_log.serial_degradations += 1
+        else:
+            self.fault_log.pool_rebuilds += 1
+
+    def _note_failure(self, exc: BaseException) -> None:
+        """Classify one pooled-job failure into the fault log."""
+        self.fault_log.note_error(exc)
+        if isinstance(exc, JobTimeout):
+            pass  # already counted in fault_log.timeouts at abandon time
+        elif isinstance(exc, BrokenExecutor):
+            self.fault_log.worker_crashes += 1
+        else:
+            self.fault_log.job_errors += 1
+        self._retire_broken()
+
+    def _job_token(self, job: _Job) -> str:
+        """Stable per-job identity for the fault plan's rolls."""
+        if job.tag == "capture":
+            return repr(job.key)
+        return f"{job.key!r}|{job.indices[0] if job.indices else -1}" \
+               f"x{len(job.indices)}"
+
+    def _submit_job(self, pending: dict, job: _Job, args: tuple) -> bool:
+        """Submit one tagged job to the (possibly rebuilt) executor.
+
+        Returns False — without raising — when the pool cannot take the
+        job (serial-only latch, or the submission itself failed); the
+        caller then serves the job in-process.  On success the job
+        lands in ``pending`` with its deadline armed.
+        """
+        if not self._pool_usable():
+            return False
+        try:
+            executor = self._ensure_executor()
+            fut = executor.submit(_run_job, job.tag, self._job_token(job),
+                                  job.attempts, *args)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            self._note_failure(exc)
+            return False
+        if self.job_timeout is not None:
+            job.deadline = time.monotonic() + self.job_timeout
+        pending[fut] = job
+        return True
+
+    def _wait_done(self, pending: dict) -> tuple[set, set]:
+        """Wait for completions; returns ``(done, expired)`` futures.
+
+        Without a ``job_timeout`` this is a plain FIRST_COMPLETED wait.
+        With one, the wait is bounded by the earliest pending deadline;
+        jobs still running past their deadline come back in ``expired``
+        — their workers may be hung, so the futures are abandoned (and
+        the processes terminated at :meth:`shutdown`), never joined.
+        """
+        if self.job_timeout is None:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            return done, set()
+        while True:
+            deadlines = [job.deadline for job in pending.values()
+                         if job.deadline is not None]
+            budget = None
+            if deadlines:
+                budget = max(0.0, min(deadlines) - time.monotonic())
+            done, _ = wait(pending, timeout=budget,
+                           return_when=FIRST_COMPLETED)
+            if done:
+                return done, set()
+            now = time.monotonic()
+            expired = {fut for fut, job in pending.items()
+                       if job.deadline is not None and job.deadline <= now}
+            if expired:
+                return set(), expired
+            if not pending:
+                return set(), set()
+
+    def _abandon(self, fut, job: _Job) -> JobTimeout:
+        """Give up on one expired job; its worker may be hung.
+
+        The future is left uncancelled on purpose: cancelling a queued
+        work item from outside races the executor's own management
+        thread, which (CPython 3.11) raises ``InvalidStateError`` if
+        the pool breaks and it tries to fail an already-cancelled
+        future.  :meth:`shutdown` cancels leftovers under the
+        executor's lock instead; until then a queued abandoned job may
+        still run, costing only wasted work — its result is never read.
+        """
+        self._abandoned.append(fut)
+        self.fault_log.timeouts += 1
+        exc = JobTimeout(
+            f"{job.tag} job exceeded job_timeout={self.job_timeout}s")
+        self.fault_log.note_error(exc)
+        return exc
+
     def shutdown(self) -> None:
-        """Tear the executor down (if one was ever spawned).
+        """Tear down the live executor and any retired (zombie) ones.
 
         ``wait=True`` matters: the teardown must leave no executor
         management threads or worker processes behind, because callers
@@ -448,11 +646,31 @@ class SimPool:
         tests and benchmark drivers) and a fork taken while an executor
         thread holds one of its internal locks deadlocks the child.
         Pending futures are cancelled first, so the wait is bounded by
-        the jobs already running.
+        the jobs already running — except abandoned (timed-out) jobs,
+        whose workers may be hung forever: if any abandoned future is
+        still unresolved, the executor's worker processes are
+        terminated first so the bounded wait stays bounded.
         """
+        executors = []
         if self._executor is not None:
-            self._executor.shutdown(wait=True, cancel_futures=True)
+            executors.append(self._executor)
             self._executor = None
+        executors.extend(self._zombies)
+        self._zombies = []
+        hung = any(not fut.done() for fut in self._abandoned)
+        self._abandoned = []
+        for executor in executors:
+            if hung:
+                procs = getattr(executor, "_processes", None) or {}
+                for proc in list(procs.values()):
+                    try:
+                        proc.terminate()
+                    except Exception:
+                        pass  # already exited, or not a real process
+            try:
+                executor.shutdown(wait=True, cancel_futures=True)
+            except Exception:
+                pass  # a broken executor may refuse; nothing to keep
 
     def __enter__(self) -> "SimPool":
         return self
@@ -488,16 +706,19 @@ class SimPool:
 
     def _fallback(self, task: CaptureTask, points: int = 1) -> ExecResult:
         self.fallbacks += 1
+        self.fault_log.fallbacks += 1
         return self._capture_local(task, points=points)
 
     def _replay_local(self, job: _Job, results: list) -> None:
         """Replay one job's configs in the parent, timed.
 
         The degradation path when the shared executor can no longer run
-        the job (a worker died, or the whole pool broke): the parent
-        holds ``job.captured``, so the sweep completes instead of
-        failing.
+        the job (a worker died, timed out, or the whole pool broke):
+        the parent holds ``job.captured``, so the sweep completes
+        instead of failing.  Counted in ``FaultLog.fallbacks`` — every
+        call site is a recovery, never a scheduling choice.
         """
+        self.fault_log.fallbacks += 1
         t0 = time.perf_counter()
         for idx, config in zip(job.indices, job.configs):
             results[idx] = replay_trace(config, job.captured).timing
@@ -533,7 +754,6 @@ class SimPool:
         """
         if not configs:
             return
-        executor = self._ensure_executor()
         on_disk = self._on_disk(key)
         payload = None if on_disk else _disk_payload(captured)
         chunks = self._adaptive_chunks(len(configs), on_disk, len(pending))
@@ -542,13 +762,17 @@ class SimPool:
             job = _Job(tag="replay", key=key, captured=captured,
                        configs=list(configs[start:start + size]),
                        indices=list(indices[start:start + size]))
-            try:
-                fut = executor.submit(_run_job, "replay", key, payload,
-                                      job.configs)
-            except Exception:
+            if not self._submit_job(pending, job,
+                                    (key, payload, job.configs)):
                 self._replay_local(job, results)
-                continue
-            pending[fut] = job
+
+    def _resubmit_replay(self, pending: dict, job: _Job) -> bool:
+        """Re-enter one replay job as a fresh pool attempt."""
+        job.attempts += 1
+        on_disk = self._on_disk(job.key)
+        payload = None if on_disk else _disk_payload(job.captured)
+        return self._submit_job(pending, job,
+                                (job.key, payload, job.configs))
 
     def _finish_replay(self, pending: dict, job: _Job, outcome,
                        results: list) -> bool:
@@ -556,15 +780,13 @@ class SimPool:
         if outcome is _NEEDS_PAYLOAD:
             # Stale/missing disk entry: resend with an explicit payload
             # (in-process if the pool can no longer take the job).
-            try:
-                retry = self._ensure_executor().submit(
-                    _run_job, "replay", job.key,
-                    _disk_payload(job.captured), job.configs)
-            except Exception:
-                self._replay_local(job, results)
-                return True
-            pending[retry] = job
-            return False
+            job.attempts += 1
+            if self._submit_job(
+                    pending, job,
+                    (job.key, _disk_payload(job.captured), job.configs)):
+                return False
+            self._replay_local(job, results)
+            return True
         pid, reports, stats, seconds = outcome
         self._merge_worker_stats(pid, stats)
         self.pipeline_stats.note("replay", pid, len(job.indices), seconds)
@@ -639,20 +861,48 @@ class SimPool:
             nonlocal in_flight_captures
             if not pooled_captures:
                 return
-            executor = self._ensure_executor()
             while cold and in_flight_captures < capture_allowance():
                 key, cidxs = cold.popleft()
-                try:
-                    fut = executor.submit(_run_job, "capture",
-                                          captures[cidxs[0]])
-                except Exception:
-                    # Broken pool: capture (and replay) in the parent.
+                job = _Job(tag="capture", key=key, indices=list(cidxs))
+                if self._submit_job(pending, job, (captures[cidxs[0]],)):
+                    in_flight_captures += 1
+                else:
+                    # Unusable pool: capture (and replay) in the parent.
                     submit_point(cidxs, key,
                                  self._fallback(captures[cidxs[0]]))
-                    continue
-                pending[fut] = _Job(tag="capture", key=key,
-                                    indices=list(cidxs))
-                in_flight_captures += 1
+
+        def capture_failure(job: _Job) -> bool:
+            """Retry a failed capture once; else quarantine + fallback.
+
+            Returns True while the job is back in flight.  The second
+            failure for one key marks it a poison job: it runs in the
+            parent (like any fallback) and the key is flagged in
+            ``FaultLog.quarantined_keys``.
+            """
+            task = captures[job.indices[0]]
+            strikes = self._strikes.get(job.key, 0) + 1
+            self._strikes[job.key] = strikes
+            if strikes < 2:
+                job.attempts += 1
+                if self._submit_job(pending, job, (task,)):
+                    self.fault_log.retries += 1
+                    return True
+            else:
+                self.fault_log.quarantined += 1
+                self.fault_log.quarantined_keys.append(repr(job.key))
+            submit_point(job.indices, job.key, self._fallback(task))
+            return False
+
+        def replay_failure(job: _Job) -> bool:
+            """Retry a failed replay job once; else finish in-process.
+
+            Returns True while the job is back in flight.
+            """
+            if job.attempts < 1 and self._resubmit_replay(pending, job):
+                self.fault_log.retries += 1
+                return True
+            self._replay_local(job, results)
+            return False
 
         def submit_point(cidxs: list[int], key: TraceKey,
                          captured: ExecResult) -> None:
@@ -680,18 +930,34 @@ class SimPool:
                     submit_point(cidxs, key,
                                  self._capture_local(captures[cidxs[0]]))
             while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for fut in done:
+                done, expired = self._wait_done(pending)
+                for fut in (done or expired):
                     job = pending.pop(fut)
+                    timed_out = fut in expired
+                    if timed_out:
+                        # Deadline exceeded: the worker may be hung —
+                        # abandon the future (terminated at shutdown)
+                        # and handle it like any other failure.
+                        self._abandon(fut, job)
                     if job.tag == "capture":
                         in_flight_captures -= 1
-                        task = captures[job.indices[0]]
-                        try:
-                            outcome = fut.result()
-                        except Exception:
-                            # Dead worker (or a broken pool taking every
-                            # sibling future with it): capture locally.
-                            captured = self._fallback(task)
+                        failed = timed_out
+                        outcome = None
+                        if not timed_out:
+                            try:
+                                outcome = fut.result()
+                            except (KeyboardInterrupt, SystemExit):
+                                raise
+                            except Exception as exc:
+                                # Dead worker (or a broken pool taking
+                                # every sibling future with it):
+                                # classified below, retried once, then
+                                # captured locally.
+                                self._note_failure(exc)
+                                failed = True
+                        if failed:
+                            if capture_failure(job):
+                                in_flight_captures += 1  # retried
                         else:
                             pid, _wkey, payload, stats, seconds = outcome
                             self._merge_worker_stats(pid, stats)
@@ -700,24 +966,35 @@ class SimPool:
                             captured = self.cache.ingest_remote(job.key,
                                                                 payload)
                             if captured is None:
-                                # The store's GC evicted the entry
+                                # The store's GC evicted the entry (or a
+                                # corrupt write failed its checksum)
                                 # between the worker's put and adoption;
                                 # the point is already counted, so the
                                 # re-capture adds seconds, not points.
-                                captured = self._fallback(task, points=0)
-                        submit_point(job.indices, job.key, captured)
+                                captured = self._fallback(
+                                    captures[job.indices[0]], points=0)
+                            submit_point(job.indices, job.key, captured)
                     else:
                         pending_replays -= 1
-                        try:
-                            outcome = fut.result()
-                        except Exception:
-                            # Dead worker/broken pool: the parent holds
-                            # the capture — finish this chunk itself.
-                            self._replay_local(job, results)
-                        else:
-                            if not self._finish_replay(pending, job,
-                                                       outcome, results):
-                                pending_replays += 1  # resent: pending
+                        failed = timed_out
+                        outcome = None
+                        if not timed_out:
+                            try:
+                                outcome = fut.result()
+                            except (KeyboardInterrupt, SystemExit):
+                                raise
+                            except Exception as exc:
+                                # Dead worker/broken pool: classified
+                                # below, retried once, then finished in
+                                # the parent (which holds the capture).
+                                self._note_failure(exc)
+                                failed = True
+                        if failed:
+                            if replay_failure(job):
+                                pending_replays += 1  # retried
+                        elif not self._finish_replay(pending, job,
+                                                     outcome, results):
+                            pending_replays += 1  # resent: pending
                     top_up_captures()
         finally:
             self.shutdown()
@@ -743,7 +1020,6 @@ class SimPool:
         jobs = _batch_jobs(_group_tasks(norm), self.workers)
         results: list[Optional[TimingReport]] = [None] * len(norm)
         try:
-            executor = self._ensure_executor()
             pending: dict = {}
             for group in jobs:
                 payload = None if self._on_disk(group.key) \
@@ -751,18 +1027,34 @@ class SimPool:
                 job = _Job(tag="replay", key=group.key,
                            captured=group.captured, configs=group.configs,
                            indices=group.indices)
-                fut = executor.submit(_run_job, "replay", job.key, payload,
-                                      job.configs)
-                pending[fut] = job
+                if not self._submit_job(pending, job,
+                                        (job.key, payload, job.configs)):
+                    self._replay_local(job, results)
             while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for fut in done:
+                done, expired = self._wait_done(pending)
+                for fut in (done or expired):
                     job = pending.pop(fut)
+                    if fut in expired:
+                        self._abandon(fut, job)
+                        if not (job.attempts < 1
+                                and self._resubmit_replay(pending, job)):
+                            self._replay_local(job, results)
+                        else:
+                            self.fault_log.retries += 1
+                        continue
                     try:
                         outcome = fut.result()
-                    except Exception:
-                        # Dead worker/broken pool: finish in-process.
-                        self._replay_local(job, results)
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except Exception as exc:
+                        # Dead worker/broken pool: classify, retry once,
+                        # then finish in-process.
+                        self._note_failure(exc)
+                        if (job.attempts < 1
+                                and self._resubmit_replay(pending, job)):
+                            self.fault_log.retries += 1
+                        else:
+                            self._replay_local(job, results)
                         continue
                     self._finish_replay(pending, job, outcome, results)
         finally:
@@ -807,28 +1099,53 @@ class SimPool:
         # keeping the pool idle for its duration.
         pending: dict = {}
         try:
-            if remote:
-                executor = self._ensure_executor()
-                for key, indices in remote:
-                    fut = executor.submit(_run_job, "capture",
-                                          tasks[indices[0]])
-                    pending[fut] = (key, indices)
+            for key, indices in remote:
+                job = _Job(tag="capture", key=key, indices=list(indices))
+                if not self._submit_job(pending, job,
+                                        (tasks[indices[0]],)):
+                    # Unusable pool: serve the point in the parent.
+                    captured = self._fallback(tasks[indices[0]])
+                    for idx in indices:
+                        yield idx, key, captured
             for key, indices in local:
                 captured = self._capture_local(tasks[indices[0]])
                 for idx in indices:
                     yield idx, key, captured
             while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for fut in done:
-                    key, indices = pending.pop(fut)
+                done, expired = self._wait_done(pending)
+                for fut in (done or expired):
+                    job = pending.pop(fut)
+                    key, indices = job.key, job.indices
                     task = tasks[indices[0]]
-                    try:
-                        pid, _wkey, payload, stats, seconds = fut.result()
-                    except Exception:
-                        # Dead worker (or a broken pool taking every
-                        # sibling future with it): capture in-process.
+                    failed = fut in expired
+                    if failed:
+                        self._abandon(fut, job)
+                    else:
+                        try:
+                            outcome = fut.result()
+                        except (KeyboardInterrupt, SystemExit):
+                            raise
+                        except Exception as exc:
+                            # Dead worker (or a broken pool taking every
+                            # sibling future with it): classify, retry
+                            # once, then capture in-process.
+                            self._note_failure(exc)
+                            failed = True
+                    if failed:
+                        strikes = self._strikes.get(key, 0) + 1
+                        self._strikes[key] = strikes
+                        if strikes < 2:
+                            job.attempts += 1
+                            if self._submit_job(pending, job, (task,)):
+                                self.fault_log.retries += 1
+                                continue
+                        else:
+                            self.fault_log.quarantined += 1
+                            self.fault_log.quarantined_keys.append(
+                                repr(key))
                         captured = self._fallback(task)
                     else:
+                        pid, _wkey, payload, stats, seconds = outcome
                         self._merge_worker_stats(pid, stats)
                         self.pipeline_stats.note("capture", pid, 1, seconds)
                         captured = self.cache.ingest_remote(key, payload)
@@ -852,6 +1169,7 @@ class SimPool:
         agg = {"hits": 0, "disk_hits": 0, "misses": 0,
                "workers": len(self._worker_stats),
                "fallbacks": self.fallbacks,
+               "faults": self.fault_log.as_dict(),
                "per_worker": dict(self._worker_stats)}
         for stats in self._worker_stats.values():
             for counter in ("hits", "disk_hits", "misses"):

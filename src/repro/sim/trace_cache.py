@@ -38,14 +38,30 @@ Disk entries are written for *concurrent* readers and writers sharing one
   writer leaves at worst an orphaned ``*.tmp``.
 * **Versioned envelope** — the pickle is a dict
   ``{"format": DISK_FORMAT_VERSION, "schema": <ExecResult field names>,
-  "hits_served": <int>, "payload": <the pruned ExecResult, pickled then
-  zlib-compressed>}``.  A stale file from an older code revision (wrong
-  version, drifted ``ExecResult`` fields, or a pre-envelope bare
-  pickle) is treated as a plain miss — the caller recaptures and the
-  subsequent :meth:`TraceCache.put` overwrites the stale file in place.
-  Nesting the payload as bytes lets envelope *validation*
-  (``__contains__`` probes, the store GC's stale purge) check the tags
-  without deserializing — or decompressing — the trace itself.
+  "hits_served": <int>, "crc32": <payload checksum>, "payload": <the
+  pruned ExecResult, pickled then zlib-compressed>}``.  A stale file
+  from an older code revision (wrong version, drifted ``ExecResult``
+  fields, or a pre-envelope bare pickle) is treated as a plain miss —
+  the caller recaptures and the subsequent :meth:`TraceCache.put`
+  overwrites the stale file in place.  Nesting the payload as bytes
+  lets envelope *validation* (``__contains__`` probes, the store GC's
+  stale purge) check the tags without deserializing — or decompressing
+  — the trace itself.
+* **Payload checksum** — ``crc32`` (optional-within-v4, like
+  ``hits_served``) covers the compressed payload bytes and is verified
+  on every disk read and :meth:`TraceCache.probe`.  A mismatch means
+  the bytes on disk are not what the writer produced (bit rot, a
+  partial foreign write, injected corruption); the entry is unlinked
+  and counted in ``corrupt_purged`` rather than left to shadow the
+  budget, and the caller sees a plain miss.  Pre-checksum v4 entries
+  (no ``crc32`` field) are accepted unverified.
+* **Write-failure degradation** — a ``put`` whose disk write raises
+  ``ENOSPC`` flips the cache to memory-only (one-shot
+  ``RuntimeWarning``; later puts skip the disk layer entirely); any
+  other transient ``OSError`` is retried once (``io_retries``) and
+  then abandoned for that entry (``put_errors``) — the in-memory layer
+  still holds it, so correctness never depends on the disk write
+  landing.
 * **Popularity counter** — ``hits_served`` counts how many times the
   entry's disk layer served a whole trace; the suite store
   (:class:`~repro.sim.trace_store.TraceStore`) bumps it on every disk
@@ -89,17 +105,21 @@ variables, and the suite default ``benchmarks/out/trace_cache``.
 from __future__ import annotations
 
 import dataclasses
+import errno
 import hashlib
 import os
 import pickle
 import tempfile
+import time
+import warnings
 import zlib
 from collections import OrderedDict
 from pathlib import Path
-from typing import Optional
+from typing import Callable, Optional
 
 from ..functional.executor import ExecResult
 from ..isa.program import Program
+from .faults import FaultPlan
 
 TraceKey = tuple
 
@@ -157,13 +177,21 @@ def _validate_envelope(obj: object) -> bool:
             and isinstance(obj.get("payload"), bytes))
 
 
-def _write_envelope(path: Path, envelope: dict) -> None:
+def _write_envelope(path: Path, envelope: dict,
+                    clock: Optional[Callable[[], float]] = None) -> None:
     """Atomically (re)write one envelope dict at ``path``.
 
     The envelope is pickled to a private tempfile in the destination
     directory and renamed over ``path``; concurrent writers race only
     on the final :func:`os.replace`, which is atomic, so the file is
     always one writer's complete output.
+
+    ``clock`` (when given) stamps the tempfile's mtime before the
+    rename, so a store using an injected clock judges in-flight
+    tempfile age with the *same* clock its GC reaps orphans by — the
+    invariant that keeps a live writer's tempfile unreapable however
+    slow the write is (see :meth:`~repro.sim.trace_store.TraceStore
+    .gc`).
     """
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
@@ -172,6 +200,9 @@ def _write_envelope(path: Path, envelope: dict) -> None:
     try:
         with os.fdopen(fd, "wb") as fh:
             pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        if clock is not None:
+            stamp = clock()
+            os.utime(tmp_name, (stamp, stamp))
         os.replace(tmp_name, path)
     except BaseException:
         try:
@@ -179,6 +210,19 @@ def _write_envelope(path: Path, envelope: dict) -> None:
         except OSError:
             pass
         raise
+
+
+def _crc_ok(obj: dict) -> bool:
+    """Payload bytes match the envelope's checksum (absent = accepted).
+
+    Cheap relative to decompression — a CRC32 pass over compressed
+    bytes — so reads and probes can verify integrity without paying
+    for a decode attempt on garbage.
+    """
+    crc = obj.get("crc32")
+    if crc is None:
+        return True  # pre-checksum v4 entry: accepted unverified
+    return crc == (zlib.crc32(obj["payload"]) & 0xFFFFFFFF)
 
 
 def _unwrap_envelope(obj: object) -> Optional[ExecResult]:
@@ -197,17 +241,38 @@ class TraceCache:
     ``(program fingerprint, vlen_bits, setup identity)``."""
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY,
-                 disk_dir: str | Path | None = None) -> None:
+                 disk_dir: str | Path | None = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 clock: Optional[Callable[[], float]] = None) -> None:
         if capacity < 1:
             raise ValueError("trace cache capacity must be >= 1")
         self.capacity = capacity
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.fault_plan = (fault_plan if fault_plan is not None
+                           else FaultPlan.from_env())
+        #: Injectable time source; every age judgement (GC orphan
+        #: reaping, manifest ages) and tempfile stamp uses this one
+        #: clock so they can never disagree.  ``None`` = wall clock.
+        self.clock = clock
         self._entries: OrderedDict[TraceKey, ExecResult] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
         self.remote_puts = 0
+        #: Entries whose payload failed its checksum and were unlinked.
+        self.corrupt_purged = 0
+        #: Disk writes retried once after a transient ``OSError``.
+        self.io_retries = 0
+        #: Disk writes abandoned after the retry also failed.
+        self.put_errors = 0
+        #: Set once ``ENOSPC`` demoted this cache to memory-only.
+        self.memory_only = False
+        self._write_counts: dict[str, int] = {}  # fault-roll attempt nos
         self._last_lookup: str | None = None  # "memory" | "disk" | "miss"
+
+    def _now(self) -> float:
+        """Current time per the injected clock (wall clock by default)."""
+        return time.time() if self.clock is None else self.clock()
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -245,12 +310,29 @@ class TraceCache:
         try:
             with path.open("rb") as fh:
                 obj = pickle.load(fh)
+        except (KeyboardInterrupt, SystemExit):
+            raise
         except Exception:
-            return None  # corrupt/truncated file: fall through to a miss
-        entry = _unwrap_envelope(obj)
-        if entry is not None:
-            self._note_disk_serve(path, obj)
+            return None  # unreadable/foreign file: fall through to a miss
+        if not _validate_envelope(obj):
+            return None  # stale tags (old format/schema): a plain miss
+        entry = _unwrap_envelope(obj) if _crc_ok(obj) else None
+        if entry is None:
+            # Tags are current but the payload is not what the writer
+            # produced: purge it so the broken bytes can't shadow the
+            # store budget or fail again on the next read.
+            self._purge_corrupt(path)
+            return None
+        self._note_disk_serve(path, obj)
         return entry
+
+    def _purge_corrupt(self, path: Path) -> None:
+        """Unlink (and count) an entry whose payload failed integrity."""
+        self.corrupt_purged += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass  # already evicted/replaced concurrently
 
     def _note_disk_serve(self, path: Path, envelope: dict) -> None:
         """Hook: the disk layer just served ``envelope`` whole.
@@ -268,25 +350,73 @@ class TraceCache:
         self._last_lookup = None
         self._remember(key, captured)
         path = self._disk_path(key)
-        if path is not None:
-            self._write_disk(path, captured)
+        if path is not None and not self.memory_only:
+            self._put_disk(path, captured)
 
-    @staticmethod
-    def _write_disk(path: Path, captured: ExecResult) -> None:
+    def _put_disk(self, path: Path, captured: ExecResult) -> None:
+        """Disk half of :meth:`put`, with bounded failure handling.
+
+        ``ENOSPC`` demotes the whole cache to memory-only (one-shot
+        warning; the entry and all later ones stay in the LRU only);
+        any other ``OSError`` is retried once, then abandoned for this
+        entry.  Neither ever propagates: the in-memory layer already
+        holds the capture, so a failed disk write costs sharing, not
+        correctness.
+        """
+        for retry in (False, True):
+            try:
+                self._write_disk(path, captured)
+                return
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except OSError as exc:
+                if getattr(exc, "errno", None) == errno.ENOSPC:
+                    self._degrade_memory_only(exc)
+                    return
+                if not retry:
+                    self.io_retries += 1
+                    continue
+                self.put_errors += 1
+                return
+
+    def _degrade_memory_only(self, exc: OSError) -> None:
+        """Flip to memory-only after ``ENOSPC`` (warn exactly once)."""
+        if not self.memory_only:
+            self.memory_only = True
+            warnings.warn(
+                f"trace store disk write failed ({exc}); continuing "
+                f"memory-only — captures will not be shared on disk",
+                RuntimeWarning, stacklevel=4)
+
+    def _write_disk(self, path: Path, captured: ExecResult) -> None:
         """Atomically (re)write one disk entry.
 
         A (re)capture starts the entry's ``hits_served`` life over at
         zero: the payload is new bytes, so inherited popularity would
-        claim service the new trace never rendered.
+        claim service the new trace never rendered.  The payload
+        checksum is computed over the exact compressed bytes handed to
+        the envelope; an active :class:`~repro.sim.faults.FaultPlan`
+        may then corrupt those bytes or veto the write with an
+        ``OSError``, deliberately *after* the checksum, so injected
+        corruption is exactly what the read-side CRC check catches.
         """
+        payload = zlib.compress(
+            pickle.dumps(_disk_payload(captured),
+                         protocol=pickle.HIGHEST_PROTOCOL),
+            COMPRESS_LEVEL)
         envelope = {"format": DISK_FORMAT_VERSION,
                     "schema": _payload_schema(),
                     "hits_served": 0,
-                    "payload": zlib.compress(
-                        pickle.dumps(_disk_payload(captured),
-                                     protocol=pickle.HIGHEST_PROTOCOL),
-                        COMPRESS_LEVEL)}
-        _write_envelope(path, envelope)
+                    "crc32": zlib.crc32(payload) & 0xFFFFFFFF,
+                    "payload": payload}
+        plan = self.fault_plan
+        if plan is not None:
+            token = path.name
+            attempt = self._write_counts.get(token, 0)
+            self._write_counts[token] = attempt + 1
+            plan.check_write(token, attempt)
+            envelope["payload"] = plan.corrupted(token, attempt, payload)
+        _write_envelope(path, envelope, clock=self.clock)
 
     def ingest_remote(self, key: TraceKey,
                       payload: Optional[ExecResult] = None
@@ -349,16 +479,18 @@ class TraceCache:
         return len(self._entries)
 
     def probe(self, key: TraceKey) -> bool:
-        """Cheap membership hint: envelope tags only, never the payload.
+        """Cheap membership hint: tags and checksum, never the payload.
 
         Unlike ``key in cache``, a disk probe validates the envelope's
-        format/schema tags without decompressing or unpickling the trace
-        itself, so callers that will immediately :meth:`get` on a
-        positive answer (e.g. :class:`~repro.sim.parallel.CapturePool`
-        classifying warm keys) don't deserialize every entry twice.  The
-        price is that an entry whose *inner* payload is corrupt can
-        probe True and still miss on the ``get`` — callers must treat a
-        positive probe as a hint, not a guarantee.
+        format/schema tags and payload CRC without decompressing or
+        unpickling the trace itself, so callers that will immediately
+        :meth:`get` on a positive answer (e.g. :class:`~repro.sim
+        .parallel.CapturePool` classifying warm keys) don't deserialize
+        every entry twice.  The CRC check means byte-level corruption
+        probes False (and the pipeline recaptures cold); the residual
+        price is that an entry whose checksummed bytes decode to a
+        *foreign* object can still probe True and miss on the ``get`` —
+        callers must treat a positive probe as a hint, not a guarantee.
         """
         if key in self._entries:
             return True
@@ -368,9 +500,11 @@ class TraceCache:
         try:
             with path.open("rb") as fh:
                 obj = pickle.load(fh)
+        except (KeyboardInterrupt, SystemExit):
+            raise
         except Exception:
             return False
-        return _validate_envelope(obj)
+        return _validate_envelope(obj) and _crc_ok(obj)
 
     def __contains__(self, key: TraceKey) -> bool:
         # Membership mirrors get(): both layers count, neither is charged
@@ -392,4 +526,8 @@ class TraceCache:
             "lookups": lookups,
             "entries": len(self._entries),
             "hit_rate": self.hits / lookups if lookups else 0.0,
+            "corrupt_purged": self.corrupt_purged,
+            "io_retries": self.io_retries,
+            "put_errors": self.put_errors,
+            "memory_only": self.memory_only,
         }

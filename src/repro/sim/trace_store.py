@@ -62,12 +62,12 @@ from __future__ import annotations
 
 import os
 import pickle
-import time
 from pathlib import Path
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
-from .trace_cache import (DEFAULT_CAPACITY, TraceCache, _validate_envelope,
-                          _write_envelope)
+from .faults import FaultPlan
+from .trace_cache import (DEFAULT_CAPACITY, TraceCache, _crc_ok,
+                          _validate_envelope, _write_envelope)
 
 #: Environment variable naming the shared store directory.
 ENV_STORE_DIR = "REPRO_TRACE_STORE"
@@ -124,9 +124,12 @@ class TraceStore(TraceCache):
     def __init__(self, disk_dir: Union[str, Path, None] = None,
                  capacity: int = DEFAULT_CAPACITY,
                  max_bytes: Optional[int] = None,
-                 tmp_max_age_s: float = DEFAULT_TMP_MAX_AGE_S) -> None:
+                 tmp_max_age_s: float = DEFAULT_TMP_MAX_AGE_S,
+                 fault_plan: Optional[FaultPlan] = None,
+                 clock: Optional[Callable[[], float]] = None) -> None:
         super().__init__(capacity=capacity,
-                         disk_dir=resolve_store_dir(disk_dir))
+                         disk_dir=resolve_store_dir(disk_dir),
+                         fault_plan=fault_plan, clock=clock)
         self.max_bytes = resolve_store_bytes(max_bytes)
         self.tmp_max_age_s = float(tmp_max_age_s)
 
@@ -145,7 +148,7 @@ class TraceStore(TraceCache):
         envelope = dict(envelope)
         envelope["hits_served"] = int(envelope.get("hits_served", 0)) + 1
         try:
-            _write_envelope(path, envelope)
+            _write_envelope(path, envelope, clock=self.clock)
         except OSError:
             pass  # entry may have been evicted/replaced concurrently
 
@@ -154,17 +157,27 @@ class TraceStore(TraceCache):
         """Run one lifecycle pass over the store directory.
 
         Reaps crashed-writer ``*.tmp`` orphans, purges entries whose
-        envelope no longer validates, then evicts oldest-``mtime``
-        entries until the store fits ``max_bytes`` (default: the store's
-        configured budget).  Safe to run concurrently with readers and
-        writers in other processes.  Returns a summary dict.
+        envelope no longer validates or whose payload fails its
+        checksum, then evicts oldest-``mtime`` entries until the store
+        fits ``max_bytes`` (default: the store's configured budget).
+        Safe to run concurrently with readers and writers in other
+        processes.  Returns a summary dict.
+
+        Orphan ages are judged by the store's *injected* clock
+        (``self._now()``), the same clock :func:`~repro.sim.trace_cache
+        ._write_envelope` stamps tempfiles with — so a live writer's
+        tempfile can never look ``tmp_max_age_s`` old to its own
+        store's GC, however slowly the write progresses (e.g. under
+        fault-injected slow I/O).  Mixing the wall clock here with a
+        synthetic write clock would reap in-flight writes.
         """
         budget = self.max_bytes if max_bytes is None else int(max_bytes)
-        summary = {"reaped_tmp": 0, "purged_stale": 0, "evicted": 0,
-                   "entries": 0, "bytes_before": 0, "bytes_after": 0}
+        summary = {"reaped_tmp": 0, "purged_stale": 0, "purged_corrupt": 0,
+                   "evicted": 0, "entries": 0, "bytes_before": 0,
+                   "bytes_after": 0}
         if self.disk_dir is None or not self.disk_dir.is_dir():
             return summary
-        now = time.time()
+        now = self._now()
 
         for tmp in self.disk_dir.glob("*.tmp"):
             try:
@@ -192,6 +205,18 @@ class TraceStore(TraceCache):
                     summary["purged_stale"] += 1
                 except OSError:
                     pass
+                continue
+            # Integrity: a CRC pass over the packed payload bytes (still
+            # no deserialization).  Checksum-failed entries would never
+            # satisfy a get() — purge and count them separately so a
+            # corruption burst is visible in the summary.
+            if not _crc_ok(obj):
+                try:
+                    path.unlink()
+                    summary["purged_corrupt"] += 1
+                except OSError:
+                    pass
+                self.corrupt_purged += 1
                 continue
             live.append((stat.st_mtime, stat.st_size, path))
 
@@ -221,11 +246,14 @@ class TraceStore(TraceCache):
 
         ``hits_served`` is read from each entry's envelope tags (the
         payload stays packed — a manifest pass never decompresses a
-        trace); an unreadable or pre-counter envelope reports 0.
+        trace); an unreadable or pre-counter envelope reports 0.  The
+        ``corrupt`` flag marks entries whose payload fails its checksum
+        (or whose envelope cannot be read at all) — candidates the next
+        :meth:`gc` pass will purge.
         """
         if self.disk_dir is None or not self.disk_dir.is_dir():
             return []
-        now = time.time()
+        now = self._now()
         rows = []
         for path in sorted(self.disk_dir.glob(_ENTRY_GLOB)):
             try:
@@ -233,16 +261,20 @@ class TraceStore(TraceCache):
             except OSError:
                 continue
             hits_served = 0
+            corrupt = False
             try:
                 with path.open("rb") as fh:
                     obj = pickle.load(fh)
                 if isinstance(obj, dict):
                     hits_served = int(obj.get("hits_served", 0))
+                    corrupt = (_validate_envelope(obj)
+                               and not _crc_ok(obj))
             except Exception:
-                pass  # stale/corrupt: listed with zero hits until GC'd
+                corrupt = True  # unreadable on disk: flagged until GC'd
             rows.append({"file": path.name, "bytes": stat.st_size,
                          "age_s": max(0.0, now - stat.st_mtime),
-                         "hits_served": hits_served})
+                         "hits_served": hits_served,
+                         "corrupt": corrupt})
         return rows
 
     @property
@@ -258,6 +290,7 @@ class TraceStore(TraceCache):
             "oldest_age_s": max(ages) if ages else 0.0,
             "newest_age_s": min(ages) if ages else 0.0,
             "hits_served": sum(row["hits_served"] for row in manifest),
+            "corrupt_entries": sum(1 for row in manifest if row["corrupt"]),
             "max_bytes": self.max_bytes,
         })
         return stats

@@ -41,45 +41,45 @@ import repro.sim.parallel as parallel_mod
 # The five-sweep byte-identity harness.  Each entry runs one sweep at a
 # small reduced operating point and returns its *rendered* output.
 # ----------------------------------------------------------------------
-def _fig6(cache, workers, capture_workers):
+def _fig6(cache, workers, capture_workers, **kw):
     return render_fig6(run_fig6(
         kernels=("fmatmul", "fdotproduct"), bytes_per_lane=(64,),
         machines=[Ara2Config(lanes=8), AraXLConfig(lanes=8),
                   AraXLConfig(lanes=16)],
         scale="reduced", trace_cache=cache, workers=workers,
-        capture_workers=capture_workers))
+        capture_workers=capture_workers, **kw))
 
 
-def _fig7(cache, workers, capture_workers):
+def _fig7(cache, workers, capture_workers, **kw):
     return render_fig7(run_fig7(
         kernels=("fmatmul", "softmax"), bytes_per_lane=(64, 128), lanes=8,
         scale="reduced", trace_cache=cache, workers=workers,
-        capture_workers=capture_workers))
+        capture_workers=capture_workers, **kw))
 
 
-def _table1(cache, workers, capture_workers):
+def _table1(cache, workers, capture_workers, **kw):
     return render_table1(run_table1(
         config=AraXLConfig(lanes=8), bytes_per_lane=64, scale="reduced",
         trace_cache=cache, workers=workers,
-        capture_workers=capture_workers))
+        capture_workers=capture_workers, **kw))
 
 
-def _table3(cache, workers, capture_workers):
+def _table3(cache, workers, capture_workers, **kw):
     return render_table3(run_table3(
         configs=[Ara2Config(lanes=8), AraXLConfig(lanes=8),
                  AraXLConfig(lanes=16)],
         scale="reduced", trace_cache=cache, workers=workers,
-        capture_workers=capture_workers))
+        capture_workers=capture_workers, **kw))
 
 
-def _ablations(cache, workers, capture_workers):
+def _ablations(cache, workers, capture_workers, **kw):
     hops = (1, 4)
     configs = [AraXLConfig(lanes=8, ring_hop_latency=h) for h in hops]
     rows = run_knob_sweep(configs,
                           [("fdotproduct", 64, {}),
                            ("fmatmul", 64, {"m": 8, "k": 16})],
                           trace_cache=cache, workers=workers,
-                          capture_workers=capture_workers)
+                          capture_workers=capture_workers, **kw)
     return render_table(
         ("hop cycles", "fdotproduct util", "fmatmul util"),
         [(hop, f"{u[0] * 100:.3f}%", f"{u[1] * 100:.3f}%")

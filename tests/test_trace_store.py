@@ -108,11 +108,33 @@ class TestStoreGc:
         assert not crashed.exists()
         assert in_flight.exists(), "a live writer's tempfile must survive"
 
+    def test_tmp_reaping_follows_the_injected_clock(self, tmp_path):
+        """GC judges tempfile age by the store's own clock, never the
+        wall clock.  A store on an injected clock stamps its tempfiles
+        with that clock, so to a wall-clock GC (the old bug) every
+        in-flight write of a faked-time test looks ancient and gets
+        reaped out from under its writer."""
+        fake = [1_000_000.0]  # decades behind time.time()
+        store = TraceStore(disk_dir=tmp_path, clock=lambda: fake[0])
+        _capture_entry(store)
+        in_flight = tmp_path / "trace_live.pkl.42.tmp"
+        in_flight.write_bytes(b"being written right now")
+        os.utime(in_flight, (fake[0], fake[0]))  # stamped "now" (fake)
+
+        assert store.gc()["reaped_tmp"] == 0
+        assert in_flight.exists(), \
+            "a tempfile stamped 'now' by the store's clock is not an orphan"
+
+        fake[0] += 2 * store.tmp_max_age_s
+        assert store.gc()["reaped_tmp"] == 1
+        assert not in_flight.exists()
+
     def test_gc_on_missing_dir_is_a_noop(self, tmp_path):
         store = TraceStore(disk_dir=tmp_path / "never_created")
         summary = store.gc()
-        assert summary == {"reaped_tmp": 0, "purged_stale": 0, "evicted": 0,
-                           "entries": 0, "bytes_before": 0, "bytes_after": 0}
+        assert summary == {"reaped_tmp": 0, "purged_stale": 0,
+                           "purged_corrupt": 0, "evicted": 0, "entries": 0,
+                           "bytes_before": 0, "bytes_after": 0}
 
     def test_manifest_and_store_stats(self, tmp_path):
         store = TraceStore(disk_dir=tmp_path, max_bytes=12345)
