@@ -31,7 +31,12 @@ pipeline efficiency, not just hit counts:
   captured are served from disk, and this sweep's captures warm the
   store for the rest of the suite.  The store's manifest summary
   (entries, bytes, entry ages, lifetime hits served) is appended to the
-  table.
+  table;
+* **two machine specs, one capture** — two *distinct* machine specs
+  (the registry's 32L-AraXL and a slow-ring variant with a different
+  spec fingerprint) replay operating points the cold sweep already
+  captured: machine identity never leaks into the capture key, so the
+  warm cache serves both machines with **zero** new captures.
 
 The warm/cold ratio bounds what any further sweep over the same operating
 points costs, and the hit-rate column verifies the cache keying actually
@@ -44,7 +49,9 @@ timing the limp) fails instead of publishing skewed numbers.
 
 import time
 
+from repro.eval.ablations import run_knob_sweep
 from repro.eval.fig7_latency import run_fig7
+from repro.machine import from_spec, get_machine, machine_fingerprint
 from repro.report import render_table
 from repro.sim import SimPool, TraceCache, TraceStore, autodetect_workers
 
@@ -91,6 +98,7 @@ def test_trace_reuse_cold_vs_warm(benchmark, tmp_path, trace_store):
     t0 = time.perf_counter()
     par_points, par_pool = sweep(workers=_PARALLEL_WORKERS)
     par_s = time.perf_counter() - t0
+    par_stats = dict(cache.stats)
 
     # Cold again, but with the capture phase allowed to fill the shared
     # pool: a fresh store directory so every point is a genuine (worker)
@@ -121,6 +129,24 @@ def test_trace_reuse_cold_vs_warm(benchmark, tmp_path, trace_store):
     store_s = time.perf_counter() - t0
     store_after = dict(trace_store.stats)
 
+    # Two distinct machine *specs* — the registry's 32L-AraXL and a
+    # slow-ring variant (different spec fingerprint) — replaying points
+    # the cold sweep already captured on the warm in-memory cache.
+    spec_machines = [
+        get_machine("32L-AraXL"),
+        from_spec({"family": "araxl", "lanes": 32,
+                   "name": "32L-AraXL-slow-ring",
+                   "interconnect": {"ring_hop_latency": 4}}),
+    ]
+    spec_kernels = [("fmatmul", 128, {"m": 16, "k": 64}),
+                    ("fdotproduct", 256, {})]
+    specs_before = dict(cache.stats)
+    spec_pool = SimPool(workers=1, cache=cache)
+    t0 = time.perf_counter()
+    spec_rows = run_knob_sweep(spec_machines, spec_kernels,
+                               sim_pool=spec_pool)
+    spec_s = time.perf_counter() - t0
+
     def row(label, seconds, stats, pool, prev=None):
         prev = prev or {"misses": 0, "hits": 0, "disk_hits": 0,
                         "remote_puts": 0}
@@ -143,7 +169,7 @@ def test_trace_reuse_cold_vs_warm(benchmark, tmp_path, trace_store):
         row("warm (replay only)", warm_s, warm_stats, warm_pool,
             prev=cold_stats),
         row(f"warm, parallel ({_PARALLEL_WORKERS} workers)", par_s,
-            dict(cache.stats), par_pool, prev=warm_stats),
+            par_stats, par_pool, prev=warm_stats),
         row(f"cold, parallel capture ({_PARALLEL_WORKERS} workers)", cap_s,
             dict(cap_store.stats), cap_pool),
         row("disk cold (capture + write-through)", disk_cold_s,
@@ -152,6 +178,8 @@ def test_trace_reuse_cold_vs_warm(benchmark, tmp_path, trace_store):
             dict(disk_warm.stats), disk_warm_pool),
         row("shared store (suite-wide)", store_s, store_after, store_pool,
             prev=store_before),
+        row("two machine specs, one capture", spec_s, dict(cache.stats),
+            spec_pool, prev=specs_before),
         ("speedup (warm vs cold)", f"{cold_s / warm_s:.2f}x",
          "-", "-", "-", "-", "-", "-", "-", "-", "-", "-"),
         (f"speedup (parallel x{_PARALLEL_WORKERS} vs warm)",
@@ -219,6 +247,19 @@ def test_trace_reuse_cold_vs_warm(benchmark, tmp_path, trace_store):
         faults = pool.pipeline_stats.faults
         assert faults.recovered_total() == 0
         assert faults.worker_crashes == 0 and faults.job_errors == 0
+    # Two distinct machine-spec identities shared every capture: zero
+    # new functional executions, one warm hit per kernel spec, and the
+    # full machines x kernels replay cross-product (the fingerprints
+    # differ, so the replay dedup must NOT conflate the two machines —
+    # the slow-ring variant really produces different numbers).
+    specs_after = dict(cache.stats)
+    assert machine_fingerprint(spec_machines[0]) \
+        != machine_fingerprint(spec_machines[1])
+    assert specs_after["misses"] == specs_before["misses"]
+    assert specs_after["hits"] - specs_before["hits"] == len(spec_kernels)
+    assert spec_pool.pipeline_stats.replay_points \
+        == len(spec_kernels) * len(spec_machines)
+    assert spec_rows[0] != spec_rows[1]
     # The cold sweep's capture phase does real functional work; the warm
     # sweep's capture phase only serves cache hits.
     assert cold_pool.pipeline_stats.capture_seconds > 0.0

@@ -5,6 +5,9 @@ simulation sweeps can attach to the suite-wide shared trace store
 (``--trace-store DIR``, or ``$REPRO_TRACE_STORE``; the GC byte budget
 comes from ``--store-bytes`` or ``$REPRO_TRACE_STORE_BYTES``), so a CLI
 run both reuses and warms the same captures as the benchmark suite.
+Machine selection is spec-driven: ``--machine NAME|PATH`` (repeatable)
+resolves registry names or YAML spec files through
+:mod:`repro.machine`, and ``--list-machines`` prints the registry.
 """
 
 from __future__ import annotations
@@ -13,6 +16,8 @@ import argparse
 import os
 import sys
 
+from ..errors import ConfigError
+from ..machine import get_machine, list_machines
 from ..sim.parallel import SimPool
 from ..sim.trace_cache import TraceCache
 from ..sim.trace_store import ENV_STORE_DIR, TraceStore
@@ -42,12 +47,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval",
         description="Run paper experiments and print the rendered tables.")
-    parser.add_argument("experiments", nargs="+",
-                        choices=sorted(EXPERIMENTS) + ["all"],
-                        help="experiment ids to run ('all' runs every one)")
+    # nargs="*" (not "+") so `--list-machines` works alone; main()
+    # enforces "at least one experiment" and valid ids itself, because
+    # argparse's choices= rejects an empty nargs="*" list outright.
+    parser.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
+                        help="experiment ids to run: "
+                             + ", ".join(sorted(EXPERIMENTS))
+                             + ", or 'all' to run every one")
     parser.add_argument("--scale", default="paper",
                         choices=("paper", "reduced"),
                         help="problem-size scale for the simulation sweeps")
+    parser.add_argument("--machine", action="append", default=None,
+                        metavar="NAME|PATH", dest="machines",
+                        help="machine selection for the simulation sweeps: "
+                             "a registry name (see --list-machines) or a "
+                             "path to a machine-spec YAML file; repeat the "
+                             "flag to sweep several machines (default: each "
+                             "experiment's paper machines)")
+    parser.add_argument("--list-machines", action="store_true",
+                        help="print the machine registry (name, family, "
+                             "lanes, spec fingerprint) and exit")
     parser.add_argument("--workers", type=_workers, default=1,
                         metavar="N|auto",
                         help="total worker-process budget of the shared "
@@ -83,9 +102,34 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """Run the requested experiments; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_machines:
+        for spec in list_machines().values():
+            print(f"{spec.name:12s} family={spec.family:6s} "
+                  f"lanes={spec.lanes:<3d} fingerprint={spec.fingerprint}")
+        return 0
+
+    valid = set(EXPERIMENTS) | {"all"}
+    unknown = [name for name in args.experiments if name not in valid]
+    if unknown:
+        parser.error(f"unknown experiment(s) {', '.join(unknown)}; "
+                     f"choose from {', '.join(sorted(valid))}")
+    if not args.experiments:
+        parser.error("no experiments requested (pass ids like 'fig6' or "
+                     "'all', or use --list-machines)")
     names = sorted(EXPERIMENTS) if "all" in args.experiments \
         else list(dict.fromkeys(args.experiments))
+
+    # Resolve --machine arguments (registry names or spec-file paths)
+    # up front so a typo fails before any simulation work starts.
+    machines = None
+    if args.machines:
+        try:
+            machines = [get_machine(arg) for arg in args.machines]
+        except ConfigError as exc:
+            parser.error(str(exc))
 
     store = None
     if args.trace_store is not None or os.environ.get(ENV_STORE_DIR):
@@ -119,7 +163,8 @@ def main(argv: list[str] | None = None) -> int:
                                   trace_store=store,
                                   capture_workers=args.capture_workers,
                                   job_timeout=args.job_timeout,
-                                  sim_pool=pool)
+                                  sim_pool=pool,
+                                  machines=machines)
             print(text)
             print()
     finally:

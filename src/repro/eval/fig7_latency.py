@@ -15,6 +15,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
+from ..errors import ConfigError
 from ..kernels import KERNELS
 from ..params import AraXLConfig
 from ..report.tables import render_table
@@ -57,6 +58,7 @@ def run_fig7(kernels: tuple[str, ...] | None = None,
              lanes: int = 64,
              interfaces: tuple[str, ...] = ("glsu", "reqi", "ringi"),
              scale: str = "paper",
+             base_config: AraXLConfig | None = None,
              trace_cache: TraceCache | None = None,
              workers: int | None = 1,
              capture_workers: int | None = 1,
@@ -70,7 +72,11 @@ def run_fig7(kernels: tuple[str, ...] | None = None,
     the **replay phase** times the captured trace on the baseline plus
     every interface-cut machine, each point's replays entering the
     shared :class:`~repro.sim.parallel.SimPool` as soon as its trace
-    lands.  ``workers`` is the pool's total process budget (``1`` stays
+    lands.  ``base_config`` substitutes the unmodified machine the cuts
+    are applied to (e.g. one resolved from a spec file); it must be an
+    AraXL-family configuration because the ``*_extra_regs`` knobs are
+    AraXL interconnect quantities, and it overrides ``lanes``.
+    ``workers`` is the pool's total process budget (``1`` stays
     in-process, ``None`` autodetects) and ``capture_workers`` the soft
     share captures may hold while replays are pending; pass your own
     ``sim_pool`` to read its :class:`~repro.sim.parallel.PipelineStats`
@@ -78,7 +84,13 @@ def run_fig7(kernels: tuple[str, ...] | None = None,
     """
     kernels = kernels or tuple(KERNELS)
     kwargs_by_kernel = _SCALE_KWARGS[scale]
-    base_config = AraXLConfig(lanes=lanes)
+    if base_config is None:
+        base_config = AraXLConfig(lanes=lanes)
+    elif getattr(base_config, "family", None) != "araxl":
+        raise ConfigError(
+            f"fig7 sweeps AraXL interface register cuts; machine "
+            f"{getattr(base_config, 'name', base_config)!r} is family "
+            f"{getattr(base_config, 'family', None)!r}, not 'araxl'")
     cut_configs = {interface: dataclasses.replace(
         base_config, **INTERFACE_SETUPS[interface])
         for interface in interfaces}

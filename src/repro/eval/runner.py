@@ -53,55 +53,75 @@ def static_experiment(render: Callable[[], str]) -> Callable[..., str]:
     @functools.wraps(render)
     def runner(scale: str, workers: int | None = 1, trace_cache=None,
                capture_workers: int | None = 1,
-               job_timeout: float | None = None, sim_pool=None) -> str:
+               job_timeout: float | None = None, sim_pool=None,
+               machines=None) -> str:
         del scale, workers, trace_cache, capture_workers  # static data
-        del job_timeout, sim_pool
+        del job_timeout, sim_pool, machines
         return render()
     return runner
 
 
 def _fig6(scale: str, workers: int | None = 1, trace_cache=None,
           capture_workers: int | None = 1,
-          job_timeout: float | None = None, sim_pool=None) -> str:
+          job_timeout: float | None = None, sim_pool=None,
+          machines=None) -> str:
     return render_fig6(run_fig6(scale=scale, workers=workers,
                                 trace_cache=trace_cache,
                                 capture_workers=capture_workers,
                                 job_timeout=job_timeout,
-                                sim_pool=sim_pool))
+                                sim_pool=sim_pool,
+                                machines=machines))
 
 
 def _fig7(scale: str, workers: int | None = 1, trace_cache=None,
           capture_workers: int | None = 1,
-          job_timeout: float | None = None, sim_pool=None) -> str:
-    return render_fig7(run_fig7(scale=scale, workers=workers,
-                                trace_cache=trace_cache,
-                                capture_workers=capture_workers,
-                                job_timeout=job_timeout,
-                                sim_pool=sim_pool))
+          job_timeout: float | None = None, sim_pool=None,
+          machines=None) -> str:
+    # Fig 7 studies register cuts on one base machine at a time: with a
+    # machine selection, the sweep runs once per machine and the tables
+    # are concatenated (a single selection renders byte-identically to
+    # the default when it names the default 64L machine).
+    bases = machines if machines else [None]
+    return "\n\n".join(
+        render_fig7(run_fig7(scale=scale, workers=workers,
+                             trace_cache=trace_cache,
+                             capture_workers=capture_workers,
+                             job_timeout=job_timeout,
+                             sim_pool=sim_pool,
+                             base_config=base))
+        for base in bases)
 
 
 def _table1(scale: str, workers: int | None = 1, trace_cache=None,
             capture_workers: int | None = 1,
-            job_timeout: float | None = None, sim_pool=None) -> str:
-    return render_table1(run_table1(scale=scale, workers=workers,
-                                    trace_cache=trace_cache,
-                                    capture_workers=capture_workers,
-                                    job_timeout=job_timeout,
-                                    sim_pool=sim_pool))
+            job_timeout: float | None = None, sim_pool=None,
+            machines=None) -> str:
+    # Table I measures kernel peaks on one machine at a time, like fig7.
+    configs = machines if machines else [None]
+    return "\n\n".join(
+        render_table1(run_table1(scale=scale, workers=workers,
+                                 trace_cache=trace_cache,
+                                 capture_workers=capture_workers,
+                                 job_timeout=job_timeout,
+                                 sim_pool=sim_pool,
+                                 config=config))
+        for config in configs)
 
 
 def _table3(scale: str, workers: int | None = 1, trace_cache=None,
             capture_workers: int | None = 1,
-            job_timeout: float | None = None, sim_pool=None) -> str:
+            job_timeout: float | None = None, sim_pool=None,
+            machines=None) -> str:
     return render_table3(run_table3(scale=scale, workers=workers,
                                     trace_cache=trace_cache,
                                     capture_workers=capture_workers,
                                     job_timeout=job_timeout,
-                                    sim_pool=sim_pool))
+                                    sim_pool=sim_pool,
+                                    configs=machines))
 
 
 #: Experiment id -> callable(scale, workers, trace_cache,
-#: capture_workers) -> rendered text.
+#: capture_workers, job_timeout, sim_pool, machines) -> rendered text.
 EXPERIMENTS: dict[str, Callable[..., str]] = {
     "fig1": static_experiment(render_survey),
     "fig6": _fig6,
@@ -122,7 +142,8 @@ def run_experiment(name: str, scale: str = "paper",
                    trace_store=None,
                    capture_workers: int | None = 1,
                    job_timeout: float | None = None,
-                   sim_pool=None) -> str:
+                   sim_pool=None,
+                   machines=None) -> str:
     """Run one experiment by id ('fig6', 'table3', ...); returns text.
 
     ``workers`` is the total worker-process budget of the shared
@@ -141,6 +162,15 @@ def run_experiment(name: str, scale: str = "paper",
     case the other pool knobs are ignored.  Rendered output is
     byte-identical for any ``workers`` value, any store state (cold,
     warm, or GC'd mid-run), and any recovered fault.
+
+    ``machines`` substitutes the machine selection of the simulation
+    sweeps: a sequence of :class:`~repro.params.SystemConfig` objects,
+    typically resolved from registry names or spec files via
+    :func:`repro.machine.get_machine`.  fig6 and table3 sweep the whole
+    selection in one table; fig7 and table1 run once per machine
+    (concatenating tables); static experiments ignore it by contract.
+    ``None`` keeps each experiment's paper defaults, and a selection
+    naming exactly the defaults renders byte-identically to them.
     """
     try:
         runner = EXPERIMENTS[name]
@@ -151,4 +181,4 @@ def run_experiment(name: str, scale: str = "paper",
     cache = attach_store(trace_store) if name in SIMULATION_EXPERIMENTS \
         else None
     return runner(scale, workers, cache, capture_workers,
-                  job_timeout, sim_pool)
+                  job_timeout, sim_pool, machines)

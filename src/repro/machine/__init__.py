@@ -1,0 +1,39 @@
+"""Machine models as data: specs, registry, fingerprints.
+
+This package is the declarative face of the machine-model layer:
+
+* :class:`~repro.machine.spec.MachineSpec` — a typed, validated,
+  dict/YAML-loadable description of one machine (schema in
+  :data:`~repro.machine.spec.SPEC_FIELDS`, documented in
+  ``docs/machine-models.md``);
+* :func:`~repro.machine.spec.to_spec` /
+  :func:`~repro.machine.spec.from_spec` — lossless round-trip between
+  specs and the frozen config dataclasses in :mod:`repro.params`;
+* :func:`~repro.machine.registry.list_machines` /
+  :func:`~repro.machine.registry.get_machine` — the shipped paper
+  machines (``repro/machine/specs/*.yaml``) plus user spec files;
+* :func:`~repro.machine.registry.machine_fingerprint` — the stable
+  timing-identity hash the sweep planner keys replay results by.
+"""
+
+from .spec import (FAMILIES, SPEC_FIELDS, MachineSpec, SpecError,
+                   SpecField, from_spec, parse_spec_yaml, spec_field_rows,
+                   to_spec)
+from .registry import (SPECS_DIR, get_machine, list_machines,
+                       machine_fingerprint)
+
+__all__ = [
+    "FAMILIES",
+    "SPEC_FIELDS",
+    "SPECS_DIR",
+    "MachineSpec",
+    "SpecError",
+    "SpecField",
+    "from_spec",
+    "get_machine",
+    "list_machines",
+    "machine_fingerprint",
+    "parse_spec_yaml",
+    "spec_field_rows",
+    "to_spec",
+]

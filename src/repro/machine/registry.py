@@ -1,0 +1,83 @@
+"""The machine registry: shipped specs and name/path resolution.
+
+Every machine the paper evaluates ships as a YAML spec file under
+``repro/machine/specs/``; the registry loads them once, keys them by
+display name, and resolves ``--machine`` arguments — a registry name
+like ``"32L-AraXL"`` or a path to a user YAML file — to runnable
+configurations.  ``machine_fingerprint`` is the identity the sweep
+planner keys replay results by (see :mod:`repro.machine.spec`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..params import SystemConfig
+from .spec import FAMILIES, MachineSpec, SpecError, to_spec
+
+#: Directory holding the shipped machine spec files.
+SPECS_DIR = Path(__file__).resolve().parent / "specs"
+
+_REGISTRY: dict[str, MachineSpec] | None = None
+
+
+def _load_registry() -> dict[str, MachineSpec]:
+    """Load every shipped spec once, keyed by display name."""
+    global _REGISTRY
+    if _REGISTRY is None:
+        registry: dict[str, MachineSpec] = {}
+        for path in sorted(SPECS_DIR.glob("*.yaml")):
+            spec = MachineSpec.from_yaml(path)
+            if spec.name in registry:
+                raise SpecError(
+                    f"duplicate machine name {spec.name!r} in shipped "
+                    f"specs ({path.name})")
+            registry[spec.name] = spec
+        _REGISTRY = registry
+    return _REGISTRY
+
+
+def list_machines() -> dict[str, MachineSpec]:
+    """All shipped machines, name -> spec, in a stable display order.
+
+    Sorted by family then lane count, matching the paper's tables
+    (Ara2 baselines first, then the AraXL instances).
+    """
+    registry = _load_registry()
+    ordered = sorted(registry.values(),
+                     key=lambda s: (FAMILIES.index(s.family), s.lanes))
+    return {spec.name: spec for spec in ordered}
+
+
+def get_machine(name_or_path: str) -> SystemConfig:
+    """Resolve a machine argument to a configuration object.
+
+    Accepts a registry name (``"64L-AraXL"``) or a path to a spec file
+    (anything containing a path separator or ending in ``.yaml`` /
+    ``.yml``).  Unknown names raise :class:`SpecError` listing every
+    registered machine.
+    """
+    registry = _load_registry()
+    if name_or_path in registry:
+        return registry[name_or_path].to_config()
+    looks_like_path = ("/" in name_or_path or "\\" in name_or_path
+                       or name_or_path.endswith((".yaml", ".yml")))
+    if looks_like_path or Path(name_or_path).exists():
+        return MachineSpec.from_yaml(name_or_path).to_config()
+    known = ", ".join(list_machines())
+    raise SpecError(
+        f"unknown machine {name_or_path!r}: not a registered name and "
+        f"not a spec file on disk; registered machines: {known}")
+
+
+def machine_fingerprint(config: SystemConfig) -> str:
+    """Spec fingerprint of a configuration (replay-identity key).
+
+    Falls back to the configuration's ``repr`` for objects outside the
+    spec-supported families, so exotic configs are still deduplicated
+    conservatively (equal reprs share replays, nothing is conflated).
+    """
+    try:
+        return to_spec(config).fingerprint
+    except SpecError:
+        return f"repr:{config!r}"

@@ -120,7 +120,17 @@ class SystemConfig:
     Subclasses fix the interconnect style; all derived quantities
     (``vlen_bits``, ``vlmax``, bandwidths) live here so kernels and the
     timing engine can be written against a single interface.
+
+    Every field is a named quantity of the machine's declarative spec
+    (:mod:`repro.machine`): configurations round-trip through
+    ``to_spec()``/``from_spec()`` and the timing models in
+    :mod:`repro.uarch` read *only* these fields — there are no timing
+    constants baked into the model code.
     """
+
+    #: Family tag used by the spec layer and the PPA/physdesign models
+    #: to select interconnect laws; overridden by the subclasses.
+    family = "generic"
 
     lanes: int = 16
     memory: MemoryConfig = dataclasses.field(default_factory=MemoryConfig)
@@ -133,6 +143,26 @@ class SystemConfig:
     fpu_latency: int = 5
     #: Integer ALU pipeline depth.
     valu_latency: int = 1
+    #: Datapath width of one lane in bits: each lane produces/consumes
+    #: one ``lane_width_bits`` word per cycle, SIMD-packing narrower
+    #: elements (the 64-bit datapath of Ara's lanes).
+    lane_width_bits: int = 64
+    #: Local shuffle pipeline depth of the slide unit (cycles).
+    sldu_latency: int = 1
+    #: Mask-unit pipeline depth (cycles).
+    masku_latency: int = 2
+    #: CVA6-visible cost of reconfiguring the vector unit (cycles).
+    vsetvli_cycles: int = 3
+    #: Fixed cycles to commit a reduction's scalar result into the
+    #: destination register after the last combining step.
+    reduction_writeback_cycles: int = 3
+    #: Indexed (gather/scatter) throughput as a fraction of the strided
+    #: address-generation rate: index fetch and address compute share
+    #: the generator, halving it in both microarchitectures.
+    indexed_throughput_factor: float = 0.5
+    #: Display name override (set for machines defined by a spec file
+    #: whose ``name`` differs from the derived ``{lanes}L-{family}``).
+    label: str | None = None
 
     def __post_init__(self) -> None:
         if self.lanes < 1:
@@ -141,6 +171,17 @@ class SystemConfig:
             raise ConfigError("lane count must be a power of two")
         if self.dispatch_latency < 1 or self.unit_queue_depth < 1:
             raise ConfigError("dispatch latency and queue depth must be >= 1")
+        if self.lane_width_bits < max(SUPPORTED_SEWS) \
+                or self.lane_width_bits & (self.lane_width_bits - 1):
+            raise ConfigError(
+                f"lane width must be a power of two of at least "
+                f"{max(SUPPORTED_SEWS)} bits, got {self.lane_width_bits}")
+        if self.sldu_latency < 0 or self.masku_latency < 0 \
+                or self.vsetvli_cycles < 0 \
+                or self.reduction_writeback_cycles < 0:
+            raise ConfigError("unit latencies cannot be negative")
+        if self.indexed_throughput_factor <= 0:
+            raise ConfigError("indexed throughput factor must be positive")
         vlen = self.lanes * VLEN_BITS_PER_LANE
         if vlen > RVV_MAX_VLEN_BITS:
             raise ConfigError(
@@ -170,8 +211,8 @@ class SystemConfig:
 
     @property
     def datapath_bytes_per_cycle(self) -> int:
-        """Bytes the lanes jointly produce/consume per cycle (64 b/lane)."""
-        return 8 * self.lanes
+        """Bytes the lanes jointly produce/consume per cycle."""
+        return (self.lane_width_bits // 8) * self.lanes
 
     @property
     def peak_dp_flops_per_cycle(self) -> int:
@@ -209,8 +250,8 @@ class SystemConfig:
         raise ConfigError(f"vl={vl} exceeds VLMAX at LMUL=8 for {self.lanes} lanes")
 
     @property
-    def name(self) -> str:  # overridden by subclasses
-        return f"{self.lanes}L-generic"
+    def name(self) -> str:  # derived name; subclasses change the suffix
+        return self.label or f"{self.lanes}L-generic"
 
 
 @dataclass(frozen=True)
@@ -224,13 +265,40 @@ class Ara2Config(SystemConfig):
     both area and achievable frequency.
     """
 
+    family = "ara2"
+
     #: Extra issue-to-first-operation latency of the lumped design (small:
     #: no REQI broadcast, the sequencer talks to CVA6 directly).
     accelerator_ack_latency: int = 1
+    #: Minimum cycles between two vector-instruction issues: the lumped
+    #: sequencer acknowledges back-to-back.
+    issue_gap_cycles: float = 1.0
+    #: Cycles for a vector-to-scalar result (reductions, ``vmv.x.s``) to
+    #: land back in a CVA6 register.
+    scalar_result_latency: int = 2
+    #: Handshake registers of the lumped VLSU's load path, added on top
+    #: of the raw L2 latency (request out + first beat in).
+    vlsu_pipe_latency: int = 2
+    #: Posted-store datapath latency through the lumped VLSU (cycles).
+    store_pipe_latency: int = 2
+    #: Parallel strided-access address generators (the lumped VLSU has
+    #: exactly one, hence one strided element per cycle).
+    strided_addrgens: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.accelerator_ack_latency < 0 or self.scalar_result_latency < 0:
+            raise ConfigError("issue/result latencies cannot be negative")
+        if self.issue_gap_cycles < 1:
+            raise ConfigError("issue gap must be >= 1 cycle")
+        if self.vlsu_pipe_latency < 0 or self.store_pipe_latency < 0:
+            raise ConfigError("VLSU pipe latencies cannot be negative")
+        if self.strided_addrgens < 1:
+            raise ConfigError("need at least one strided address generator")
 
     @property
     def name(self) -> str:
-        return f"{self.lanes}L-Ara2"
+        return self.label or f"{self.lanes}L-Ara2"
 
 
 @dataclass(frozen=True)
@@ -248,6 +316,8 @@ class AraXLConfig(SystemConfig):
     * ``ringi_extra_regs=1`` adds 1 cycle to every ring hop.
     """
 
+    family = "araxl"
+
     glsu_extra_regs: int = 0
     reqi_extra_regs: int = 0
     ringi_extra_regs: int = 0
@@ -258,6 +328,20 @@ class AraXLConfig(SystemConfig):
     #: Base GLSU pipeline depth added on top of the L2 latency; grows with
     #: the number of clusters because Align/Shuffle are log2-level networks.
     glsu_base_stages: int = 3
+    #: Cluster-0-to-CVA6 acknowledgement latency with no extra register
+    #: cuts (a single answer-path cycle).
+    reqi_ack_base_latency: int = 1
+    #: Minimum cycles between two vector-instruction issues with no
+    #: extra register cuts: one cycle out plus one cycle back on the
+    #: request/acknowledge round trip.
+    reqi_issue_base_gap: int = 2
+    #: Cycles each inter-cluster reduction step spends handing a partial
+    #: result between the ring stop and the FPU, on top of the FPU's
+    #: own pipeline depth.
+    ring_reduction_op_overhead: float = 1.0
+    #: Strided-access address generators per cluster VLSU (each cluster
+    #: emits this many element requests per cycle; the GLSU merges them).
+    strided_addrgens_per_cluster: int = 1
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -269,6 +353,14 @@ class AraXLConfig(SystemConfig):
             raise ConfigError("extra register counts cannot be negative")
         if self.ring_hop_latency < 1:
             raise ConfigError("ring hop latency must be >= 1 cycle")
+        if self.reqi_ack_base_latency < 0 or self.reqi_issue_base_gap < 1:
+            raise ConfigError(
+                "REQI ack latency must be >= 0 and issue gap >= 1")
+        if self.ring_reduction_op_overhead < 0:
+            raise ConfigError("ring reduction overhead cannot be negative")
+        if self.strided_addrgens_per_cluster < 1:
+            raise ConfigError(
+                "need at least one strided address generator per cluster")
 
     @property
     def clusters(self) -> int:
@@ -300,11 +392,11 @@ class AraXLConfig(SystemConfig):
     @property
     def reqi_ack_latency(self) -> int:
         """Cluster-0-to-CVA6 acknowledgement latency (limits issue rate)."""
-        return 1 + self.reqi_extra_regs
+        return self.reqi_ack_base_latency + self.reqi_extra_regs
 
     @property
     def name(self) -> str:
-        return f"{self.lanes}L-AraXL"
+        return self.label or f"{self.lanes}L-AraXL"
 
 
 def paper_configurations() -> dict[str, SystemConfig]:

@@ -102,6 +102,11 @@ TARGET_UTILIZATION = 0.78
 
 def build_floorplan(config: AraXLConfig) -> Floorplan:
     """Two cluster columns around a central interface strait (Fig 8)."""
+    if getattr(config, "family", None) != "araxl":
+        raise ConfigError(
+            f"floorplans are defined for AraXL-family machines only; "
+            f"{config.name!r} is family {getattr(config, 'family', None)!r}"
+            f" (Ara2 is a flat macro, not a cluster hierarchy)")
     area = araxl_area(config.lanes)
     clusters = config.clusters
     cluster_kge = (area.component("lanes") + area.component("masku")

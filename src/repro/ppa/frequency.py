@@ -12,7 +12,7 @@ Calibration targets (Section IV-D, Table III):
 
 from __future__ import annotations
 
-from ..params import Ara2Config, AraXLConfig, SystemConfig
+from ..params import AraXLConfig, SystemConfig
 
 #: Frequency of the hardened 4-lane cluster (and small Ara2 instances).
 BASE_FREQ_GHZ = 1.40
@@ -43,9 +43,16 @@ def araxl_frequency_ghz(lanes: int) -> float:
 
 
 def max_frequency_ghz(config: SystemConfig) -> float:
-    """Typical-corner fmax for any supported machine configuration."""
-    if isinstance(config, AraXLConfig):
+    """Typical-corner fmax for any supported machine configuration.
+
+    Dispatches on the configuration's spec ``family`` tag (the same
+    identity the machine-spec layer validates against), so any config
+    built from a spec — shipped or user YAML — lands on the right law.
+    """
+    family = getattr(config, "family", None)
+    if family == "araxl":
         return araxl_frequency_ghz(config.lanes)
-    if isinstance(config, Ara2Config):
+    if family == "ara2":
         return ara2_frequency_ghz(config.lanes)
-    raise TypeError(f"no frequency model for {type(config).__name__}")
+    raise TypeError(f"no frequency model for machine family {family!r} "
+                    f"({type(config).__name__})")

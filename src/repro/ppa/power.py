@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..params import Ara2Config, SystemConfig
+from ..params import SystemConfig
 from ..timing.report import TimingReport
 from .area import AreaBreakdown, ara2_area, araxl_area
 
@@ -54,7 +54,8 @@ class PowerEstimate:
 
 
 def _area_for(config: SystemConfig) -> AreaBreakdown:
-    if isinstance(config, Ara2Config):
+    # Family dispatch (spec identity), like the frequency model.
+    if getattr(config, "family", None) == "ara2":
         return ara2_area(config.lanes)
     return araxl_area(config.lanes)
 
@@ -63,7 +64,7 @@ def power_watts(config: SystemConfig, report: TimingReport,
                 freq_ghz: float) -> PowerEstimate:
     """Average power of a workload characterized by ``report``."""
     area = _area_for(config)
-    is_ara2 = isinstance(config, Ara2Config)
+    is_ara2 = getattr(config, "family", None) == "ara2"
     idle = area.total_kge * IDLE_W_PER_KGE_GHZ * freq_ghz
     if is_ara2:
         a2a_kge = sum(area.component(c) for c in ("masku", "vlsu", "sldu"))

@@ -1190,8 +1190,28 @@ def run_pipeline(captures: Sequence[CaptureTask],
     single ``workers=`` process budget.  Returns one report per replay
     entry **in replay order**, byte-identical for any pool sizing.
     Per-phase wall-clock lands in ``pool.pipeline_stats``.
+
+    Replays are deduplicated by **machine-spec identity**: two entries
+    naming the same capture and configs with equal
+    :func:`~repro.machine.registry.machine_fingerprint` values (e.g. a
+    builtin config and a YAML spec differing only in display name) run
+    once and share the report object.  Capture keys never involve the
+    fingerprint — traces stay machine-independent.
     """
-    return pool.run(captures, replays)
+    from ..machine.registry import machine_fingerprint
+
+    unique: dict = {}
+    order: list[PipelineReplay] = []
+    expand: list[int] = []
+    for config, cidx in replays:
+        key = (cidx, machine_fingerprint(config))
+        slot = unique.get(key)
+        if slot is None:
+            slot = unique[key] = len(order)
+            order.append((config, cidx))
+        expand.append(slot)
+    reports = pool.run(captures, order)
+    return [reports[i] for i in expand]
 
 
 # ----------------------------------------------------------------------

@@ -7,6 +7,7 @@ AraXL interfaces have dedicated sub-models (:mod:`repro.uarch.glsu`,
 of the paper.
 """
 
+from ..params import Ara2Config, AraXLConfig
 from .common import MachineModel
 from .ara2 import Ara2Model
 from .araxl import AraXLModel
@@ -17,8 +18,6 @@ from .ringi import RingiModel
 
 def build_model(config) -> MachineModel:
     """Construct the right timing model for a configuration object."""
-    from ..params import Ara2Config, AraXLConfig
-
     if isinstance(config, AraXLConfig):
         return AraXLModel(config)
     if isinstance(config, Ara2Config):

@@ -31,31 +31,33 @@ class Ara2Model(MachineModel):
 
     @property
     def issue_gap(self) -> float:
-        return 1.0
+        return float(self.config.issue_gap_cycles)
 
     @property
     def scalar_result_latency(self) -> int:
-        return 2
+        return self.config.scalar_result_latency
 
     # ------------------------------------------------------------------
     # Memory: single-cycle A2A align+shuffle inside the VLSU.
     # ------------------------------------------------------------------
     @property
     def load_first_data_latency(self) -> int:
-        return self.config.memory.l2_latency_cycles + 2
+        return self.config.memory.l2_latency_cycles \
+            + self.config.vlsu_pipe_latency
 
     @property
     def store_pipe_latency(self) -> int:
-        return 2
+        return self.config.store_pipe_latency
 
     @property
     def strided_elems_per_cycle(self) -> float:
-        # One address generator: one element per cycle.
-        return 1.0
+        # One element per address generator per cycle.
+        return float(self.config.strided_addrgens)
 
     @property
     def indexed_elems_per_cycle(self) -> float:
-        return 0.5
+        return self.strided_elems_per_cycle \
+            * self.config.indexed_throughput_factor
 
     # ------------------------------------------------------------------
     # Slides: the lumped SLDU shuffles all lanes in one step.
@@ -69,6 +71,5 @@ class Ara2Model(MachineModel):
     def reduction_tail_cycles(self, sew: int) -> float:
         inter_lane_steps = int(math.log2(self.lanes)) if self.lanes > 1 else 0
         per_step = self.fpu_latency + self.sldu_latency
-        writeback = 3
         return inter_lane_steps * per_step + self.simd_reduction_cycles(sew) \
-            + writeback
+            + self.config.reduction_writeback_cycles

@@ -33,6 +33,8 @@ class AraXLModel(MachineModel):
         self.reqi = ReqiModel(
             broadcast_latency=config.reqi_broadcast_latency,
             extra_regs=config.reqi_extra_regs,
+            ack_base_latency=config.reqi_ack_base_latency,
+            issue_base_gap=config.reqi_issue_base_gap,
         )
         self.glsu = GlsuModel(
             clusters=config.clusters,
@@ -78,14 +80,16 @@ class AraXLModel(MachineModel):
 
     @property
     def strided_elems_per_cycle(self) -> float:
-        # Each cluster VLSU emits one element request per cycle; the GLSU
-        # addrgen merges them.  (The paper only promises "lower throughput"
-        # for these patterns.)
-        return float(self.clusters)
+        # Each cluster VLSU emits one element request per address
+        # generator per cycle; the GLSU addrgen merges them.  (The paper
+        # only promises "lower throughput" for these patterns.)
+        return float(self.config.strided_addrgens_per_cluster
+                     * self.clusters)
 
     @property
     def indexed_elems_per_cycle(self) -> float:
-        return self.clusters / 2.0
+        return self.strided_elems_per_cycle \
+            * self.config.indexed_throughput_factor
 
     # ------------------------------------------------------------------
     # Slides over the ring
@@ -101,7 +105,8 @@ class AraXLModel(MachineModel):
         lanes_pc = self.config.lanes_per_cluster
         inter_lane_steps = int(math.log2(lanes_pc)) if lanes_pc > 1 else 0
         per_step = self.fpu_latency + self.sldu_latency
-        ring = self.ringi.reduction_ring_cycles(self.fpu_latency + 1.0)
-        writeback = 3
+        ring = self.ringi.reduction_ring_cycles(
+            self.fpu_latency + self.config.ring_reduction_op_overhead)
         return inter_lane_steps * per_step + ring \
-            + self.simd_reduction_cycles(sew) + writeback
+            + self.simd_reduction_cycles(sew) \
+            + self.config.reduction_writeback_cycles

@@ -5,9 +5,16 @@ machine instance.  Both microarchitectures share the lane datapath (one
 64-bit FPU+ALU per lane) — they differ in the interconnects, which is
 precisely the paper's point — so the common rates live here and the
 subclasses override the interface-dependent quantities.
+
+Every quantity a model returns is read from a named field of the
+machine's configuration (equivalently, of its declarative
+:class:`~repro.machine.MachineSpec`): this module contains *laws*
+(how fields combine), never latency constants of its own.
 """
 
 from __future__ import annotations
+
+import math
 
 from ..isa.instructions import MemPattern
 from ..params import SystemConfig
@@ -34,16 +41,17 @@ class MachineModel:
     # Lane datapath (shared)
     # ------------------------------------------------------------------
     def vfu_rate(self, sew: int) -> float:
-        """Elements/cycle across all lanes (64-bit datapath, SIMD below 64)."""
-        return self.lanes * (64 / sew)
+        """Elements/cycle across all lanes (one lane-width word per lane
+        per cycle, SIMD-packed below the lane width)."""
+        return self.lanes * (self.config.lane_width_bits / sew)
 
     def sldu_rate(self, sew: int) -> float:
-        """Local slide shuffle throughput (64 bit/lane/cycle)."""
-        return self.lanes * (64 / sew)
+        """Local slide shuffle throughput (one lane word/lane/cycle)."""
+        return self.lanes * (self.config.lane_width_bits / sew)
 
     def masku_bit_rate(self) -> float:
         """Mask-layout operations process this many mask bits per cycle."""
-        return self.lanes * 64.0
+        return self.lanes * float(self.config.lane_width_bits)
 
     @property
     def fpu_latency(self) -> int:
@@ -56,11 +64,11 @@ class MachineModel:
     @property
     def sldu_latency(self) -> int:
         """Local shuffle pipeline depth of the slide unit."""
-        return 1
+        return self.config.sldu_latency
 
     @property
     def masku_latency(self) -> int:
-        return 2
+        return self.config.masku_latency
 
     @property
     def dispatch_latency(self) -> int:
@@ -73,7 +81,7 @@ class MachineModel:
     @property
     def vsetvli_cycles(self) -> int:
         """CVA6-visible cost of reconfiguring the vector unit."""
-        return 3
+        return self.config.vsetvli_cycles
 
     # ------------------------------------------------------------------
     # Memory rates (bandwidths shared; latencies are interface-specific)
@@ -136,8 +144,7 @@ class MachineModel:
         raise NotImplementedError
 
     def simd_reduction_cycles(self, sew: int) -> float:
-        """Final SIMD stage: fold sub-64-bit elements inside a word."""
-        import math
-
-        steps = int(math.log2(64 // sew)) if sew < 64 else 0
+        """Final SIMD stage: fold sub-lane-width elements inside a word."""
+        width = self.config.lane_width_bits
+        steps = int(math.log2(width // sew)) if sew < width else 0
         return steps * self.fpu_latency

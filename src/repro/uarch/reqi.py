@@ -18,6 +18,10 @@ class ReqiModel:
 
     broadcast_latency: int = 2  # CVA6 -> all clusters
     extra_regs: int = 0
+    #: Answer-path latency with no extra register cuts.
+    ack_base_latency: int = 1
+    #: Issue round-trip floor (one cycle out + one back) with no cuts.
+    issue_base_gap: int = 2
 
     @property
     def request_latency(self) -> int:
@@ -28,20 +32,22 @@ class ReqiModel:
     def ack_latency(self) -> int:
         """Cycles from cluster acceptance back to CVA6.
 
-        With no extra registers the answer path is a single cycle; every
-        extra register adds one cycle in each direction, matching the
-        paper's "acknowledged back to CVA6 2 cycles later" for +1 register.
+        With no extra registers the answer path is ``ack_base_latency``
+        cycles; every extra register adds one cycle in each direction,
+        matching the paper's "acknowledged back to CVA6 2 cycles later"
+        for +1 register.
         """
-        return 1 + self.extra_regs
+        return self.ack_base_latency + self.extra_regs
 
     @property
     def issue_gap(self) -> int:
         """Minimum cycles between two vector instruction issues.
 
         CVA6 cannot issue the next vector instruction before the previous
-        one is acknowledged: out + back.
+        one is acknowledged: out + back, each lengthened by one cycle per
+        extra register cut.
         """
-        return self.extra_regs * 2 + 2
+        return self.extra_regs * 2 + self.issue_base_gap
 
     @property
     def scalar_result_latency(self) -> int:

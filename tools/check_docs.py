@@ -29,8 +29,8 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
 #: Markdown files the link/CLI checks cover.
-DOC_FILES = ("README.md", "docs/architecture.md", "docs/trace-store.md",
-             "docs/robustness.md")
+DOC_FILES = ("README.md", "docs/architecture.md", "docs/machine-models.md",
+             "docs/trace-store.md", "docs/robustness.md")
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
