@@ -13,14 +13,14 @@ resolves registry names or YAML spec files through
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 
+from ..env import ENV_STORE_DIR, read_env
 from ..errors import ConfigError
 from ..machine import get_machine, list_machines
 from ..sim.parallel import SimPool
 from ..sim.trace_cache import TraceCache
-from ..sim.trace_store import ENV_STORE_DIR, TraceStore
+from ..sim.trace_store import TraceStore
 from .runner import EXPERIMENTS, SIMULATION_EXPERIMENTS, run_experiment
 
 
@@ -132,7 +132,7 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(str(exc))
 
     store = None
-    if args.trace_store is not None or os.environ.get(ENV_STORE_DIR):
+    if args.trace_store is not None or read_env(ENV_STORE_DIR):
         store = TraceStore(disk_dir=args.trace_store,
                            max_bytes=args.store_bytes)
     elif args.gc or args.store_stats or args.store_bytes is not None:

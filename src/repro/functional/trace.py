@@ -15,7 +15,7 @@ from typing import Iterator, Optional
 from ..isa.instructions import Instruction, MemPattern
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemAccess:
     """Shape of a vector memory access (addresses, not data)."""
 
@@ -82,6 +82,8 @@ class VsetvlEvent:
         self.vl, self.sew, self.lmul = state
 
 
+# repro-lint: disable=RL401  needs __dict__: cached_property + the
+# timing engine's per-instance _tinfo decode cache live there
 class VectorEvent:
     """A retired vector instruction with its dynamic configuration.
 
@@ -120,7 +122,7 @@ class VectorEvent:
 TraceEvent = object  # union of the three event types
 
 
-@dataclass
+@dataclass(slots=True)
 class DynamicTrace:
     """Ordered event stream plus cheap aggregate counters."""
 

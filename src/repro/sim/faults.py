@@ -46,8 +46,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-#: Environment variable holding a :meth:`FaultPlan.from_spec` string.
-ENV_FAULT_PLAN = "REPRO_FAULT_PLAN"
+# ENV_FAULT_PLAN is re-exported for the module's historical importers:
+# the canonical definition (and all os.environ access) lives in the
+# repro.env registry.
+from ..env import ENV_FAULT_PLAN, read_env
 
 #: Exit status used for injected worker crashes (distinguishable from a
 #: genuine interpreter abort in worker logs).
@@ -203,8 +205,7 @@ class FaultPlan:
     @classmethod
     def from_env(cls, environ=None) -> Optional["FaultPlan"]:
         """Plan from ``$REPRO_FAULT_PLAN``, or ``None`` when unset."""
-        env = os.environ if environ is None else environ
-        spec = env.get(ENV_FAULT_PLAN)
+        spec = read_env(ENV_FAULT_PLAN, environ)
         if not spec:
             return None
         return cls.from_spec(spec)

@@ -665,10 +665,14 @@ class SimPool:
                 for proc in list(procs.values()):
                     try:
                         proc.terminate()
+                    # repro-lint: disable=RL201  best-effort teardown of a
+                    # maybe-dead process; no recovery path exists past here
                     except Exception:
                         pass  # already exited, or not a real process
             try:
                 executor.shutdown(wait=True, cancel_futures=True)
+            # repro-lint: disable=RL201  best-effort teardown of a broken
+            # executor; no recovery path exists past shutdown
             except Exception:
                 pass  # a broken executor may refuse; nothing to keep
 

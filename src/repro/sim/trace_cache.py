@@ -133,8 +133,11 @@ DEFAULT_CAPACITY = 32
 #: manual bump.  v3: the payload is nested as pickled bytes so envelope
 #: validation need not deserialize the trace.  v4: the payload bytes are
 #: zlib-compressed (a v3 file fails the format check and reads as a
-#: plain miss, never as a decompression error).
-DISK_FORMAT_VERSION = 4
+#: plain miss, never as a decompression error).  v5: trace event classes
+#: (``MemAccess``, ``DynamicTrace``) grew ``__slots__``, changing their
+#: pickled state shape — a v4 payload would fail mid-unpickle and be
+#: miscounted as *corrupt*; the bump makes it a plain stale miss.
+DISK_FORMAT_VERSION = 5
 
 #: zlib level for the payload bytes.  The default (6) already reaches
 #: within a few percent of level 9 on trace pickles at a fraction of the
@@ -231,6 +234,7 @@ def _unwrap_envelope(obj: object) -> Optional[ExecResult]:
         return None  # older revision, drifted schema, or foreign shape
     try:
         payload = pickle.loads(zlib.decompress(obj["payload"]))
+    # repro-lint: disable=RL201  unpickling corrupt bytes can raise any type
     except Exception:
         return None  # corrupt compressed bytes or inner pickle: a miss
     return payload if isinstance(payload, ExecResult) else None
@@ -272,6 +276,8 @@ class TraceCache:
 
     def _now(self) -> float:
         """Current time per the injected clock (wall clock by default)."""
+        # repro-lint: disable=RL101  injected-clock default: feeds only
+        # GC age judgements and manifest ages, never a rendered table
         return time.time() if self.clock is None else self.clock()
 
     # ------------------------------------------------------------------
@@ -312,6 +318,7 @@ class TraceCache:
                 obj = pickle.load(fh)
         except (KeyboardInterrupt, SystemExit):
             raise
+        # repro-lint: disable=RL201  unpickling foreign files raises any type
         except Exception:
             return None  # unreadable/foreign file: fall through to a miss
         if not _validate_envelope(obj):
@@ -502,6 +509,7 @@ class TraceCache:
                 obj = pickle.load(fh)
         except (KeyboardInterrupt, SystemExit):
             raise
+        # repro-lint: disable=RL201  unpickling foreign files raises any type
         except Exception:
             return False
         return _validate_envelope(obj) and _crc_ok(obj)

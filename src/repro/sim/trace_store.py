@@ -60,20 +60,16 @@ what the shared store actually served.
 
 from __future__ import annotations
 
-import os
 import pickle
 from pathlib import Path
 from typing import Callable, Optional, Union
 
+# Re-exported for the module's historical importers: the canonical
+# definitions (and the only os.environ access) live in repro.env.
+from ..env import ENV_STORE_BYTES, ENV_STORE_DIR, read_env
 from .faults import FaultPlan
 from .trace_cache import (DEFAULT_CAPACITY, TraceCache, _crc_ok,
                           _validate_envelope, _write_envelope)
-
-#: Environment variable naming the shared store directory.
-ENV_STORE_DIR = "REPRO_TRACE_STORE"
-
-#: Environment variable naming the GC byte budget.
-ENV_STORE_BYTES = "REPRO_TRACE_STORE_BYTES"
 
 #: Suite-default store location: ``benchmarks/out/trace_cache`` (kept
 #: under the gitignored bench output directory, so a checkout never
@@ -100,7 +96,7 @@ def resolve_store_dir(explicit: Union[str, Path, None] = None,
     """Store directory: explicit arg > $REPRO_TRACE_STORE > default."""
     if explicit is not None:
         return Path(explicit)
-    env = os.environ.get(ENV_STORE_DIR)
+    env = read_env(ENV_STORE_DIR)
     if env:
         return Path(env)
     return Path(default)
@@ -110,7 +106,7 @@ def resolve_store_bytes(explicit: Optional[int] = None) -> int:
     """GC byte budget: explicit arg > $REPRO_TRACE_STORE_BYTES > default."""
     if explicit is not None:
         return int(explicit)
-    env = os.environ.get(ENV_STORE_BYTES)
+    env = read_env(ENV_STORE_BYTES)
     if env:
         return int(env)
     return DEFAULT_MAX_BYTES
@@ -195,6 +191,7 @@ class TraceStore(TraceCache):
                     obj = pickle.load(fh)
             except OSError:
                 continue  # concurrently evicted: nothing to manage
+            # repro-lint: disable=RL201  unpickling garbage raises any type
             except Exception:
                 obj = None  # corrupt/truncated: treat as stale below
             # Tag-only validation: the nested payload bytes stay packed,
@@ -269,6 +266,7 @@ class TraceStore(TraceCache):
                     hits_served = int(obj.get("hits_served", 0))
                     corrupt = (_validate_envelope(obj)
                                and not _crc_ok(obj))
+            # repro-lint: disable=RL201  unpickling garbage raises any type
             except Exception:
                 corrupt = True  # unreadable on disk: flagged until GC'd
             rows.append({"file": path.name, "bytes": stat.st_size,
@@ -310,6 +308,6 @@ def attach_store(store: Union[TraceCache, str, Path, None] = None
         return store
     if store is not None:
         return TraceStore(disk_dir=store)
-    if os.environ.get(ENV_STORE_DIR):
+    if read_env(ENV_STORE_DIR):
         return TraceStore()
     return None

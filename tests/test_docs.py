@@ -1,48 +1,46 @@
 """Documentation sanity under tier-1: the docs lint must stay green.
 
-Runs the same checks as ``tools/check_docs.py`` (the CI docs job):
-README/docs links resolve, the documented ``python -m repro.eval``
-command lines parse with the real argument parser, and every module
-under ``src/repro`` carries docstrings.  Keeping these in tier-1 means
-a broken doc example fails the same command a contributor already runs.
+Runs the docs rules of the unified lint suite (RL601 links, RL602 CLI
+examples, RL603 docstrings — ``tools/lint/checkers/docs.py``), the
+same checks CI's lint job runs.  Keeping these in tier-1 means a
+broken doc example fails the same command a contributor already runs.
 """
 
 from __future__ import annotations
 
-import importlib.util
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT))
+
+from tools.lint import run_lint  # noqa: E402
+from tools.lint.checkers.docs import (  # noqa: E402
+    DOC_FILES, iter_cli_examples)
 
 
-def _load_linter():
-    spec = importlib.util.spec_from_file_location(
-        "check_docs", REPO_ROOT / "tools" / "check_docs.py")
-    module = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(module)
-    return module
-
-
-linter = _load_linter()
+def _docs_findings(codes):
+    result = run_lint(root=REPO_ROOT, select=list(codes))
+    return [f.format() for f in result.findings]
 
 
 def test_doc_files_exist():
-    """README.md and both docs/ pages are present."""
-    for doc in linter.iter_doc_files(REPO_ROOT):
-        assert doc.is_file(), f"missing documentation file: {doc}"
+    """README.md and every docs/ page in DOC_FILES is present."""
+    for name in DOC_FILES:
+        assert (REPO_ROOT / name).is_file(), \
+            f"missing documentation file: {name}"
 
 
 def test_links_resolve():
-    """Every relative markdown link points at a real file."""
-    assert linter.check_links(REPO_ROOT) == []
+    """Every relative markdown link points at a real file (RL601)."""
+    assert _docs_findings(["RL601"]) == []
 
 
 def test_cli_examples_parse():
-    """Documented CLI invocations run (parse) as written."""
-    examples = linter.iter_cli_examples(REPO_ROOT)
-    assert examples, "docs must contain at least one CLI example"
-    assert linter.check_cli_examples(REPO_ROOT) == []
+    """Documented CLI invocations run (parse) as written (RL602)."""
+    assert iter_cli_examples(REPO_ROOT), \
+        "docs must contain at least one CLI example"
+    assert _docs_findings(["RL602"]) == []
 
 
 def test_readme_documents_every_cli_flag():
@@ -61,5 +59,5 @@ def test_readme_documents_every_cli_flag():
 
 
 def test_module_docstrings_present():
-    """Every repro module and public top-level def has a docstring."""
-    assert linter.check_docstrings(REPO_ROOT) == []
+    """Every repro module and public top-level def has one (RL603)."""
+    assert _docs_findings(["RL603"]) == []

@@ -1,0 +1,1 @@
+"""Repo tooling: makes ``python -m tools.lint`` runnable from a checkout."""

@@ -1,146 +1,23 @@
 #!/usr/bin/env python3
-"""Documentation lint: links resolve, CLI examples parse, docstrings exist.
+"""Historical docs-lint entry point — now a shim over ``tools.lint``.
 
-Three checks, no third-party dependencies (CI runs this as its docs
-job; ``tests/test_docs.py`` runs the same functions under tier-1):
-
-1. **Link sanity** — every relative markdown link in ``README.md`` and
-   ``docs/*.md`` must point at a file or directory that exists in the
-   checkout (external ``http(s)://`` links and ``#fragment`` anchors
-   are skipped).
-2. **CLI examples run as written** — every ``python -m repro.eval ...``
-   line inside a fenced code block is parsed with the *real* argument
-   parser (``repro.eval.__main__.build_parser``), so a renamed flag or
-   experiment id breaks the lint, not the reader.
-3. **Docstring lint** — every module under ``src/repro`` (and every
-   public class/function def at module top level) carries a docstring.
-
-Exit status is the number of problems found.
+The link, CLI-example, and docstring checks this script used to
+implement live in ``tools/lint/checkers/docs.py`` as rules
+RL601–RL603 of the unified lint suite.  Running this script is
+equivalent to ``python -m tools.lint --select RL6``; it stays only so
+the documented/CI command keeps working.  See
+``docs/static-analysis.md``.
 """
 
 from __future__ import annotations
 
-import ast
-import re
-import shlex
 import sys
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
 
-#: Markdown files the link/CLI checks cover.
-DOC_FILES = ("README.md", "docs/architecture.md", "docs/machine-models.md",
-             "docs/trace-store.md", "docs/robustness.md")
-
-_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
-_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
-
-
-def iter_doc_files(root: Path = REPO_ROOT) -> list[Path]:
-    """The markdown files under lint (missing ones are themselves errors)."""
-    return [root / name for name in DOC_FILES]
-
-
-def check_links(root: Path = REPO_ROOT) -> list[str]:
-    """Relative markdown links must resolve inside the checkout."""
-    problems = []
-    for doc in iter_doc_files(root):
-        if not doc.is_file():
-            problems.append(f"{doc.relative_to(root)}: file missing")
-            continue
-        for target in _LINK_RE.findall(doc.read_text()):
-            if target.startswith(("http://", "https://", "#", "mailto:")):
-                continue
-            path = target.split("#", 1)[0]
-            if not path:
-                continue
-            resolved = (doc.parent / path)
-            if not resolved.exists():
-                problems.append(
-                    f"{doc.relative_to(root)}: broken link -> {target}")
-    return problems
-
-
-def iter_cli_examples(root: Path = REPO_ROOT) -> list[tuple[str, str]]:
-    """Every ``python -m repro.eval`` line in a fenced doc code block."""
-    examples = []
-    for doc in iter_doc_files(root):
-        if not doc.is_file():
-            continue
-        for block in _FENCE_RE.findall(doc.read_text()):
-            for line in block.splitlines():
-                line = line.strip()
-                if "python -m repro.eval" in line:
-                    examples.append((str(doc.relative_to(root)), line))
-    return examples
-
-
-def parse_cli_example(line: str) -> None:
-    """Parse one documented CLI line with the real parser; raise on error."""
-    sys.path.insert(0, str(REPO_ROOT / "src"))
-    try:
-        from repro.eval.__main__ import build_parser
-    finally:
-        sys.path.pop(0)
-    tokens = shlex.split(line)
-    # Strip leading VAR=value assignments (e.g. PYTHONPATH=src) and the
-    # interpreter invocation itself.
-    while tokens and "=" in tokens[0] and not tokens[0].startswith("-"):
-        tokens.pop(0)
-    assert tokens[:3] == ["python", "-m", "repro.eval"], \
-        f"not a repro.eval invocation: {line!r}"
-    build_parser().parse_args(tokens[3:])  # SystemExit(2) on bad args
-
-
-def check_cli_examples(root: Path = REPO_ROOT) -> list[str]:
-    """The doc's CLI examples must run (parse) as written."""
-    problems = []
-    examples = iter_cli_examples(root)
-    if not examples:
-        problems.append("no `python -m repro.eval` examples found in docs")
-    for doc, line in examples:
-        try:
-            parse_cli_example(line)
-        except SystemExit:
-            problems.append(f"{doc}: CLI example does not parse: {line}")
-        except AssertionError as exc:
-            problems.append(f"{doc}: {exc}")
-    return problems
-
-
-def check_docstrings(root: Path = REPO_ROOT) -> list[str]:
-    """Every repro module and public top-level def carries a docstring."""
-    problems = []
-    for path in sorted((root / "src" / "repro").rglob("*.py")):
-        rel = path.relative_to(root)
-        tree = ast.parse(path.read_text(), filename=str(rel))
-        if ast.get_docstring(tree) is None:
-            problems.append(f"{rel}: missing module docstring")
-        for node in tree.body:
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
-                                 ast.ClassDef)) \
-                    and not node.name.startswith("_") \
-                    and ast.get_docstring(node) is None:
-                problems.append(
-                    f"{rel}:{node.lineno}: public {node.name!r} "
-                    f"missing docstring")
-    return problems
-
-
-def main() -> int:
-    """Run all checks; print problems; exit 1 if any were found.
-
-    (Not ``len(problems)``: POSIX exit codes wrap modulo 256, so a
-    count could alias to 0 and green-light a broken docs tree.)
-    """
-    problems = check_links() + check_cli_examples() + check_docstrings()
-    for problem in problems:
-        print(f"[docs-lint] {problem}")
-    if not problems:
-        print("[docs-lint] OK: links resolve, CLI examples parse, "
-              "docstrings present")
-    return 1 if problems else 0
+from tools.lint.__main__ import main  # noqa: E402
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(["--select", "RL6"]))

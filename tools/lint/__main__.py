@@ -1,0 +1,93 @@
+"""CLI for the lint suite: ``python -m tools.lint [paths...]``.
+
+Exit status is 0 when the tree is clean (outside the committed
+baseline) and 1 when live findings remain, so CI and tier-1 tests can
+gate on it directly.  ``--format json`` emits the machine-readable
+report whose schema ``tests/test_lint.py`` pins.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .checkers import ALL_CHECKERS
+from .core import (REPO_ROOT, load_baseline, run_lint, write_baseline)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m tools.lint`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.lint",
+        description="Repo-native static analysis: determinism, "
+                    "exception hygiene, process-boundary safety, "
+                    "hot-path __slots__, env registry, docs.")
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: whole checkout; "
+             "explicit paths skip repo-level docs rules)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)")
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="baseline file of grandfathered findings "
+             "(default: tools/lint/baseline.json)")
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current findings to the baseline file and exit 0")
+    parser.add_argument(
+        "--select", metavar="PREFIX", action="append", default=None,
+        help="run only rules whose code matches PREFIX (repeatable), "
+             "e.g. --select RL6 for the docs rules")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit")
+    parser.add_argument(
+        "--root", metavar="DIR", default=None,
+        help="lint a checkout rooted at DIR instead of this one "
+             "(used by fixture tests)")
+    return parser
+
+
+def _list_rules() -> None:
+    for checker in ALL_CHECKERS:
+        codes = "/".join(getattr(checker, "codes", (checker.code,)))
+        print(f"{codes:7} {checker.name:18} {checker.description}")
+
+
+def main(argv: list | None = None) -> int:
+    """Run the lint; return the process exit status."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        _list_rules()
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    root = REPO_ROOT if args.root is None else Path(args.root)
+    result = run_lint(root=root, paths=args.paths or None,
+                      select=args.select,
+                      baseline=set() if args.write_baseline else baseline)
+
+    if args.write_baseline:
+        path = write_baseline(result.findings, args.baseline)
+        print(f"wrote {len(result.findings)} entries to {path}")
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(result.as_json(), indent=2))
+    else:
+        for finding in result.findings:
+            print(finding.format())
+        tail = f"{len(result.findings)} finding(s) in " \
+               f"{result.files} file(s)"
+        if result.baselined:
+            tail += f" ({result.baselined} baselined)"
+        print(tail if result.findings else f"clean: {tail}")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,153 @@
+"""Process-boundary safety (RL301–RL302): only picklables cross pools.
+
+Everything submitted to a ``SimPool``/``ProcessPoolExecutor`` is
+pickled into the worker: a lambda or a locally-defined function raises
+``PicklingError`` only at runtime — and only on the pooled path, which
+a ``workers=1`` test run never exercises.  The same applies to the
+fields of task dataclasses shipped as submit arguments: ``CaptureTask``
+exists precisely because ``KernelRun`` holds closures, so a field type
+that smuggles a callable back in defeats the design.
+
+* RL301 — a ``*.submit(...)`` argument must not be a lambda or a
+  function defined inside an enclosing function (a closure candidate).
+* RL302 — a ``@dataclass`` named ``*Task`` in ``sim/`` declares only
+  fields whose annotations build from a picklable allowlist.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import Checker, FileContext, dotted_name
+
+#: Type names a pool-task dataclass field may be annotated with.
+PICKLABLE_TYPES = {
+    "int", "str", "float", "bool", "bytes", "complex", "None",
+    "tuple", "list", "dict", "set", "frozenset",
+    "Tuple", "List", "Dict", "Set", "FrozenSet",
+    "Optional", "Union", "Sequence", "Mapping", "Path",
+    # Repo types that are plain data and pickle by design:
+    "SystemConfig", "TraceKey", "FaultPlan", "MachineSpec",
+}
+
+
+def _nested_function_names(tree: ast.AST) -> set[str]:
+    """Names of functions defined inside another function's body."""
+    nested: set[str] = set()
+
+    class _Visitor(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self.depth = 0
+
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            if self.depth:
+                nested.add(node.name)
+            self.depth += 1
+            self.generic_visit(node)
+            self.depth -= 1
+
+        visit_AsyncFunctionDef = visit_FunctionDef
+
+    _Visitor().visit(tree)
+    return nested
+
+
+class SubmitPicklableChecker(Checker):
+    """No lambdas/closures as executor ``submit`` arguments."""
+
+    code = "RL301"
+    codes = ("RL301",)
+    name = "submit-picklable"
+    description = ("values passed to executor submit() must not be "
+                   "lambdas or locally-defined functions")
+    scope = ("src/",)
+
+    def check(self, ctx: FileContext):
+        nested = _nested_function_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "submit"):
+                continue
+            args = list(node.args) \
+                + [kw.value for kw in node.keywords]
+            for arg in args:
+                if isinstance(arg, ast.Lambda):
+                    yield self.finding(
+                        ctx, arg.lineno,
+                        "lambda submitted across the process boundary "
+                        "cannot pickle; use a module-level function")
+                elif isinstance(arg, ast.Name) and arg.id in nested:
+                    yield self.finding(
+                        ctx, arg.lineno,
+                        f"locally-defined function `{arg.id}` submitted "
+                        f"across the process boundary cannot pickle; "
+                        f"hoist it to module level")
+
+
+class TaskFieldChecker(Checker):
+    """Pool-task dataclasses declare only picklable field types."""
+
+    code = "RL302"
+    codes = ("RL302",)
+    name = "task-fields"
+    description = ("@dataclass *Task classes in sim/ may declare only "
+                   "picklable field types")
+    scope = ("src/repro/sim/",)
+
+    def check(self, ctx: FileContext):
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) \
+                    and node.name.endswith("Task") \
+                    and _is_dataclass(node):
+                yield from self._check_fields(ctx, node)
+
+    def _check_fields(self, ctx: FileContext, cls: ast.ClassDef):
+        for stmt in cls.body:
+            if not (isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)):
+                continue
+            bad = _unpicklable_leaves(stmt.annotation)
+            if bad:
+                yield self.finding(
+                    ctx, stmt.lineno,
+                    f"field `{stmt.target.id}` of pool task "
+                    f"`{cls.name}` has non-picklable-by-contract type "
+                    f"`{'/'.join(sorted(bad))}`; task specs must ship "
+                    f"plain data across the process boundary")
+
+
+def _is_dataclass(cls: ast.ClassDef) -> bool:
+    for deco in cls.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = dotted_name(target) or ""
+        if name.split(".")[-1] == "dataclass":
+            return True
+    return False
+
+
+def _unpicklable_leaves(annotation: ast.AST) -> set[str]:
+    """Leaf type names in ``annotation`` outside the allowlist."""
+    bad: set[str] = set()
+
+    def visit(node: ast.AST) -> None:
+        if isinstance(node, ast.Attribute):
+            if node.attr not in PICKLABLE_TYPES:
+                bad.add(node.attr)
+            return  # the chain is one leaf; don't re-flag its prefix
+        if isinstance(node, ast.Name):
+            if node.id not in PICKLABLE_TYPES:
+                bad.add(node.id)
+            return
+        if isinstance(node, ast.Constant):
+            # Forward-reference strings name one type; None/... are
+            # subscript punctuation (Optional[...] / tuple[int, ...]).
+            if isinstance(node.value, str) \
+                    and node.value not in PICKLABLE_TYPES:
+                bad.add(node.value)
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+
+    visit(annotation)
+    return bad

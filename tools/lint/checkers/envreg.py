@@ -1,0 +1,40 @@
+"""Env-var registry (RL501): all environment reads go through repro.env.
+
+``repro.env`` is the single source of truth for every ``REPRO_*`` knob:
+its registry validates names at read time and generates the docs knob
+table.  A direct ``os.environ`` / ``os.getenv`` read anywhere else in
+``src/`` bypasses both — the knob works but is undocumented and
+unvalidated — so the rule is structural: outside the registry module,
+no environment access at all.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import Checker, FileContext, dotted_name
+
+
+class EnvRegistryChecker(Checker):
+    """No ``os.environ``/``os.getenv`` outside ``repro/env.py``."""
+
+    code = "RL501"
+    codes = ("RL501",)
+    name = "env-registry"
+    description = ("environment reads in src/ must go through the "
+                   "repro.env registry (read_env)")
+    scope = ("src/",)
+    exclude = ("src/repro/env.py",)
+
+    def check(self, ctx: FileContext):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            dotted = dotted_name(node)
+            if dotted in ("os.environ", "os.getenv", "os.putenv",
+                          "os.environb"):
+                yield self.finding(
+                    ctx, node.lineno,
+                    f"direct `{dotted}` access; read knobs through "
+                    f"repro.env.read_env so the registry and the "
+                    f"generated docs table stay complete")

@@ -1,0 +1,78 @@
+"""Exception hygiene (RL201): broad handlers must account for failure.
+
+PR 6's fault-injection work showed how a broad ``except Exception:``
+hides real bugs: a swallowed worker crash looks exactly like a cache
+miss until the render diverges.  The pipeline's contract is
+*classification, never silence* — every broad handler either re-raises,
+classifies the failure into ``FaultLog``-style accounting
+(``_note_failure`` / ``note_error``), or carries a pragma whose reason
+explains why breadth is the design (e.g. unpickling foreign bytes can
+raise nearly any type, and a miss is the recovery).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import Checker, FileContext
+
+#: A call to any of these (by name or attribute) counts as classifying
+#: the failure into structured fault accounting.
+CLASSIFIERS = ("note_failure", "note_error", "classify_fault")
+
+#: Exception names considered "broad" when caught.
+BROAD = {"Exception", "BaseException"}
+
+
+def _caught_broad(handler: ast.ExceptHandler) -> bool:
+    """Does this handler catch bare / ``Exception`` / ``BaseException``?"""
+    node = handler.type
+    if node is None:
+        return True  # bare except
+    types = node.elts if isinstance(node, ast.Tuple) else [node]
+    for t in types:
+        name = t.attr if isinstance(t, ast.Attribute) else \
+            t.id if isinstance(t, ast.Name) else None
+        if name in BROAD:
+            return True
+    return False
+
+
+def _accounts_for_failure(handler: ast.ExceptHandler) -> bool:
+    """Handler re-raises or classifies into fault accounting."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else \
+                func.id if isinstance(func, ast.Name) else ""
+            if any(c in name for c in CLASSIFIERS):
+                return True
+    return False
+
+
+class ExceptionHygieneChecker(Checker):
+    """Broad ``except`` must re-raise, classify, or carry a pragma."""
+
+    code = "RL201"
+    codes = ("RL201",)
+    name = "exception-hygiene"
+    description = ("bare/broad except in src/ must re-raise, classify "
+                   "into FaultLog-style accounting, or carry a "
+                   "reasoned pragma")
+    scope = ("src/",)
+
+    def check(self, ctx: FileContext):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _caught_broad(node) and not _accounts_for_failure(node):
+                what = "bare except" if node.type is None \
+                    else "broad except"
+                yield self.finding(
+                    ctx, node.lineno,
+                    f"{what} swallows failures: narrow the exception "
+                    f"type, re-raise, classify via "
+                    f"{'/'.join(CLASSIFIERS[:2])}, or pragma with a "
+                    f"reason")

@@ -1,0 +1,369 @@
+"""Framework core: findings, pragmas, baseline, file walk, orchestration.
+
+The shape every checker plugs into:
+
+* A :class:`Finding` is one problem at ``file:line`` with a stable rule
+  ``code`` (``RL101``), a severity, and a message.  Its
+  :attr:`~Finding.baseline_key` deliberately omits the line number so a
+  baselined finding survives unrelated line churn in the same file.
+* A :class:`FileContext` wraps one Python source file: lazily-parsed
+  AST, source lines, and the file's suppression pragmas.
+* :func:`run_lint` walks the tree, runs every applicable checker, drops
+  findings suppressed by a pragma or grandfathered by the baseline, and
+  returns a :class:`LintResult`.
+
+Suppression pragmas
+-------------------
+``# repro-lint: disable=RL201  reason text`` suppresses the named
+rule(s) on the pragma's own line (trailing comment) or — for a
+standalone comment line — on the next line that is not itself a
+comment, so a pragma may sit above the code it excuses together with
+ordinary explanatory comments.  A pragma **must** carry a reason; one
+without a reason (or naming an unknown rule) is itself a finding
+(``RL001``), so suppressions stay auditable.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+#: The repository checkout this lint run is anchored to.
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Directories never walked for Python sources.
+SKIP_DIRS = {".git", "__pycache__", "out", ".claude", ".github",
+             "node_modules", ".pytest_cache"}
+
+#: Default committed baseline location (may be absent or empty).
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9,\s]+?)(?:\s\s*(.*))?$")
+
+_CODE_RE = re.compile(r"^RL\d{3}$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint problem: location, stable rule code, severity, message."""
+
+    file: str          #: Repo-relative posix path.
+    line: int          #: 1-based line number.
+    code: str          #: Stable rule code, e.g. ``RL101``.
+    message: str       #: Human-readable description.
+    severity: str = "error"   #: ``error`` | ``warning``.
+
+    @property
+    def baseline_key(self) -> str:
+        """Line-independent identity used by the baseline file."""
+        return f"{self.file}::{self.code}::{self.message}"
+
+    def format(self) -> str:
+        """Render as ``file:line: CODE message`` (the text output row)."""
+        return f"{self.file}:{self.line}: {self.code} " \
+               f"[{self.severity}] {self.message}"
+
+    def as_dict(self) -> dict:
+        """JSON-output row (the schema ``tests/test_lint.py`` pins)."""
+        return {"file": self.file, "line": self.line, "code": self.code,
+                "severity": self.severity, "message": self.message}
+
+
+def _sort_key(finding: Finding) -> tuple:
+    return (finding.file, finding.line, finding.code, finding.message)
+
+
+class FileContext:
+    """One Python source file under lint: text, AST, pragmas."""
+
+    def __init__(self, root: Path, path: Path) -> None:
+        self.root = root
+        self.path = path
+        try:
+            self.rel = path.relative_to(root).as_posix()
+        except ValueError:
+            # Out-of-root path: keep it absolute; scoped checkers
+            # (whose prefixes are repo-relative) simply won't match.
+            self.rel = path.as_posix()
+        self.text = path.read_text()
+        self.lines = self.text.splitlines()
+        self._tree: Optional[ast.AST] = None
+        self._syntax_error: Optional[SyntaxError] = None
+        #: line number -> set of rule codes disabled on that line.
+        self._suppress: dict[int, set[str]] = {}
+        #: Pragma-hygiene findings (RL001) discovered while parsing.
+        self.pragma_findings: list[Finding] = []
+        self._scan_pragmas()
+
+    # -- AST -----------------------------------------------------------
+    @property
+    def tree(self) -> Optional[ast.AST]:
+        """Parsed module, or ``None`` when the file does not parse
+        (the runner reports ``RL000`` for that)."""
+        if self._tree is None and self._syntax_error is None:
+            try:
+                self._tree = ast.parse(self.text, filename=self.rel)
+            except SyntaxError as exc:
+                self._syntax_error = exc
+        return self._tree
+
+    @property
+    def syntax_error(self) -> Optional[SyntaxError]:
+        """The parse failure, if any (populated by reading :attr:`tree`)."""
+        return self._syntax_error
+
+    # -- pragmas -------------------------------------------------------
+    def _comments(self) -> list[tuple[int, str]]:
+        """Real ``(line, text)`` comment tokens — never string literals
+        that merely *mention* the pragma syntax (docs, tests)."""
+        try:
+            tokens = tokenize.generate_tokens(
+                io.StringIO(self.text).readline)
+            return [(tok.start[0], tok.string) for tok in tokens
+                    if tok.type == tokenize.COMMENT]
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return []  # unparseable file: RL000 reports it, no pragmas
+
+    def _scan_pragmas(self) -> None:
+        for idx, comment in self._comments():
+            match = _PRAGMA_RE.search(comment)
+            if match is None:
+                if "repro-lint" in comment and "disable" in comment:
+                    self.pragma_findings.append(Finding(
+                        file=self.rel, line=idx, code="RL001",
+                        message="unparseable repro-lint pragma"))
+                continue
+            codes = [c.strip() for c in match.group(1).split(",")
+                     if c.strip()]
+            reason = (match.group(2) or "").strip()
+            bad = [c for c in codes if not _CODE_RE.match(c)]
+            if not codes or bad:
+                self.pragma_findings.append(Finding(
+                    file=self.rel, line=idx, code="RL001",
+                    message=f"pragma names invalid rule code(s): "
+                            f"{', '.join(bad) or '(none)'}"))
+                continue
+            if not reason:
+                self.pragma_findings.append(Finding(
+                    file=self.rel, line=idx, code="RL001",
+                    message=f"pragma disabling {', '.join(codes)} "
+                            f"carries no reason"))
+                continue
+            self._suppress.setdefault(self._target_line(idx),
+                                      set()).update(codes)
+
+    def _target_line(self, pragma_line: int) -> int:
+        """Line a pragma applies to: its own when it trails code, else
+        the next line that is not a comment-only line."""
+        before = self.lines[pragma_line - 1].split("#", 1)[0]
+        if before.strip():
+            return pragma_line
+        line = pragma_line + 1
+        while line <= len(self.lines) \
+                and self.lines[line - 1].lstrip().startswith("#"):
+            line += 1
+        return line
+
+    def suppressed(self, line: int, code: str) -> bool:
+        """Is rule ``code`` pragma-disabled at ``line``?"""
+        return code in self._suppress.get(line, ())
+
+
+class Checker:
+    """Base class: one rule family over single Python files.
+
+    ``scope`` is a tuple of repo-relative path prefixes the checker
+    applies to (empty = every Python file); ``exclude`` prefixes are
+    carved back out (e.g. the env-registry module itself).
+    """
+
+    code: str = "RL000"
+    name: str = "base"
+    description: str = ""
+    severity: str = "error"
+    scope: tuple = ()
+    exclude: tuple = ()
+
+    def applies_to(self, rel: str) -> bool:
+        """Does this checker cover repo-relative path ``rel``?"""
+        if any(rel.startswith(prefix) for prefix in self.exclude):
+            return False
+        if not self.scope:
+            return True
+        return any(rel.startswith(prefix) for prefix in self.scope)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Yield findings for one parsed file (``ctx.tree`` is valid)."""
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, line: int, message: str,
+                code: Optional[str] = None) -> Finding:
+        """Build one finding anchored in ``ctx``."""
+        return Finding(file=ctx.rel, line=line, code=code or self.code,
+                       message=message, severity=self.severity)
+
+
+class RepoChecker(Checker):
+    """Base class: rules over the whole checkout (docs, registries).
+
+    Repo-level checkers run only on full-tree lints (no explicit path
+    arguments), since their subject is the repository, not a file list.
+    """
+
+    def check_repo(self, root: Path) -> Iterable[Finding]:
+        """Yield findings for the checkout rooted at ``root``."""
+        raise NotImplementedError
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+    def finding_at(self, rel: str, line: int, message: str) -> Finding:
+        """Build one finding at a repo-relative location (no context)."""
+        return Finding(file=rel, line=line, code=self.code,
+                       message=message, severity=self.severity)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list          #: Live findings, sorted by file/line/code.
+    baselined: int = 0      #: Findings hidden by the baseline file.
+    files: int = 0          #: Python files examined.
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing (outside the baseline) was found."""
+        return not self.findings
+
+    def as_json(self) -> dict:
+        """The machine-readable report (schema pinned by tests)."""
+        severities: dict[str, int] = {}
+        for f in self.findings:
+            severities[f.severity] = severities.get(f.severity, 0) + 1
+        return {"version": 1,
+                "files": self.files,
+                "counts": {"total": len(self.findings),
+                           "baselined": self.baselined, **severities},
+                "findings": [f.as_dict() for f in self.findings]}
+
+
+# ----------------------------------------------------------------------
+# Baseline: grandfathered findings, committed next to the tool.
+# ----------------------------------------------------------------------
+def load_baseline(path: Optional[Path] = None) -> set:
+    """Baseline keys from ``path`` (default committed file; absent = empty)."""
+    path = DEFAULT_BASELINE if path is None else Path(path)
+    if not path.is_file():
+        return set()
+    data = json.loads(path.read_text())
+    return set(data.get("entries", []))
+
+
+def write_baseline(findings: Iterable[Finding],
+                   path: Optional[Path] = None) -> Path:
+    """Write the grandfather file for the given findings; returns path."""
+    path = DEFAULT_BASELINE if path is None else Path(path)
+    entries = sorted({f.baseline_key for f in findings})
+    path.write_text(json.dumps({"version": 1, "entries": entries},
+                               indent=2) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# File discovery and the run loop.
+# ----------------------------------------------------------------------
+def iter_python_files(root: Path,
+                      paths: Optional[list] = None) -> list[Path]:
+    """Python files under lint, sorted; ``paths`` restricts the walk."""
+    targets = [root] if not paths else [Path(p) for p in paths]
+    files: set[Path] = set()
+    for target in targets:
+        if not target.is_absolute():
+            target = root / target
+        if target.is_file() and target.suffix == ".py":
+            files.add(target.resolve())
+            continue
+        for path in target.rglob("*.py"):
+            if not SKIP_DIRS.intersection(path.parts):
+                files.add(path.resolve())
+    return sorted(files)
+
+
+def _selected(checker: Checker, select: Optional[list]) -> bool:
+    if not select:
+        return True
+    codes = getattr(checker, "codes", (checker.code,))
+    return any(code.startswith(prefix)
+               for prefix in select for code in codes)
+
+
+def run_lint(root: Optional[Path] = None,
+             paths: Optional[list] = None,
+             select: Optional[list] = None,
+             baseline: Optional[set] = None,
+             checkers: Optional[list] = None) -> LintResult:
+    """Run the suite: walk, check, suppress, baseline, sort.
+
+    ``paths`` (when given) restricts the walk and skips repo-level
+    checkers; ``select`` keeps only rule codes matching the given
+    prefixes (e.g. ``["RL6"]`` = docs rules only); ``baseline`` is a
+    set of grandfathered :attr:`Finding.baseline_key` strings.
+    """
+    from .checkers import ALL_CHECKERS
+
+    root = REPO_ROOT if root is None else Path(root)
+    active = [c for c in (ALL_CHECKERS if checkers is None else checkers)
+              if _selected(c, select)]
+    file_checkers = [c for c in active if not isinstance(c, RepoChecker)]
+    repo_checkers = [c for c in active if isinstance(c, RepoChecker)]
+
+    findings: list[Finding] = []
+    files = iter_python_files(root, paths)
+    for path in files:
+        ctx = FileContext(root, path)
+        raw: list[Finding] = list(ctx.pragma_findings)
+        applicable = [c for c in file_checkers if c.applies_to(ctx.rel)]
+        if applicable and ctx.tree is None:
+            err = ctx.syntax_error
+            raw.append(Finding(file=ctx.rel, line=err.lineno or 1,
+                               code="RL000",
+                               message=f"file does not parse: {err.msg}"))
+        elif applicable:
+            for checker in applicable:
+                raw.extend(checker.check(ctx))
+        findings.extend(f for f in raw
+                        if not ctx.suppressed(f.line, f.code))
+
+    if not paths:
+        for checker in repo_checkers:
+            findings.extend(checker.check_repo(root))
+
+    baseline = baseline or set()
+    live = [f for f in findings if f.baseline_key not in baseline]
+    baselined = len(findings) - len(live)
+    return LintResult(findings=sorted(live, key=_sort_key),
+                      baselined=baselined, files=len(files))
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an Attribute/Name chain, else ``None``.
+
+    Shared by several checkers that match calls and attribute reads
+    against dotted-path deny lists.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
