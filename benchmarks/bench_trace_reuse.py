@@ -40,7 +40,11 @@ pipeline efficiency, not just hit counts:
 
 The warm/cold ratio bounds what any further sweep over the same operating
 points costs, and the hit-rate column verifies the cache keying actually
-fires across the sweep.  The trailing ``fallbacks`` / ``retries`` /
+fires across the sweep.  ``replay pts/s`` divides each sweep's replay
+cross-product by its wall-clock — the headline throughput of the
+vectorized (plan-compiled) replay path — and the store summary's
+``packed entry bytes (mean)`` tracks the size of the v6 columnar disk
+envelope.  The trailing ``fallbacks`` / ``retries`` /
 ``quarantined`` columns surface each pool's
 :class:`~repro.sim.faults.FaultLog` recovery counters — asserted zero
 here, so a benchmark run silently limping through recoveries (and
@@ -160,6 +164,7 @@ def test_trace_reuse_cold_vs_warm(benchmark, tmp_path, trace_store):
         return (label, f"{seconds * 1000:.0f} ms",
                 f"{ps.capture_seconds * 1000:.0f} ms",
                 f"{ps.replay_seconds * 1000:.0f} ms",
+                f"{ps.replay_points / seconds:.0f}/s",
                 stats["misses"] - prev["misses"], remote, hits, disk_hits,
                 f"{rate * 100:.0f}%",
                 faults.fallbacks, faults.retries, faults.quarantined)
@@ -181,24 +186,28 @@ def test_trace_reuse_cold_vs_warm(benchmark, tmp_path, trace_store):
         row("two machine specs, one capture", spec_s, dict(cache.stats),
             spec_pool, prev=specs_before),
         ("speedup (warm vs cold)", f"{cold_s / warm_s:.2f}x",
-         "-", "-", "-", "-", "-", "-", "-", "-", "-", "-"),
+         "-", "-", "-", "-", "-", "-", "-", "-", "-", "-", "-"),
         (f"speedup (parallel x{_PARALLEL_WORKERS} vs warm)",
          f"{warm_s / par_s:.2f}x", "-", "-", "-", "-", "-", "-", "-",
-         "-", "-", "-"),
+         "-", "-", "-", "-"),
     ]
     table = render_table(
-        ("sweep", "wall-clock", "capture work", "replay work", "captures",
-         "remote puts", "mem hits", "disk hits", "mem hit rate",
-         "fallbacks", "retries", "quarantined"),
+        ("sweep", "wall-clock", "capture work", "replay work",
+         "replay pts/s", "captures", "remote puts", "mem hits",
+         "disk hits", "mem hit rate", "fallbacks", "retries",
+         "quarantined"),
         rows,
         title="Trace reuse — Fig 7 sweep "
               f"({len(_KERNELS)} kernels x {len(_SIZES)} B/lane, 32L)")
 
     ss = trace_store.store_stats
+    mean_entry = (ss["disk_bytes"] / ss["disk_entries"]
+                  if ss["disk_entries"] else 0.0)
     summary = render_table(
-        ("entries", "bytes", "oldest age", "newest age", "mem hits",
-         "disk hits", "captures", "remote puts", "hits served"),
-        [(ss["disk_entries"], ss["disk_bytes"],
+        ("entries", "bytes", "packed entry bytes (mean)", "oldest age",
+         "newest age", "mem hits", "disk hits", "captures", "remote puts",
+         "hits served"),
+        [(ss["disk_entries"], ss["disk_bytes"], f"{mean_entry:.0f}",
           f"{ss['oldest_age_s']:.0f} s", f"{ss['newest_age_s']:.0f} s",
           ss["hits"], ss["disk_hits"], ss["misses"], ss["remote_puts"],
           ss["hits_served"])],

@@ -124,12 +124,30 @@ TraceEvent = object  # union of the three event types
 
 @dataclass(slots=True)
 class DynamicTrace:
-    """Ordered event stream plus cheap aggregate counters."""
+    """Ordered event stream plus cheap aggregate counters.
+
+    ``_plan`` caches the timing engine's compiled replay plan (see
+    :mod:`repro.timing.replay_plan`) so the decode survives across the
+    many machine models one capture is replayed against.  It is derived
+    state: excluded from comparison and — via the explicit pickle
+    protocol below — from serialized traces, which keeps pipe payloads
+    and disk entries free of replay-only scratch.
+    """
 
     events: list = field(default_factory=list)
     scalar_count: int = 0
     vector_count: int = 0
     total_flops: float = 0.0
+    _plan: object = field(default=None, repr=False, compare=False)
+
+    def __getstate__(self):
+        return (self.events, self.scalar_count, self.vector_count,
+                self.total_flops)
+
+    def __setstate__(self, state):
+        (self.events, self.scalar_count, self.vector_count,
+         self.total_flops) = state
+        self._plan = None
 
     def add_scalar(self, event: ScalarEvent) -> None:
         self.events.append(event)

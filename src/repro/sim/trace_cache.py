@@ -31,6 +31,16 @@ Disk entries are written for *concurrent* readers and writers sharing one
   only needed by golden checks, which run at capture time) and decoded
   plan caches (which hold lambdas); a disk-rehydrated capture is
   replay-only and safe to ship across process boundaries.
+* **Columnar trace payload (v6)** — the payload is a small dict of
+  ``ExecResult`` fields in which the trace travels as a packed
+  struct-of-arrays blob (:func:`repro.functional.trace_pack
+  .pack_trace`) rather than a per-event object pickle.  Rehydration
+  wraps the blob as a lazy :class:`~repro.functional.trace_pack
+  .PackedTrace` — column views via ``np.frombuffer``, no per-event
+  heap objects — which the timing engine's vectorized replay consumes
+  directly.  Events that do not flatten (foreign classes, out-of-range
+  fields) ride in the blob's pickled fallback map, so any trace
+  round-trips losslessly.
 * **Atomic writes** — each entry is pickled to a ``tempfile`` inside
   ``disk_dir`` and moved into place with :func:`os.replace`, so a
   concurrent reader sees either the old complete file or the new
@@ -66,10 +76,13 @@ Disk entries are written for *concurrent* readers and writers sharing one
   entry's disk layer served a whole trace; the suite store
   (:class:`~repro.sim.trace_store.TraceStore`) bumps it on every disk
   hit so a future GC can weight eviction by popularity, not just
-  recency.  The field is optional-within-v4: an entry written before
-  the counter existed simply reads as 0, and a plain
-  :class:`TraceCache` (e.g. a transient pool worker's cache) never
-  bumps it.
+  recency.  The live count rides in a tiny ``<entry>.hits`` *sidecar*
+  file (see :func:`sidecar_path`) so a warm hit writes a few bytes,
+  never the whole envelope; the envelope's ``hits_served`` field is
+  the base the sidecar adds to (always 0 for entries this revision
+  writes).  A (re)capture unlinks the sidecar — new payload bytes, new
+  popularity life — and a plain :class:`TraceCache` (e.g. a transient
+  pool worker's cache) never bumps it.
 * **Compressed payload** — the nested payload bytes are
   zlib-compressed (v4).  Trace pickles are dominated by repetitive
   event records, so compression cuts entries by roughly an order of
@@ -118,6 +131,7 @@ from pathlib import Path
 from typing import Callable, Optional
 
 from ..functional.executor import ExecResult
+from ..functional.trace_pack import PackedTrace, pack_trace, unpack_trace
 from ..isa.program import Program
 from .faults import FaultPlan
 
@@ -136,8 +150,13 @@ DEFAULT_CAPACITY = 32
 #: plain miss, never as a decompression error).  v5: trace event classes
 #: (``MemAccess``, ``DynamicTrace``) grew ``__slots__``, changing their
 #: pickled state shape — a v4 payload would fail mid-unpickle and be
-#: miscounted as *corrupt*; the bump makes it a plain stale miss.
-DISK_FORMAT_VERSION = 5
+#: miscounted as *corrupt*; the bump makes it a plain stale miss.  v6:
+#: the payload is a field dict whose trace is a columnar
+#: :func:`~repro.functional.trace_pack.pack_trace` blob instead of a
+#: per-event object pickle; a v5 payload (a pickled ``ExecResult``)
+#: would unwrap to the wrong shape, so the bump again makes it a plain
+#: stale miss that the store GC purges.
+DISK_FORMAT_VERSION = 6
 
 #: zlib level for the payload bytes.  The default (6) already reaches
 #: within a few percent of level 9 on trace pickles at a fraction of the
@@ -157,13 +176,39 @@ def disk_path(disk_dir: str | Path, key: TraceKey) -> Path:
     return Path(disk_dir) / f"trace_{digest}.pkl"
 
 
+def sidecar_path(path: Path) -> Path:
+    """Hit-counter sidecar of one disk entry (``<entry>.hits``).
+
+    Kept outside the envelope so a warm serve persists its popularity
+    bump by writing a few counter bytes, not the whole entry (see
+    :meth:`~repro.sim.trace_store.TraceStore._note_disk_serve`).
+    """
+    return path.with_name(path.name + ".hits")
+
+
 def _disk_payload(er: ExecResult) -> ExecResult:
-    """Replay-only disk payload: drop the functional memory image (large,
-    and only needed by golden checks, which run at capture time).  Decoded
-    plan caches (which hold lambdas) are excluded by ``Program`` /
-    ``Instruction.__getstate__`` without touching the live objects."""
+    """Replay-only pruned capture: drop the functional memory image
+    (large, and only needed by golden checks, which run at capture
+    time).  Decoded plan caches (which hold lambdas) are excluded by
+    ``Program`` / ``Instruction.__getstate__`` without touching the
+    live objects.  This object form is what capture workers ship over
+    pipes; the disk tier packs it further via :func:`_pack_payload`."""
     return ExecResult(state=er.state, trace=er.trace, retired=er.retired,
                       program=er.program, halted=er.halted, extra={})
+
+
+def _pack_payload(er: ExecResult) -> dict:
+    """v6 disk payload: pruned ``ExecResult`` fields with the trace as
+    a columnar blob.  A trace already rehydrated as a
+    :class:`~repro.functional.trace_pack.PackedTrace` contributes its
+    existing blob bytes — re-persisting a disk-served entry never
+    re-packs."""
+    trace = er.trace
+    blob = (bytes(trace.blob) if isinstance(trace, PackedTrace)
+            else pack_trace(trace, er.program))
+    return {"state": er.state, "program": er.program,
+            "retired": er.retired, "halted": er.halted,
+            "trace_blob": blob}
 
 
 def _payload_schema() -> tuple:
@@ -229,7 +274,13 @@ def _crc_ok(obj: dict) -> bool:
 
 
 def _unwrap_envelope(obj: object) -> Optional[ExecResult]:
-    """Payload of a disk envelope, or None for any stale/foreign shape."""
+    """Payload of a disk envelope, or None for any stale/foreign shape.
+
+    Rehydrates the v6 field dict into a replay-only ``ExecResult``
+    whose trace is a lazy :class:`~repro.functional.trace_pack
+    .PackedTrace` over the payload's columnar blob — no per-event
+    objects are built here.
+    """
     if not _validate_envelope(obj):
         return None  # older revision, drifted schema, or foreign shape
     try:
@@ -237,7 +288,18 @@ def _unwrap_envelope(obj: object) -> Optional[ExecResult]:
     # repro-lint: disable=RL201  unpickling corrupt bytes can raise any type
     except Exception:
         return None  # corrupt compressed bytes or inner pickle: a miss
-    return payload if isinstance(payload, ExecResult) else None
+    if not isinstance(payload, dict):
+        return None  # foreign checksummed object: a miss
+    try:
+        trace = unpack_trace(payload["trace_blob"], payload["program"])
+        return ExecResult(state=payload["state"], trace=trace,
+                          retired=payload["retired"],
+                          program=payload["program"],
+                          halted=payload["halted"], extra={})
+    # repro-lint: disable=RL201  a foreign checksummed dict can carry an
+    # arbitrarily malformed blob; any parse failure is just a miss
+    except Exception:
+        return None
 
 
 class TraceCache:
@@ -340,6 +402,10 @@ class TraceCache:
             path.unlink()
         except OSError:
             pass  # already evicted/replaced concurrently
+        try:
+            sidecar_path(path).unlink()
+        except OSError:
+            pass  # no sidecar, or it vanished with the entry
 
     def _note_disk_serve(self, path: Path, envelope: dict) -> None:
         """Hook: the disk layer just served ``envelope`` whole.
@@ -399,16 +465,18 @@ class TraceCache:
         """Atomically (re)write one disk entry.
 
         A (re)capture starts the entry's ``hits_served`` life over at
-        zero: the payload is new bytes, so inherited popularity would
-        claim service the new trace never rendered.  The payload
-        checksum is computed over the exact compressed bytes handed to
-        the envelope; an active :class:`~repro.sim.faults.FaultPlan`
-        may then corrupt those bytes or veto the write with an
-        ``OSError``, deliberately *after* the checksum, so injected
-        corruption is exactly what the read-side CRC check catches.
+        zero — the payload is new bytes, so inherited popularity would
+        claim service the new trace never rendered — which includes
+        unlinking any hit-counter sidecar a store left beside the old
+        entry.  The payload checksum is computed over the exact
+        compressed bytes handed to the envelope; an active
+        :class:`~repro.sim.faults.FaultPlan` may then corrupt those
+        bytes or veto the write with an ``OSError``, deliberately
+        *after* the checksum, so injected corruption is exactly what
+        the read-side CRC check catches.
         """
         payload = zlib.compress(
-            pickle.dumps(_disk_payload(captured),
+            pickle.dumps(_pack_payload(captured),
                          protocol=pickle.HIGHEST_PROTOCOL),
             COMPRESS_LEVEL)
         envelope = {"format": DISK_FORMAT_VERSION,
@@ -424,6 +492,10 @@ class TraceCache:
             plan.check_write(token, attempt)
             envelope["payload"] = plan.corrupted(token, attempt, payload)
         _write_envelope(path, envelope, clock=self.clock)
+        try:
+            sidecar_path(path).unlink()
+        except OSError:
+            pass  # no sidecar (fresh entry) or it raced away: zero either way
 
     def ingest_remote(self, key: TraceKey,
                       payload: Optional[ExecResult] = None

@@ -39,10 +39,14 @@ and write the same directory:
   are unlinked rather than left to shadow the budget;
 * **size cap** — while the store exceeds its byte budget, the
   oldest-``mtime`` entries are evicted first.  :meth:`TraceStore.get`
-  rewrites an entry on every disk hit (persisting its ``hits_served``
-  popularity counter, which also freshens ``mtime``), so the ordering
-  is a true LRU over *use*, not a FIFO over write time — and a future
-  GC can weight eviction by the persisted per-entry popularity.
+  freshens an entry's ``mtime`` on every disk hit (and persists its
+  ``hits_served`` bump in a few-byte ``.hits`` sidecar — never by
+  rewriting the multi-KiB envelope it just read), so the ordering is a
+  true LRU over *use*, not a FIFO over write time — and a future GC
+  can weight eviction by the persisted per-entry popularity;
+* **sidecar hygiene** — a ``.hits`` sidecar whose entry is gone
+  (evicted by a foreign process, or a crash between the two unlinks)
+  is reaped.
 
 Every deletion tolerates the file vanishing underneath it (another
 process may evict, rewrite, or replace concurrently); losing a race
@@ -60,7 +64,10 @@ what the shared store actually served.
 
 from __future__ import annotations
 
+import errno
+import os
 import pickle
+import tempfile
 from pathlib import Path
 from typing import Callable, Optional, Union
 
@@ -69,7 +76,7 @@ from typing import Callable, Optional, Union
 from ..env import ENV_STORE_BYTES, ENV_STORE_DIR, read_env
 from .faults import FaultPlan
 from .trace_cache import (DEFAULT_CAPACITY, TraceCache, _crc_ok,
-                          _validate_envelope, _write_envelope)
+                          _validate_envelope, sidecar_path)
 
 #: Suite-default store location: ``benchmarks/out/trace_cache`` (kept
 #: under the gitignored bench output directory, so a checkout never
@@ -89,6 +96,56 @@ DEFAULT_TMP_MAX_AGE_S = 3600.0
 
 #: Glob of live store entries (matches trace_cache.disk_path naming).
 _ENTRY_GLOB = "trace_*.pkl"
+
+#: Glob of hit-counter sidecars (see trace_cache.sidecar_path).
+_SIDECAR_GLOB = "trace_*.pkl.hits"
+
+
+def _unlink_quiet(path: Path) -> bool:
+    """Best-effort unlink; True when this call removed the file."""
+    try:
+        path.unlink()
+        return True
+    except OSError:
+        return False
+
+
+def _read_hits(side: Path) -> int:
+    """Count persisted in a sidecar: 0 for absent, torn or foreign bytes.
+
+    The counter is advisory (a lost or garbled sidecar costs popularity
+    accuracy, never correctness), so every failure mode degrades to
+    "never served" rather than an error.
+    """
+    try:
+        return int(side.read_bytes())
+    except (OSError, ValueError):
+        return 0
+
+
+def _write_hits(side: Path, count: int,
+                clock: Optional[Callable[[], float]] = None) -> int:
+    """Atomically write ``count`` to sidecar ``side``; returns the bytes
+    written.  Same tempfile-and-rename protocol as envelope writes (a
+    crashed writer leaves a ``*.tmp`` the GC reaps; ``clock`` stamps it
+    so an injected-clock store judges its age consistently)."""
+    data = b"%d" % count
+    fd, tmp_name = tempfile.mkstemp(dir=str(side.parent),
+                                    prefix=side.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        if clock is not None:
+            stamp = clock()
+            os.utime(tmp_name, (stamp, stamp))
+        os.replace(tmp_name, side)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return len(data)
 
 
 def resolve_store_dir(explicit: Union[str, Path, None] = None,
@@ -128,25 +185,56 @@ class TraceStore(TraceCache):
                          fault_plan=fault_plan, clock=clock)
         self.max_bytes = resolve_store_bytes(max_bytes)
         self.tmp_max_age_s = float(tmp_max_age_s)
+        #: Total sidecar bytes written persisting warm-hit bumps.
+        self.serve_write_bytes = 0
+        #: Sidecar bytes the most recent bump wrote (0 = none yet).
+        self.last_serve_write_bytes = 0
+        #: Bumps abandoned on a non-ENOSPC ``OSError`` (entry raced away).
+        self.serve_note_errors = 0
 
     # ------------------------------------------------------------------
     def _note_disk_serve(self, path, envelope: dict) -> None:
         """Persist the popularity bump for one served entry.
 
-        ``hits_served`` is incremented and the envelope atomically
-        rewritten in place — which also freshens the entry's ``mtime``,
-        keeping the GC's eviction order an LRU over *use* rather than a
-        FIFO over writes.  The counter is advisory: concurrent readers
-        race last-writer-wins (a lost bump costs accuracy, never
-        correctness), and a file evicted mid-bump is simply re-created
-        with its payload intact.
+        The bump lands in the entry's tiny ``.hits`` sidecar — a warm
+        hit writes O(counter) bytes, never the multi-KiB envelope it
+        just read (rewriting the whole envelope per hit was the old
+        behaviour, turning every warm serve into a full-entry disk
+        write).  The entry's own ``mtime`` is then freshened so the
+        GC's eviction order stays an LRU over *use* rather than a FIFO
+        over writes.  The counter is advisory: concurrent readers race
+        last-writer-wins (a lost bump costs accuracy, never
+        correctness).
+
+        Failure handling mirrors :meth:`~repro.sim.trace_cache
+        .TraceCache.put`: ``ENOSPC`` demotes the store to memory-only
+        (one-shot warning — and once demoted, later serves skip the
+        disk write entirely); any other ``OSError`` means the entry or
+        its directory raced away (evicted, replaced, reaped) and the
+        bump is simply dropped (counted in ``serve_note_errors``).
         """
-        envelope = dict(envelope)
-        envelope["hits_served"] = int(envelope.get("hits_served", 0)) + 1
+        if self.memory_only:
+            return
+        side = sidecar_path(path)
+        count = _read_hits(side) + 1  # serves since the entry was written
+        plan = self.fault_plan
         try:
-            _write_envelope(path, envelope, clock=self.clock)
-        except OSError:
-            pass  # entry may have been evicted/replaced concurrently
+            if plan is not None:
+                token = side.name
+                attempt = self._write_counts.get(token, 0)
+                self._write_counts[token] = attempt + 1
+                plan.check_write(token, attempt)
+            written = _write_hits(side, count, clock=self.clock)
+            stamp = self._now()
+            os.utime(path, (stamp, stamp))
+        except OSError as exc:
+            if getattr(exc, "errno", None) == errno.ENOSPC:
+                self._degrade_memory_only(exc)
+                return
+            self.serve_note_errors += 1
+            return
+        self.serve_write_bytes += written
+        self.last_serve_write_bytes = written
 
     # ------------------------------------------------------------------
     def gc(self, max_bytes: Optional[int] = None) -> dict:
@@ -169,8 +257,8 @@ class TraceStore(TraceCache):
         """
         budget = self.max_bytes if max_bytes is None else int(max_bytes)
         summary = {"reaped_tmp": 0, "purged_stale": 0, "purged_corrupt": 0,
-                   "evicted": 0, "entries": 0, "bytes_before": 0,
-                   "bytes_after": 0}
+                   "evicted": 0, "reaped_sidecars": 0, "entries": 0,
+                   "bytes_before": 0, "bytes_after": 0}
         if self.disk_dir is None or not self.disk_dir.is_dir():
             return summary
         now = self._now()
@@ -202,6 +290,7 @@ class TraceStore(TraceCache):
                     summary["purged_stale"] += 1
                 except OSError:
                     pass
+                _unlink_quiet(sidecar_path(path))
                 continue
             # Integrity: a CRC pass over the packed payload bytes (still
             # no deserialization).  Checksum-failed entries would never
@@ -213,6 +302,7 @@ class TraceStore(TraceCache):
                     summary["purged_corrupt"] += 1
                 except OSError:
                     pass
+                _unlink_quiet(sidecar_path(path))
                 self.corrupt_purged += 1
                 continue
             live.append((stat.st_mtime, stat.st_size, path))
@@ -230,22 +320,32 @@ class TraceStore(TraceCache):
                 pass  # another process evicted it: bytes reclaimed anyway
             except OSError:
                 continue  # undeletable: it still counts against the budget
+            _unlink_quiet(sidecar_path(path))
             total -= size
             survivors -= 1
             summary["evicted"] += 1
         summary["bytes_after"] = total
         summary["entries"] = survivors
+
+        # Sidecars never outlive their entry: one orphaned by a crash
+        # between an eviction and its sidecar unlink (or by a foreign
+        # process's eviction) is reaped here.
+        for side in self.disk_dir.glob(_SIDECAR_GLOB):
+            entry = side.with_name(side.name[:-len(".hits")])
+            if not entry.exists() and _unlink_quiet(side):
+                summary["reaped_sidecars"] += 1
         return summary
 
     # ------------------------------------------------------------------
     def manifest(self) -> list[dict]:
         """Per-entry view: file name, size, age, and hits served.
 
-        ``hits_served`` is read from each entry's envelope tags (the
-        payload stays packed — a manifest pass never decompresses a
-        trace); an unreadable or pre-counter envelope reports 0.  The
-        ``corrupt`` flag marks entries whose payload fails its checksum
-        (or whose envelope cannot be read at all) — candidates the next
+        ``hits_served`` is the envelope's base count plus the ``.hits``
+        sidecar's serves-since-write (the payload stays packed — a
+        manifest pass never decompresses a trace); an unreadable
+        envelope or absent sidecar contributes 0.  The ``corrupt`` flag
+        marks entries whose payload fails its checksum (or whose
+        envelope cannot be read at all) — candidates the next
         :meth:`gc` pass will purge.
         """
         if self.disk_dir is None or not self.disk_dir.is_dir():
@@ -257,13 +357,13 @@ class TraceStore(TraceCache):
                 stat = path.stat()
             except OSError:
                 continue
-            hits_served = 0
+            hits_served = _read_hits(sidecar_path(path))
             corrupt = False
             try:
                 with path.open("rb") as fh:
                     obj = pickle.load(fh)
                 if isinstance(obj, dict):
-                    hits_served = int(obj.get("hits_served", 0))
+                    hits_served += int(obj.get("hits_served", 0))
                     corrupt = (_validate_envelope(obj)
                                and not _crc_ok(obj))
             # repro-lint: disable=RL201  unpickling garbage raises any type
@@ -290,6 +390,8 @@ class TraceStore(TraceCache):
             "hits_served": sum(row["hits_served"] for row in manifest),
             "corrupt_entries": sum(1 for row in manifest if row["corrupt"]),
             "max_bytes": self.max_bytes,
+            "serve_write_bytes": self.serve_write_bytes,
+            "serve_note_errors": self.serve_note_errors,
         })
         return stats
 

@@ -21,6 +21,8 @@ length.  The mechanisms modelled, and where the paper's effects come from:
 
 from __future__ import annotations
 
+import dataclasses
+from collections import deque
 from dataclasses import dataclass
 
 from ..errors import TimingError
@@ -29,14 +31,25 @@ from ..functional.trace import (DynamicTrace, MemAccess, ScalarEvent,
 from ..isa.instructions import ExecUnit, MemPattern
 from ..uarch.common import MachineModel
 from .frontend import ScalarFrontend
+from .replay_plan import ROW_REDUCTION, ROW_VSETVL, ReplayPlan
 from .report import TimingReport
 from .resources import Resource
-from .scoreboard import Scoreboard
+from .scoreboard import FlatScoreboard, Scoreboard
 from .stream import Stream, consume
 
 #: Unit resource names.
 VMFPU, VALU, SLDU, MASKU, LOAD, STORE = (
     "vmfpu", "valu", "sldu", "masku", "vlsu_load", "vlsu_store")
+
+#: Canonical unit order (index = the plan's unit id).
+_UNIT_NAMES = (VMFPU, VALU, SLDU, MASKU, LOAD, STORE)
+
+
+def _copy_report(report: TimingReport) -> TimingReport:
+    """Fresh report instance (memoized replays must not share dicts)."""
+    return dataclasses.replace(report,
+                               unit_busy=dict(report.unit_busy),
+                               unit_ops=dict(report.unit_ops))
 
 
 @dataclass
@@ -54,7 +67,195 @@ class TimingEngine:
         self.model = model
 
     # ------------------------------------------------------------------
-    def replay(self, trace: DynamicTrace) -> TimingReport:
+    def replay(self, trace) -> TimingReport:
+        """Replay ``trace`` (object or packed form) against the model.
+
+        The vectorized fast path: compile the trace once into a
+        :class:`~repro.timing.replay_plan.ReplayPlan` (cached on the
+        trace), fetch the fused per-machine row bundle (numpy-batched
+        rates/latencies/stream constants, memoized per model), then run
+        one branch-light pass over the issue rows.  Every arithmetic
+        operation is performed in the same order with the same operands
+        as :meth:`replay_reference`, so reports are bit-identical —
+        the reference loop stays as the executable specification and
+        the property-test oracle.
+        """
+        plan = getattr(trace, "_plan", None)
+        if plan is None or plan.n_events != len(trace):
+            plan = ReplayPlan.from_trace(trace)
+            try:
+                trace._plan = plan
+            except (AttributeError, TypeError):
+                pass  # foreign trace container: plan lives for this call
+        model = self.model
+        bundle = plan.machine_rows(model)
+        report = bundle.report
+        if report is not None:
+            return _copy_report(report)
+        depth = model.unit_queue_depth
+        if depth < 1 and plan.first_vec_unit is not None:
+            raise TimingError(f"{_UNIT_NAMES[plan.first_vec_unit]}: "
+                              f"queue depth must be >= 1")
+
+        vsetvli_cycles = model.vsetvli_cycles
+        issue_gap = model.issue_gap
+        issue_to_arrive = model.request_latency + model.dispatch_latency
+        scalar_result_latency = model.scalar_result_latency
+
+        sb = FlatScoreboard()
+        streams = sb.streams
+        write_end = sb.write_end
+        read_end = sb.read_end
+        upend = [deque() for _ in range(6)]
+        uready = [0.0] * 6
+        ubusy = [0.0] * 6
+        uops = [0] * 6
+        t_scalar = 0.0
+        next_vissue = 0.0
+        issue_stalls = 0.0
+
+        for (costs, kind, u, cn, nn, srcs, dregs, dscal,
+             lat, rinv, q1, busy, tail) in bundle.rows:
+            for c in costs:
+                t_scalar += c
+            if kind == ROW_VSETVL:
+                t_scalar += vsetvli_cycles
+                gap_end = t_scalar + issue_gap
+                if gap_end > next_vissue:
+                    next_vissue = gap_end
+                continue
+
+            # --- issue: frontend cycle, ack gap, queue slot -----------
+            t_scalar += 1.0
+            t_ready = t_scalar if t_scalar > next_vissue else next_vissue
+            pq = upend[u]
+            while pq and pq[0] <= t_ready:
+                pq.popleft()
+            t_admit = t_ready if len(pq) < depth else pq[0]
+            issue_stalls += t_admit - t_ready
+            t_scalar = t_admit
+            next_vissue = t_admit + issue_gap
+
+            # --- hazards: WAW/WAR on the destination group ------------
+            earliest = t_admit + issue_to_arrive
+            for r in dregs:
+                w = write_end[r]
+                if w > earliest:
+                    earliest = w
+                w = read_end[r]
+                if w > earliest:
+                    earliest = w
+            rt = uready[u]
+            start = rt if rt > earliest else earliest
+
+            # --- execute: inlined stream algebra over the row columns -
+            if cn:
+                t0 = start
+                tmax = 0.0
+                last1 = (cn if cn < nn else nn) - 1
+                for regs in srcs:
+                    gf = 0.0
+                    gl = 0.0
+                    for r in regs:
+                        st = streams[r]
+                        if st is not None:
+                            f = st[0]
+                            if f > gf:
+                                gf = f
+                            f = st[1]
+                            if f > gl:
+                                gl = f
+                    if gf > t0:
+                        t0 = gf
+                    if last1 and nn > 1 and gl > gf:
+                        t = gf + last1 / ((nn - 1) / (gl - gf))
+                        if t > tmax:
+                            tmax = t
+                    elif gf > tmax:
+                        tmax = gf
+                t_last_in = t0 + q1
+                if tmax > t_last_in:
+                    t_last_in = tmax
+                end_exec = t_last_in + rinv
+                if kind == ROW_REDUCTION:
+                    # Instant single-element result after the tail.
+                    end_exec += tail
+                    res = (end_exec, end_exec)
+                    res_end = end_exec
+                    t_last_res = end_exec
+                    res_n = 1
+                else:
+                    t_first_out = t0 + lat + rinv
+                    t_last_out = t_last_in + lat + rinv
+                    if cn == 1:
+                        t_last_res = t_first_out
+                        res_end = t_first_out + rinv
+                    else:
+                        dd = t_last_out - t_first_out
+                        if dd < 1e-12:
+                            dd = 1e-12
+                        eff = (cn - 1) / dd
+                        t_last_res = t_first_out + (cn - 1) / eff
+                        res_end = t_first_out + cn / eff
+                    res = (t_first_out, t_last_res)
+                    res_n = cn
+                busy_j = busy
+            else:  # zero-element op (masked access with empty count)
+                end_exec = start
+                res = None
+                res_end = start + lat
+                t_last_res = 0.0
+                res_n = 0
+                busy_j = 0.0
+
+            # --- retire + scoreboard updates --------------------------
+            uready[u] = end_exec
+            ubusy[u] += busy_j
+            uops[u] += 1
+            pq.append(end_exec)
+            for regs in srcs:
+                for r in regs:
+                    if end_exec > read_end[r]:
+                        read_end[r] = end_exec
+            for r in dregs:
+                streams[r] = res
+                if res_end > write_end[r]:
+                    write_end[r] = res_end
+            if dscal:
+                sync = (t_last_res if res_n else end_exec) \
+                    + scalar_result_latency
+                if sync > t_scalar:
+                    t_scalar = sync
+        for c in bundle.tail_seg:
+            t_scalar += c
+
+        total = t_scalar
+        done = max(write_end)
+        if done > total:
+            total = done
+        for v in uready:
+            if v > total:
+                total = v
+        report = TimingReport(
+            machine=model.name,
+            cycles=total if total > 1.0 else 1.0,
+            dp_flops=plan.total_flops,
+            unit_busy=dict(zip(_UNIT_NAMES, ubusy)),
+            unit_ops=dict(zip(_UNIT_NAMES, uops)),
+            scalar_cycles=t_scalar,
+            vector_instructions=plan.vector_count,
+            scalar_instructions=plan.scalar_count,
+            issue_stall_cycles=issue_stalls,
+            mem_bytes_read=plan.bytes_read,
+            mem_bytes_written=plan.bytes_written,
+            dcache_hits=bundle.dcache_hits,
+            dcache_misses=bundle.dcache_misses,
+        )
+        bundle.report = report
+        return _copy_report(report)
+
+    # ------------------------------------------------------------------
+    def replay_reference(self, trace: DynamicTrace) -> TimingReport:
         model = self.model
         cfg = model.config
         frontend = ScalarFrontend(cfg.scalar, cfg.memory.l2_latency_cycles)

@@ -1,0 +1,393 @@
+"""Compiled replay plans: decode a trace once, replay it as columns.
+
+The reference replay loop (:meth:`repro.timing.engine.TimingEngine
+.replay_reference`) dispatches per event object: every event pays
+attribute loads, a memoized decode lookup, stream-object construction
+and several function calls.  That cost is replay-invariant — none of it
+depends on the machine model — so this module hoists it into a
+:class:`ReplayPlan` built once per trace (cached on the trace's
+``_plan`` slot) and shared across every machine the trace is replayed
+against:
+
+* **static rows** — one entry per issued instruction (vsetvl or vector)
+  with its unit index, element counts, pre-resolved source/destination
+  register index tuples, and the scalar-event cost segment preceding it;
+* **numpy columns** — per-row ``vl``/SEW codes, throughputs, memory-key
+  and slide-key indices.  For a given machine model the per-row rates,
+  latencies and the stream-algebra constants of
+  :func:`repro.timing.stream.batch_stream_params` are produced by a
+  handful of vectorized array operations instead of per-event Python —
+  each element is the *same single* IEEE-754 operation the reference
+  performs, so replay output is bit-identical;
+* **scalar segments** — the in-order scalar cost list (including the
+  stateful D$ walk) memoized per ``(scalar config, L2 latency)``, which
+  all machines sharing a frontend configuration reuse;
+* **report memo** — replay is a pure function of (trace, model), so the
+  fused per-machine row bundle remembers the finished
+  :class:`~repro.timing.report.TimingReport`; replay-many of one trace
+  against one model is a dict hit plus a defensive copy.
+
+Decode reuses :meth:`TimingEngine._event_info` (and therefore its
+per-instruction ``_tinfo_by_cfg`` memo — including the first-event
+``mem`` byte-accounting semantics), so the plan can never drift from
+the reference decode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TimingError
+from ..functional.trace import ScalarEvent, VectorEvent, VsetvlEvent
+from ..isa.instructions import MemPattern
+from .frontend import ScalarFrontend
+from .stream import batch_stream_params
+
+__all__ = ["ReplayPlan"]
+
+#: Row kinds in the fused issue stream.
+ROW_VSETVL, ROW_VECTOR, ROW_REDUCTION = 0, 1, 2
+
+#: SEW -> index into the per-machine (8, 16, 32, 64) rate vectors.
+_SEW_CODE = {8: 0, 16: 1, 32: 2, 64: 3}
+_SEWS = (8, 16, 32, 64)
+
+
+def _regs(base: int, emul: int) -> tuple:
+    """Register group -> explicit member-index tuple (scoreboard order)."""
+    return tuple(range(base, min(32, base + emul) if emul > 1 else base + 1))
+
+
+class _MachineRows:
+    """Per-(plan, machine) fused row bundle plus the replay-report memo."""
+
+    __slots__ = ("rows", "tail_seg", "dcache_hits", "dcache_misses",
+                 "report")
+
+    def __init__(self, rows: list, tail_seg: tuple,
+                 dcache_hits: int, dcache_misses: int) -> None:
+        self.rows = rows
+        self.tail_seg = tail_seg
+        self.dcache_hits = dcache_hits
+        self.dcache_misses = dcache_misses
+        self.report = None
+
+
+class ReplayPlan:
+    """Machine-independent compilation of one dynamic trace."""
+
+    __slots__ = ("n_events", "scalar_count", "vector_count", "total_flops",
+                 "bytes_read", "bytes_written", "first_vec_unit",
+                 "kind_vocab", "segs", "row_kind", "row_unit", "row_cn",
+                 "row_n", "row_srcs", "row_dest", "row_dscal",
+                 "mem_keys", "slide_pairs",
+                 "_cnt_f", "_sew_code", "_thr", "_is_fpu", "_mlog",
+                 "_mem_ix", "_align", "_is_store", "_slide_ix",
+                 "_ix_mem", "_ix_red", "_ix_slide", "_ix_masku",
+                 "_ix_arith", "_seg_memo", "_machine_memo")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trace(cls, trace) -> "ReplayPlan":
+        # Deferred import: engine.py imports this module at load time.
+        from .engine import (LOAD, MASKU, SLDU, STORE, TimingEngine, VALU,
+                             VMFPU)
+        unit_index = {VMFPU: 0, VALU: 1, SLDU: 2, MASKU: 3,
+                      LOAD: 4, STORE: 5}
+        cat_mem = TimingEngine._CAT_MEM
+        cat_red = TimingEngine._CAT_RED
+        cat_slide = TimingEngine._CAT_SLIDE
+        cat_masku = TimingEngine._CAT_MASKU
+        cat_arith = TimingEngine._CAT_ARITH
+        event_info = TimingEngine._event_info
+
+        plan = cls.__new__(cls)
+        segs: list = []
+        cur: list = []
+        kind_vocab: list = []
+        kind_ids: dict = {}
+        row_kind: list = []
+        row_unit: list = []
+        row_cn: list = []
+        row_n: list = []
+        row_srcs: list = []
+        row_dest: list = []
+        row_dscal: list = []
+        cats: list = []
+        sewc: list = []
+        thr: list = []
+        is_fpu: list = []
+        mlog: list = []
+        mem_ix: list = []
+        alignp: list = []
+        is_store: list = []
+        slide_ix: list = []
+        mem_keys: dict = {}
+        slide_pairs: dict = {}
+        n_events = 0
+        scalar_count = 0
+        vector_count = 0
+        flops = 0.0
+        bytes_read = 0.0
+        bytes_written = 0.0
+        first_vec_unit = None
+
+        for event in trace:
+            n_events += 1
+            ecls = event.__class__
+            if ecls is ScalarEvent:
+                kid = kind_ids.get(event.kind)
+                if kid is None:
+                    kid = kind_ids[event.kind] = len(kind_vocab)
+                    kind_vocab.append(event.kind)
+                cur.append((kid, event.addr))
+                scalar_count += 1
+                continue
+            if ecls is VsetvlEvent:
+                segs.append(tuple(cur))
+                cur = []
+                scalar_count += 1
+                row_kind.append(ROW_VSETVL)
+                row_unit.append(0)
+                row_cn.append(1)
+                row_n.append(1)
+                row_srcs.append(())
+                row_dest.append(())
+                row_dscal.append(False)
+                cats.append(-1)
+                sewc.append(0)
+                thr.append(1.0)
+                is_fpu.append(False)
+                mlog.append(False)
+                mem_ix.append(0)
+                alignp.append(0.0)
+                is_store.append(False)
+                slide_ix.append(0)
+                continue
+            if ecls is not VectorEvent:
+                raise TimingError(f"unknown trace event {event!r}")
+
+            vector_count += 1
+            info = event.__dict__.get("_tinfo")
+            if info is None:
+                info = event_info(event)
+            (unit_name, n, sources, dest, dest_scalar, cat, extra,
+             ev_flops, mem_info) = info
+            flops += ev_flops
+            if mem_info is not None:
+                if mem_info[0]:
+                    bytes_written += mem_info[1]
+                else:
+                    bytes_read += mem_info[1]
+            segs.append(tuple(cur))
+            cur = []
+            uix = unit_index[unit_name]
+            if first_vec_unit is None:
+                first_vec_unit = uix
+
+            kindv = ROW_VECTOR
+            cn = n
+            sc = 0
+            th = 1.0
+            fp = False
+            ml = False
+            mi = 0
+            ap = 0.0
+            st = False
+            si = 0
+            if cat == cat_mem:
+                mem = event.mem
+                if mem is None:
+                    raise TimingError(
+                        f"memory op {event.instr} lacks a MemAccess")
+                cn = mem.count if mem.pattern is MemPattern.MASK else n
+                key = (mem.pattern, mem.ew_bytes, mem.is_store)
+                mi = mem_keys.get(key)
+                if mi is None:
+                    mi = mem_keys[key] = len(mem_keys)
+                if mem.pattern is MemPattern.UNIT and mem.base % 64:
+                    ap = 1.0
+                st = bool(mem.is_store)
+                sc = _SEW_CODE.get(event.sew, 0)  # rate is SEW-independent
+            elif cat == cat_red:
+                kindv = ROW_REDUCTION
+                sc = _SEW_CODE[event.sew]
+            elif cat == cat_slide:
+                sc = _SEW_CODE[event.sew]
+                th = extra
+                pair = (event.slide_amount, event.vl)
+                si = slide_pairs.get(pair)
+                if si is None:
+                    si = slide_pairs[pair] = len(slide_pairs)
+            elif cat == cat_masku:
+                ml = bool(extra)
+                # Mask-logical ops run at the bit rate, never indexing
+                # the per-SEW tables (mirrors the reference branch).
+                sc = (_SEW_CODE.get(event.sew, 0) if ml
+                      else _SEW_CODE[event.sew])
+            else:
+                th, fp = extra
+                sc = _SEW_CODE[event.sew]
+
+            row_kind.append(kindv)
+            row_unit.append(uix)
+            row_cn.append(cn)
+            row_n.append(n)
+            row_srcs.append(tuple(_regs(b, e) for b, e in sources))
+            row_dest.append(_regs(*dest) if dest is not None else ())
+            row_dscal.append(dest_scalar)
+            cats.append(cat)
+            sewc.append(sc)
+            thr.append(th)
+            is_fpu.append(fp)
+            mlog.append(ml)
+            mem_ix.append(mi)
+            alignp.append(ap)
+            is_store.append(st)
+            slide_ix.append(si)
+        segs.append(tuple(cur))
+
+        plan.n_events = n_events
+        plan.scalar_count = scalar_count
+        plan.vector_count = vector_count
+        plan.total_flops = flops
+        plan.bytes_read = bytes_read
+        plan.bytes_written = bytes_written
+        plan.first_vec_unit = first_vec_unit
+        plan.kind_vocab = tuple(kind_vocab)
+        plan.segs = segs
+        plan.row_kind = row_kind
+        plan.row_unit = row_unit
+        plan.row_cn = row_cn
+        plan.row_n = row_n
+        plan.row_srcs = row_srcs
+        plan.row_dest = row_dest
+        plan.row_dscal = row_dscal
+        plan.mem_keys = tuple(mem_keys)
+        plan.slide_pairs = tuple(slide_pairs)
+        plan._cnt_f = np.asarray(row_cn, dtype=np.float64)
+        cat_arr = np.asarray(cats, dtype=np.int64)
+        plan._sew_code = np.asarray(sewc, dtype=np.int64)
+        plan._thr = np.asarray(thr, dtype=np.float64)
+        plan._is_fpu = np.asarray(is_fpu, dtype=bool)
+        plan._mlog = np.asarray(mlog, dtype=bool)
+        plan._mem_ix = np.asarray(mem_ix, dtype=np.int64)
+        plan._align = np.asarray(alignp, dtype=np.float64)
+        plan._is_store = np.asarray(is_store, dtype=bool)
+        plan._slide_ix = np.asarray(slide_ix, dtype=np.int64)
+        plan._ix_mem = np.nonzero(cat_arr == cat_mem)[0]
+        plan._ix_red = np.nonzero(cat_arr == cat_red)[0]
+        plan._ix_slide = np.nonzero(cat_arr == cat_slide)[0]
+        plan._ix_masku = np.nonzero(cat_arr == cat_masku)[0]
+        plan._ix_arith = np.nonzero(cat_arr == cat_arith)[0]
+        plan._seg_memo = {}
+        plan._machine_memo = {}
+        return plan
+
+    # ------------------------------------------------------------------
+    def scalar_costs(self, scalar_cfg, l2_latency) -> tuple:
+        """Per-segment scalar cost tuples for one frontend configuration.
+
+        Replays the scalar event stream — in original order, D$ state
+        included — through a fresh :class:`ScalarFrontend` once, then
+        memoizes ``(segment cost lists, dcache hits, dcache misses)``:
+        every machine model sharing the scalar config reuses the walk.
+        """
+        key = (scalar_cfg, l2_latency)
+        hit = self._seg_memo.get(key)
+        if hit is None:
+            frontend = ScalarFrontend(scalar_cfg, l2_latency)
+            fixed_cost = frontend.fixed_costs.get
+            cost = frontend.cost
+            vocab = self.kind_vocab
+            out = []
+            for seg in self.segs:
+                costs = []
+                for kid, addr in seg:
+                    kind = vocab[kid]
+                    cycles = fixed_cost(kind)
+                    if cycles is None:
+                        cycles = cost(ScalarEvent(kind, addr))
+                    costs.append(cycles)
+                out.append(tuple(costs))
+            hit = (out, frontend.dcache.hits, frontend.dcache.misses)
+            self._seg_memo[key] = hit
+        return hit
+
+    # ------------------------------------------------------------------
+    def _columns_for(self, model) -> tuple:
+        """Vectorized per-row machine columns: latency, 1/rate,
+        ``(n-1)/rate``, busy cycles, reduction tail."""
+        n_rows = len(self.row_kind)
+        rate = np.ones(n_rows, dtype=np.float64)
+        lat = np.zeros(n_rows, dtype=np.float64)
+        tail = np.zeros(n_rows, dtype=np.float64)
+        vfu = None
+        ix = self._ix_arith
+        if ix.size:
+            vfu = np.asarray([model.vfu_rate(s) for s in _SEWS])
+            rate[ix] = vfu[self._sew_code[ix]] * self._thr[ix]
+            lat[ix] = np.where(self._is_fpu[ix], model.fpu_latency,
+                               model.valu_latency)
+        ix = self._ix_red
+        if ix.size:
+            if vfu is None:
+                vfu = np.asarray([model.vfu_rate(s) for s in _SEWS])
+            sc = self._sew_code[ix]
+            rate[ix] = vfu[sc]
+            tail[ix] = np.asarray([model.reduction_tail_cycles(s)
+                                   for s in _SEWS])[sc]
+        ix = self._ix_slide
+        if ix.size:
+            sldu = np.asarray([model.sldu_rate(s) for s in _SEWS])
+            rate[ix] = sldu[self._sew_code[ix]] * self._thr[ix]
+            slide_lat = np.asarray(
+                [model.slide_extra_cycles(amount, vl)
+                 for amount, vl in self.slide_pairs], dtype=np.float64)
+            lat[ix] = slide_lat[self._slide_ix[ix]]
+        ix = self._ix_masku
+        if ix.size:
+            if vfu is None:
+                vfu = np.asarray([model.vfu_rate(s) for s in _SEWS])
+            rate[ix] = np.where(self._mlog[ix], model.masku_bit_rate(),
+                                vfu[self._sew_code[ix]])
+            lat[ix] = model.masku_latency
+        ix = self._ix_mem
+        if ix.size:
+            mem_rate = np.asarray(
+                [model.mem_rate(pattern, max(1, ew), store)
+                 for pattern, ew, store in self.mem_keys],
+                dtype=np.float64)
+            rate[ix] = mem_rate[self._mem_ix[ix]]
+            lat[ix] = np.where(self._is_store[ix],
+                               model.store_pipe_latency,
+                               model.load_first_data_latency) \
+                + self._align[ix]
+        q1, rinv, busy = batch_stream_params(self._cnt_f, rate)
+        return (lat.tolist(), rinv.tolist(), q1.tolist(), busy.tolist(),
+                tail.tolist())
+
+    # ------------------------------------------------------------------
+    def machine_rows(self, model) -> _MachineRows:
+        """Fused per-machine row bundle (memoized per model identity)."""
+        cfg = model.config
+        key = None
+        bundle = None
+        try:
+            key = (type(model).__name__, model.name, cfg)
+            bundle = self._machine_memo.get(key)
+        except TypeError:
+            key = None  # unhashable custom config: rebuild per replay
+        if bundle is None:
+            seg_costs, dcache_hits, dcache_misses = self.scalar_costs(
+                cfg.scalar, cfg.memory.l2_latency_cycles)
+            lat, rinv, q1, busy, tail = self._columns_for(model)
+            rows = list(zip(seg_costs[:-1], self.row_kind, self.row_unit,
+                            self.row_cn, self.row_n, self.row_srcs,
+                            self.row_dest, self.row_dscal,
+                            lat, rinv, q1, busy, tail))
+            bundle = _MachineRows(rows, seg_costs[-1],
+                                  dcache_hits, dcache_misses)
+            if key is not None:
+                self._machine_memo[key] = bundle
+        return bundle

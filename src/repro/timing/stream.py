@@ -77,6 +77,22 @@ class Stream:
         return cls(t, math.inf, 0)
 
 
+def batch_stream_params(counts, rates):
+    """Vectorized per-op stream-algebra constants for a whole replay.
+
+    For each op ``j`` with element count ``counts[j]`` and intrinsic
+    rate ``rates[j]`` this returns the three constants :func:`consume`
+    derives per call — ``(n - 1) / rate`` (own-throughput span),
+    ``1.0 / rate`` (one element period), and ``n / rate`` (busy
+    cycles) — as float64 arrays.  Each element is the *same single*
+    IEEE-754 operation the scalar path performs, just batched, so the
+    vectorized replay loop that consumes these columns is bit-identical
+    to per-event :func:`consume` calls.  ``counts`` must already be a
+    float64 array (integer counts below 2**53 convert exactly).
+    """
+    return (counts - 1.0) / rates, 1.0 / rates, counts / rates
+
+
 def consume(start: float, own_rate: float, n: int,
             sources: tuple[Stream, ...] = (),
             latency: float = 0.0) -> tuple[float, Stream]:

@@ -6,6 +6,7 @@ import multiprocessing
 import os
 import pickle
 import time
+import warnings
 
 import pytest
 
@@ -133,7 +134,8 @@ class TestStoreGc:
         store = TraceStore(disk_dir=tmp_path / "never_created")
         summary = store.gc()
         assert summary == {"reaped_tmp": 0, "purged_stale": 0,
-                           "purged_corrupt": 0, "evicted": 0, "entries": 0,
+                           "purged_corrupt": 0, "evicted": 0,
+                           "reaped_sidecars": 0, "entries": 0,
                            "bytes_before": 0, "bytes_after": 0}
 
     def test_manifest_and_store_stats(self, tmp_path):
@@ -375,10 +377,22 @@ class TestHitsServed:
         with path.open("rb") as fh:
             return pickle.load(fh)
 
+    def _hits(self, path):
+        """Persisted serve count: envelope base + ``.hits`` sidecar."""
+        from repro.sim.trace_cache import sidecar_path
+        from repro.sim.trace_store import _read_hits
+
+        return (self._envelope(path)["hits_served"]
+                + _read_hits(sidecar_path(path)))
+
     def test_fresh_entry_starts_at_zero(self, tmp_path):
+        from repro.sim.trace_cache import sidecar_path
+
         store = TraceStore(disk_dir=tmp_path)
         key = _capture_entry(store)
-        assert self._envelope(_entry_file(store, key))["hits_served"] == 0
+        path = _entry_file(store, key)
+        assert self._hits(path) == 0
+        assert not sidecar_path(path).exists()  # no serves, no sidecar
         assert store.manifest()[0]["hits_served"] == 0
 
     def test_disk_hit_bumps_and_persists(self, tmp_path):
@@ -388,11 +402,11 @@ class TestHitsServed:
 
         reader = TraceStore(disk_dir=tmp_path)  # cold memory, warm disk
         assert reader.get(key) is not None  # disk hit -> bump
-        assert self._envelope(path)["hits_served"] == 1
+        assert self._hits(path) == 1
         assert reader.get(key) is not None  # memory hit -> no bump
-        assert self._envelope(path)["hits_served"] == 1
+        assert self._hits(path) == 1
         assert TraceStore(disk_dir=tmp_path).get(key) is not None
-        assert self._envelope(path)["hits_served"] == 2
+        assert self._hits(path) == 2
 
     def test_bump_freshens_mtime_for_lru(self, tmp_path):
         store = TraceStore(disk_dir=tmp_path)
@@ -401,7 +415,7 @@ class TestHitsServed:
         _set_age(path, 1000)
         aged = path.stat().st_mtime
         assert TraceStore(disk_dir=tmp_path).get(key) is not None
-        assert path.stat().st_mtime > aged  # the rewrite IS the freshen
+        assert path.stat().st_mtime > aged  # utime freshens, no rewrite
 
     def test_payload_survives_bumps(self, tmp_path):
         from repro.sim import replay_trace
@@ -417,31 +431,37 @@ class TestHitsServed:
         assert replay_trace(cfg, entry).timing \
             == run.run(cfg, verify=False).timing
 
-    def test_pre_counter_envelope_reads_as_zero_then_bumps(self, tmp_path):
-        """A v4 file written before the counter existed is still valid."""
+    def test_envelope_counter_field_is_the_base(self, tmp_path):
+        """An envelope carrying a non-zero ``hits_served`` (e.g. a file a
+        foreign revision wrote) adds to the sidecar's count."""
         store = TraceStore(disk_dir=tmp_path)
         key = _capture_entry(store)
         path = _entry_file(store, key)
         envelope = self._envelope(path)
-        del envelope["hits_served"]  # simulate an early-v4 entry
+        envelope["hits_served"] = 5
         path.write_bytes(pickle.dumps(envelope))
 
-        assert store.manifest()[0]["hits_served"] == 0
+        assert store.manifest()[0]["hits_served"] == 5
         reader = TraceStore(disk_dir=tmp_path)
-        assert reader.get(key) is not None  # missing field -> treated as 0
-        assert self._envelope(path)["hits_served"] == 1
+        assert reader.get(key) is not None
+        assert self._hits(path) == 6
+        assert reader.manifest()[0]["hits_served"] == 6
 
     def test_recapture_resets_counter(self, tmp_path):
+        from repro.sim.trace_cache import sidecar_path
+
         store = TraceStore(disk_dir=tmp_path)
         key = _capture_entry(store)
         path = _entry_file(store, key)
         assert TraceStore(disk_dir=tmp_path).get(key) is not None
-        assert self._envelope(path)["hits_served"] == 1
-        # A put (recapture) rewrites the payload: new life, zero hits.
+        assert self._hits(path) == 1
+        # A put (recapture) rewrites the payload and unlinks the
+        # sidecar: new life, zero hits.
         cfg = Ara2Config(lanes=4)
         run = build_fmatmul(cfg, 64, m=8, k=16)
         store.put(key, run.capture(cfg, verify=False))
-        assert self._envelope(path)["hits_served"] == 0
+        assert self._hits(path) == 0
+        assert not sidecar_path(path).exists()
 
     def test_ingest_remote_counts_as_a_serve(self, tmp_path):
         """Adopting a worker's disk-routed capture is a disk serve too."""
@@ -450,7 +470,7 @@ class TestHitsServed:
         path = _entry_file(writer, key)
         reader = TraceStore(disk_dir=tmp_path)
         assert reader.ingest_remote(key) is not None
-        assert self._envelope(path)["hits_served"] == 1
+        assert self._hits(path) == 1
 
     def test_plain_cache_never_bumps(self, tmp_path):
         """Transient TraceCache readers (pool workers) leave it alone."""
@@ -458,7 +478,7 @@ class TestHitsServed:
         key = _capture_entry(store)
         path = _entry_file(store, key)
         assert TraceCache(disk_dir=tmp_path).get(key) is not None
-        assert self._envelope(path)["hits_served"] == 0
+        assert self._hits(path) == 0
 
     def test_store_stats_totals_hits_served(self, tmp_path):
         store = TraceStore(disk_dir=tmp_path)
@@ -480,3 +500,98 @@ class TestHitsServed:
         summary = store.gc()
         assert summary["purged_stale"] == 0
         assert summary["entries"] == 1
+
+    def test_gc_reaps_orphaned_sidecars(self, tmp_path):
+        from repro.sim.trace_cache import sidecar_path
+
+        store = TraceStore(disk_dir=tmp_path)
+        key = _capture_entry(store)
+        path = _entry_file(store, key)
+        assert TraceStore(disk_dir=tmp_path).get(key) is not None
+        live_side = sidecar_path(path)
+        assert live_side.exists()
+        orphan = tmp_path / "trace_gone.pkl.hits"
+        orphan.write_bytes(b"7")
+
+        summary = store.gc()
+        assert summary["reaped_sidecars"] == 1
+        assert not orphan.exists()
+        assert live_side.exists(), "a live entry keeps its sidecar"
+
+    def test_eviction_takes_the_sidecar_along(self, tmp_path):
+        from repro.sim.trace_cache import sidecar_path
+
+        store = TraceStore(disk_dir=tmp_path)
+        key_a = _capture_entry(store, k=16)
+        key_b = _capture_entry(store, k=32)
+        path_a, path_b = (_entry_file(store, k) for k in (key_a, key_b))
+        assert TraceStore(disk_dir=tmp_path).get(key_a) is not None
+        _set_age(path_a, 500)  # bumped, then aged: first out
+
+        store.gc(max_bytes=path_b.stat().st_size)
+        assert not path_a.exists()
+        assert not sidecar_path(path_a).exists()
+
+
+# ----------------------------------------------------------------------
+# Warm-serve write cost: the sidecar keeps a disk hit O(counter bytes)
+# ----------------------------------------------------------------------
+class TestWarmServeWriteCost:
+    def test_warm_serve_writes_only_counter_bytes(self, tmp_path):
+        from repro.sim.trace_cache import sidecar_path
+
+        writer = TraceStore(disk_dir=tmp_path)
+        key = _capture_entry(writer)
+        path = _entry_file(writer, key)
+        entry_bytes = path.read_bytes()
+
+        reader = TraceStore(disk_dir=tmp_path)
+        assert reader.get(key) is not None  # warm disk hit
+        written = reader.last_serve_write_bytes
+        assert written > 0
+        assert written == sidecar_path(path).stat().st_size
+        # The acceptance bound: a warm hit writes strictly fewer bytes
+        # than the entry's payload — and in fact only a tiny counter.
+        assert written < path.stat().st_size
+        assert written <= 20
+        assert path.read_bytes() == entry_bytes, \
+            "a warm serve must not rewrite the envelope"
+        assert reader.serve_write_bytes == written
+
+        assert TraceStore(disk_dir=tmp_path).get(key) is not None
+        assert path.read_bytes() == entry_bytes
+
+    def test_enospc_on_serve_demotes_to_memory_only(self, tmp_path):
+        """The sidecar write classifies failures like put(): ENOSPC
+        demotes the store (one warning), it is never silently swallowed."""
+        from repro.sim.faults import FaultPlan
+        from repro.sim.trace_cache import sidecar_path
+
+        writer = TraceStore(disk_dir=tmp_path)
+        key_a = _capture_entry(writer, k=16)
+        key_b = _capture_entry(writer, k=32)
+
+        reader = TraceStore(disk_dir=tmp_path,
+                            fault_plan=FaultPlan(seed=3, enospc_rate=1.0))
+        with pytest.warns(RuntimeWarning, match="memory-only"):
+            assert reader.get(key_a) is not None  # trace still served
+        assert reader.memory_only
+        assert reader.serve_write_bytes == 0
+        # Once demoted, later serves skip the disk write entirely (and
+        # warn no second time); no sidecar ever lands.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert reader.get(key_b) is not None
+        assert not sidecar_path(_entry_file(reader, key_a)).exists()
+        assert not sidecar_path(_entry_file(reader, key_b)).exists()
+
+    def test_transient_io_error_on_serve_is_counted_not_fatal(self, tmp_path):
+        from repro.sim.faults import FaultPlan
+
+        writer = TraceStore(disk_dir=tmp_path)
+        key = _capture_entry(writer)
+        reader = TraceStore(disk_dir=tmp_path,
+                            fault_plan=FaultPlan(seed=3, io_error_rate=1.0))
+        assert reader.get(key) is not None  # serve survives the fault
+        assert reader.serve_note_errors == 1
+        assert not reader.memory_only
