@@ -92,3 +92,28 @@ def test_ablation_queue_depth(benchmark, trace_store, workers,
     # Deeper queues monotonically help (or saturate) at medium vectors.
     utils = [float(r[1][:-1]) for r in rows]
     assert utils == sorted(utils)
+
+
+def test_ablation_ring_hop_zoo_kernels(benchmark, trace_store, workers,
+                                       capture_workers):
+    # The zoo's permute-bound kernels (scan: log-depth slides; sort:
+    # rgather + mask algebra per compare-exchange) are the workloads a
+    # slow ring actually hurts — the curated six barely touch the SLDU.
+    hops = (1, 2, 4, 8)
+
+    def sweep():
+        configs = [AraXLConfig(lanes=8, ring_hop_latency=h) for h in hops]
+        utils = run_knob_sweep(configs, [("scan", 256, {}), ("sort", 256, {})],
+                               trace_cache=trace_store, workers=workers,
+                               capture_workers=capture_workers)
+        return [(hop, f"{u[0] * 100:.1f}%", f"{u[1] * 100:.1f}%")
+                for hop, u in zip(hops, utils)]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_output("ablation_ring_hop_zoo", render_table(
+        ("hop cycles", "scan util", "sort util"), rows,
+        title="Ablation — RINGI hop latency on zoo kernels (8L AraXL, "
+              "256 B/lane)"))
+    # Slide/gather-bound work never speeds up as hops get slower.
+    scan_utils = [float(r[1][:-1]) for r in rows]
+    assert scan_utils == sorted(scan_utils, reverse=True)

@@ -32,6 +32,9 @@ ENV_STORE_BYTES = "REPRO_TRACE_STORE_BYTES"
 #: Environment variable holding a fault-injection plan spec string.
 ENV_FAULT_PLAN = "REPRO_FAULT_PLAN"
 
+#: Environment variable setting the fuzz property-harness seed count.
+ENV_FUZZ_SEEDS = "REPRO_FUZZ_SEEDS"
+
 
 @dataclass(frozen=True)
 class EnvKnob:
@@ -77,6 +80,11 @@ KNOBS: tuple[EnvKnob, ...] = (
             env=ENV_FAULT_PLAN,
             default="no injected faults",
             section="faults"),
+    EnvKnob(knob="Fuzz seed count",
+            cli="`--seeds N` (CLI `fuzz`); `--fuzz-seeds N` (pytest)",
+            env=ENV_FUZZ_SEEDS,
+            default="8 (pytest tier-1); 25 (CLI)",
+            section="fuzz"),
 )
 
 #: Registered environment-variable names -> their knob entries.

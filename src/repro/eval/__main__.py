@@ -15,7 +15,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from ..env import ENV_STORE_DIR, read_env
+from ..env import ENV_FUZZ_SEEDS, ENV_STORE_DIR, read_env
 from ..errors import ConfigError
 from ..machine import get_machine, list_machines
 from ..sim.parallel import SimPool
@@ -53,7 +53,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
                         help="experiment ids to run: "
                              + ", ".join(sorted(EXPERIMENTS))
-                             + ", or 'all' to run every one")
+                             + ", 'all' to run every one, or 'fuzz' for "
+                             "the seeded differential property sweep")
+    parser.add_argument("--seeds", type=int, default=None, metavar="N",
+                        help="seed count for the 'fuzz' sweep (default: "
+                             "$REPRO_FUZZ_SEEDS, else 25)")
+    parser.add_argument("--fuzz-size", type=int, default=40, metavar="N",
+                        help="generated chunks per fuzz program "
+                             "(default 40)")
+    parser.add_argument("--features", default="all", metavar="SPEC",
+                        help="fuzz generator feature set: 'all' or a "
+                             "comma list (see docs/fuzzing.md)")
     parser.add_argument("--scale", default="paper",
                         choices=("paper", "reduced"),
                         help="problem-size scale for the simulation sweeps")
@@ -111,7 +121,10 @@ def main(argv: list[str] | None = None) -> int:
                   f"lanes={spec.lanes:<3d} fingerprint={spec.fingerprint}")
         return 0
 
-    valid = set(EXPERIMENTS) | {"all"}
+    # 'fuzz' is deliberately not an EXPERIMENTS entry: the registry's
+    # simulation/static partition describes paper artifacts, while the
+    # fuzz sweep is a property harness with its own seed arguments.
+    valid = set(EXPERIMENTS) | {"all", "fuzz"}
     unknown = [name for name in args.experiments if name not in valid]
     if unknown:
         parser.error(f"unknown experiment(s) {', '.join(unknown)}; "
@@ -119,8 +132,10 @@ def main(argv: list[str] | None = None) -> int:
     if not args.experiments:
         parser.error("no experiments requested (pass ids like 'fig6' or "
                      "'all', or use --list-machines)")
+    run_fuzz_sweep = "fuzz" in args.experiments
     names = sorted(EXPERIMENTS) if "all" in args.experiments \
-        else list(dict.fromkeys(args.experiments))
+        else [name for name in dict.fromkeys(args.experiments)
+              if name != "fuzz"]
 
     # Resolve --machine arguments (registry names or spec-file paths)
     # up front so a typo fails before any simulation work starts.
@@ -150,12 +165,14 @@ def main(argv: list[str] | None = None) -> int:
     # log aggregates recoveries across the whole invocation (and its
     # executor — including any rebuilt replacement — is reused).
     pool = None
-    if any(name in SIMULATION_EXPERIMENTS for name in names):
+    if run_fuzz_sweep or any(name in SIMULATION_EXPERIMENTS
+                             for name in names):
         pool = SimPool(workers=args.workers,
                        capture_workers=args.capture_workers,
                        cache=store if store is not None else TraceCache(),
                        job_timeout=args.job_timeout)
 
+    fuzz_failures = 0
     try:
         for name in names:
             text = run_experiment(name, scale=args.scale,
@@ -165,6 +182,18 @@ def main(argv: list[str] | None = None) -> int:
                                   job_timeout=args.job_timeout,
                                   sim_pool=pool,
                                   machines=machines)
+            print(text)
+            print()
+        if run_fuzz_sweep:
+            from .fuzz import run_fuzz
+
+            seeds = args.seeds
+            if seeds is None:
+                env_seeds = read_env(ENV_FUZZ_SEEDS)
+                seeds = int(env_seeds) if env_seeds else 25
+            text, fuzz_failures = run_fuzz(
+                seeds=seeds, size=args.fuzz_size, features=args.features,
+                machines=machines, sim_pool=pool)
             print(text)
             print()
     finally:
@@ -197,7 +226,7 @@ def main(argv: list[str] | None = None) -> int:
               f"io_retries={cache.io_retries} "
               f"memory_only={int(cache.memory_only)} "
               f"recovered_total={recovered}")
-    return 0
+    return 1 if fuzz_failures else 0
 
 
 if __name__ == "__main__":

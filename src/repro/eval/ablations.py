@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..kernels import KERNELS
+from ..kernels import zoo_builder
 from ..params import SystemConfig
 from ..sim import CaptureTask, SimPool, TraceCache, run_pipeline
 
@@ -52,7 +52,7 @@ def run_knob_sweep(configs: Sequence[SystemConfig],
     captures: list[CaptureTask] = []
     replays = []
     for name, bpl, kw in kernel_specs:
-        runs.append(KERNELS[name](configs[0], bpl, **kw))
+        runs.append(zoo_builder(name)(configs[0], bpl, **kw))
         cidx = len(captures)
         captures.append(CaptureTask.for_kernel(name, configs[0], bpl, kw))
         replays.extend((config, cidx) for config in configs)

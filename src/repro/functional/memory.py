@@ -113,6 +113,8 @@ class FunctionalMemory:
 
     def write_strided(self, addr: int, values: np.ndarray, stride: int) -> None:
         values = np.ascontiguousarray(values)
+        if values.size == 0:  # e.g. a masked store with no active elements
+            return
         starts = addr + stride * np.arange(values.size, dtype=np.int64)
         idx = self._byte_matrix(starts, values.dtype.itemsize)
         self._data[idx] = values.view(np.uint8).reshape(values.size, -1)
@@ -128,6 +130,8 @@ class FunctionalMemory:
     def write_scatter(self, base: int, offsets: np.ndarray,
                       values: np.ndarray) -> None:
         values = np.ascontiguousarray(values)
+        if values.size == 0:  # e.g. a masked store with no active elements
+            return
         starts = base + np.asarray(offsets, dtype=np.int64)
         idx = self._byte_matrix(starts, values.dtype.itemsize)
         self._data[idx] = values.view(np.uint8).reshape(values.size, -1)

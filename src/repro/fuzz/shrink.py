@@ -1,0 +1,126 @@
+"""Minimizing shrink loop for failing fuzz cases.
+
+When a property fails, the raw reproducer is a ~40-chunk random program;
+:func:`shrink_case` reduces it to a minimal failing variant by
+structure-aware delta debugging over the case's chunks:
+
+1. **prefix truncation** — binary-search the shortest failing prefix of
+   the generated middle chunks (the preamble and the self-contained
+   epilogue are always kept, so every candidate is a valid program);
+2. **chunk deletion** — repeated single-chunk deletion passes over the
+   survivors until a fixpoint (no single deletion still fails).
+
+A candidate "fails" when ``predicate`` returns a truthy value (usually
+the :class:`~repro.fuzz.properties.PropertyFailure` re-raised by
+re-checking); any *other* exception from the predicate — e.g. an
+``IllegalInstructionError`` after deleting the ``vsetvli`` an FP op
+relied on — counts as *not reproducing*, so the shrinker never swaps
+the original failure for an unrelated crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .gen import FuzzCase, case_from_chunks
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    original: FuzzCase
+    minimized: FuzzCase
+    failure: object          #: predicate's verdict on the minimized case
+    attempts: int            #: candidate programs evaluated
+    removed_chunks: int      #: chunks dropped from the original
+
+    def report(self) -> str:
+        """Human-readable reproducer summary."""
+        case = self.minimized
+        lines = [
+            f"minimal reproducer for seed {case.seed} "
+            f"(size={case.size}, features={case.features!r}, "
+            f"max_avl={case.max_avl}):",
+            f"  chunks: {len(self.original.chunks)} -> "
+            f"{len(case.chunks)} ({self.removed_chunks} removed, "
+            f"{self.attempts} candidates tried)",
+            f"  instructions: {len(self.original.program)} -> "
+            f"{len(case.program)}",
+            f"  failure: {self.failure}",
+            "  program:",
+        ]
+        lines += [f"    {line}" for line in case.program.listing().split("\n")]
+        return "\n".join(lines)
+
+
+def _failure(predicate: Callable, case: FuzzCase):
+    """Predicate verdict; non-PropertyFailure crashes = not reproducing."""
+    try:
+        return predicate(case)
+    except AssertionError as exc:  # includes PropertyFailure raised inline
+        return exc
+    # repro-lint: disable=RL201  a candidate crashing off-property (e.g.
+    # an FP op whose vsetvli was deleted) is by definition *not* a
+    # reproduction of the original failure; classifying it as "does not
+    # reproduce" is the swallow the shrinker needs.
+    except Exception:
+        return None
+
+
+def shrink_case(case: FuzzCase, predicate: Callable,
+                max_attempts: int = 200) -> ShrinkResult:
+    """Minimize ``case`` while ``predicate`` keeps failing.
+
+    ``predicate(candidate)`` must return a truthy failure description
+    (or raise ``AssertionError``) when the candidate still reproduces
+    the original failure, and a falsy value when it does not.
+    ``max_attempts`` bounds the number of candidate evaluations; the
+    best case found so far is returned when the budget runs out.
+    """
+    failure = _failure(predicate, case)
+    if not failure:
+        raise ValueError("predicate does not fail on the original case")
+    prefix = [chunk for chunk in case.chunks if chunk[0] == "pre"]
+    suffix = [chunk for chunk in case.chunks if chunk[0] == "epi"]
+    middle = [chunk for chunk in case.chunks if chunk[0] in ("cfg", "op")]
+    attempts = 0
+
+    def try_middle(candidate_middle):
+        nonlocal attempts
+        attempts += 1
+        candidate = case_from_chunks(
+            case, prefix + list(candidate_middle) + suffix)
+        return candidate, _failure(predicate, candidate)
+
+    # Phase 1: shortest failing prefix of the middle (binary search).
+    lo, hi = 0, len(middle)  # middle[:hi] fails; middle[:lo-1] may not
+    while lo < hi and attempts < max_attempts:
+        mid = (lo + hi) // 2
+        _, verdict = try_middle(middle[:mid])
+        if verdict:
+            hi = mid
+        else:
+            lo = mid + 1
+    middle = middle[:hi]
+
+    # Phase 2: single-chunk deletion passes to a fixpoint.
+    changed = True
+    while changed and attempts < max_attempts:
+        changed = False
+        index = 0
+        while index < len(middle) and attempts < max_attempts:
+            _, verdict = try_middle(middle[:index] + middle[index + 1:])
+            if verdict:
+                del middle[index]
+                changed = True
+            else:
+                index += 1
+
+    minimized, failure = try_middle(middle)
+    if not failure:  # paranoia: re-verify the final candidate
+        minimized, failure = case, _failure(predicate, case)
+    removed = len(case.chunks) - len(minimized.chunks)
+    return ShrinkResult(original=case, minimized=minimized, failure=failure,
+                        attempts=attempts, removed_chunks=removed)

@@ -18,6 +18,7 @@ softmax       A=N                        1       32/25 * lanes
 
 from collections import OrderedDict
 
+from ..errors import ConfigError
 from .common import KernelRun, vl_and_lmul, run_kernel
 from .fmatmul import build_fmatmul as _build_fmatmul
 from .fconv2d import build_fconv2d as _build_fconv2d
@@ -26,6 +27,8 @@ from .fdotproduct import (build_fdotproduct as _build_fdotproduct,
                           build_fdotproduct_strips)
 from .expk import build_exp as _build_exp
 from .softmax import build_softmax as _build_softmax
+from .scan import build_scan as _build_scan
+from .sort import build_sort as _build_sort
 
 #: Builds are deterministic in (kernel, lanes, VLEN, B/lane, kwargs):
 #: the program, input data and golden model all derive from those alone,
@@ -59,14 +62,25 @@ def _memoized(name: str, builder):
     return build
 
 
+def _build_fuzz(config, bytes_per_lane, **kwargs) -> KernelRun:
+    """Deferred import: :mod:`repro.fuzz` depends on this package."""
+    from ..fuzz.kernel import build_fuzz
+    return build_fuzz(config, bytes_per_lane, **kwargs)
+
+
 build_fmatmul = _memoized("fmatmul", _build_fmatmul)
 build_fconv2d = _memoized("fconv2d", _build_fconv2d)
 build_jacobi2d = _memoized("jacobi2d", _build_jacobi2d)
 build_fdotproduct = _memoized("fdotproduct", _build_fdotproduct)
 build_exp = _memoized("exp", _build_exp)
 build_softmax = _memoized("softmax", _build_softmax)
+build_scan = _memoized("scan", _build_scan)
+build_sort = _memoized("sort", _build_sort)
+build_fuzz_kernel = _memoized("fuzz", _build_fuzz)
 
-#: Kernel registry keyed by the paper's benchmark names.
+#: Kernel registry keyed by the paper's benchmark names.  Deliberately
+#: pinned to Table I: the paper sweeps (fig6/fig7/table1) default to
+#: iterating this dict, so growing it would change rendered figures.
 KERNELS = {
     "fmatmul": build_fmatmul,
     "fconv2d": build_fconv2d,
@@ -76,9 +90,35 @@ KERNELS = {
     "softmax": build_softmax,
 }
 
+#: The full curated zoo: every kernel the capture/replay pipeline can
+#: build by name — the paper's six plus the scenario-diversity kernels
+#: (``scan``, ``sort``) and the seeded random-program generator
+#: (``fuzz``).  :class:`~repro.sim.parallel.CaptureTask` and
+#: :func:`~repro.eval.ablations.run_knob_sweep` resolve names here, so
+#: zoo kernels ride the same SimPool/TraceStore machinery unchanged.
+ZOO = {
+    **KERNELS,
+    "scan": build_scan,
+    "sort": build_sort,
+    "fuzz": build_fuzz_kernel,
+}
+
+
+def zoo_builder(name: str):
+    """Resolve a kernel name against the full zoo (raises on unknown)."""
+    try:
+        return ZOO[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown kernel {name!r}; the zoo has "
+            f"{', '.join(sorted(ZOO))}") from None
+
+
 __all__ = [
     "KernelRun",
     "KERNELS",
+    "ZOO",
+    "zoo_builder",
     "vl_and_lmul",
     "run_kernel",
     "build_fmatmul",
@@ -88,4 +128,7 @@ __all__ = [
     "build_fdotproduct_strips",
     "build_exp",
     "build_softmax",
+    "build_scan",
+    "build_sort",
+    "build_fuzz_kernel",
 ]

@@ -1,0 +1,91 @@
+"""scan — inclusive prefix sum via Hillis-Steele doubling (zoo kernel).
+
+Not a paper kernel: ``scan`` extends the curated zoo beyond Table I to
+exercise the slide unit on a data-movement-heavy pattern the figures
+never touch.  Each of the ``log2(vl)`` doubling steps slides the running
+vector up by ``offset`` (zero-filling the low elements via a splat) and
+adds it back in, so SLDU and VMFPU alternate on the same register group.
+
+The golden model replays the *same association order* step by step —
+``np.cumsum`` would sum left-to-right and differ in the last ulps — so
+the check is exact, not tolerance-washed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.asm import Assembler
+from ..params import SystemConfig
+from .common import (KernelRun, Layout, check_array, lazy_golden,
+                     memo_program, rng_for, vl_and_lmul)
+
+
+def _scan_program(n: int, lmul: int) -> tuple:
+    """Program-only skeleton: assembled program plus buffer bases."""
+    layout = Layout()
+    a_base = layout.alloc_f64("A", n)
+    o_base = layout.alloc_f64("out", n)
+
+    vacc, vshift = f"v{lmul}", f"v{2 * lmul}"
+
+    asm = Assembler(f"scan_{n}")
+    asm.li("x1", n)
+    asm.vsetvli("x2", "x1", sew=64, lmul=lmul)
+    asm.li("x5", a_base)
+    asm.li("x6", o_base)
+    asm.vle64_v(vacc, "x5")
+    offset = 1
+    while offset < n:
+        # Slideup leaves elements below `offset` undisturbed, so zero the
+        # destination first to get [0]*offset ++ acc[:n-offset].
+        asm.vmv_v_i(vshift, 0)
+        asm.li("x7", offset)
+        asm.vslideup_vx(vshift, vacc, "x7")
+        asm.vfadd_vv(vacc, vacc, vshift)
+        offset *= 2
+    asm.vse64_v(vacc, "x6")
+    asm.halt()
+    return asm.build(), a_base, o_base
+
+
+def _scan_golden(n: int) -> tuple:
+    """Input vector and the doubling-order prefix sum (built on first use)."""
+    rng = rng_for("scan", n)
+    a_vec = rng.uniform(-1.0, 1.0, size=n)
+    acc = a_vec.copy()
+    offset = 1
+    while offset < n:
+        shifted = np.zeros(n)
+        shifted[offset:] = acc[: n - offset]
+        acc = acc + shifted
+        offset *= 2
+    return a_vec, acc
+
+
+def build_scan(config: SystemConfig, bytes_per_lane: int) -> KernelRun:
+    """Build the prefix-sum kernel (arrays stay lazy)."""
+    vl, lmul = vl_and_lmul(config, bytes_per_lane)
+    n = vl
+    steps = max(1, n - 1).bit_length() if n > 1 else 0
+
+    program, a_base, o_base = memo_program(
+        ("scan", n, lmul), lambda: _scan_program(n, lmul))
+    golden = lazy_golden(("scan", n), lambda: _scan_golden(n))
+
+    def setup(sim) -> None:
+        sim.mem.write_array(a_base, golden()[0])
+
+    def check(sim) -> float:
+        return check_array(sim, o_base, golden()[1], "scan")
+
+    return KernelRun(
+        name="scan",
+        program=program,
+        setup=setup,
+        check=check,
+        dp_flops=float(n * steps),
+        max_flops_per_cycle=float(config.lanes),
+        problem={"n": n, "vl": vl, "lmul": lmul,
+                 "bytes_per_lane": bytes_per_lane},
+    )

@@ -1,0 +1,104 @@
+"""sort — in-register bitonic sort of one strip (zoo kernel).
+
+Not a paper kernel: ``sort`` stresses the units the curated set barely
+touches together — every compare-exchange stage runs ``vrgather`` (SLDU
+at quarter throughput) to fetch the partner lane, integer mask algebra
+on the MASKU, and an FP min/max/merge triple on VMFPU/VALU — so replay
+identity is pinned on a permute-heavy, mask-heavy instruction mix.
+
+The network sorts the ``vl``-element strip ascending with exact f64
+compares, so the golden model is simply ``np.sort``.  Register budget:
+seven LMUL-sized groups at bases ``4 + k*lmul`` plus ``v0``-``v2`` for
+masks, which fits for LMUL <= 4 (the sweeps' 64..512 B/lane range).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..isa.asm import Assembler
+from ..params import SystemConfig
+from .common import (KernelRun, Layout, check_array, lazy_golden,
+                     memo_program, rng_for, vl_and_lmul)
+
+
+def _sort_program(n: int, lmul: int) -> tuple:
+    """Program-only skeleton: assembled program plus buffer bases."""
+    layout = Layout()
+    a_base = layout.alloc_f64("A", n)
+    o_base = layout.alloc_f64("out", n)
+
+    vdata, vid, vix, vpart, vmin, vmax, vt = (
+        f"v{4 + k * lmul}" for k in range(7))
+
+    asm = Assembler(f"sort_{n}")
+    asm.li("x1", n)
+    asm.vsetvli("x2", "x1", sew=64, lmul=lmul)
+    asm.li("x5", a_base)
+    asm.li("x6", o_base)
+    asm.vle64_v(vdata, "x5")
+    asm.vid_v(vid)
+    k = 2
+    while k <= n:
+        j = k // 2
+        while j >= 1:
+            asm.li("x7", j)
+            asm.vxor_vx(vix, vid, "x7")          # partner index i ^ j
+            asm.vrgather_vv(vpart, vdata, vix)   # partner values
+            asm.li("x8", k)
+            asm.vand_vx(vt, vid, "x8")
+            asm.vmseq_vi("v2", vt, 0)            # ascending block?
+            asm.vand_vx(vt, vid, "x7")
+            asm.vmseq_vi("v1", vt, 0)            # lower half of the pair?
+            # Keep the minimum exactly when "lower half" == "ascending".
+            asm.vmxnor_mm("v0", "v1", "v2")
+            asm.vfmin_vv(vmin, vdata, vpart)
+            asm.vfmax_vv(vmax, vdata, vpart)
+            asm.vmerge_vvm(vdata, vmax, vmin)    # v0 ? min : max
+            j //= 2
+        k *= 2
+    asm.vse64_v(vdata, "x6")
+    asm.halt()
+    return asm.build(), a_base, o_base
+
+
+def _sort_golden(n: int) -> tuple:
+    """Input vector and its ascending sort (built on first use)."""
+    rng = rng_for("sort", n)
+    a_vec = rng.uniform(-1.0, 1.0, size=n)
+    return a_vec, np.sort(a_vec)
+
+
+def build_sort(config: SystemConfig, bytes_per_lane: int) -> KernelRun:
+    """Build the bitonic-sort kernel (arrays stay lazy)."""
+    vl, lmul = vl_and_lmul(config, bytes_per_lane)
+    if lmul > 4:
+        raise ConfigError(
+            f"sort needs seven register groups plus three mask registers, "
+            f"which LMUL={lmul} cannot fit in 32 registers (use "
+            f"bytes_per_lane <= 512)")
+    n = vl
+    stages = (n - 1).bit_length() if n > 1 else 0
+    steps = stages * (stages + 1) // 2
+
+    program, a_base, o_base = memo_program(
+        ("sort", n, lmul), lambda: _sort_program(n, lmul))
+    golden = lazy_golden(("sort", n), lambda: _sort_golden(n))
+
+    def setup(sim) -> None:
+        sim.mem.write_array(a_base, golden()[0])
+
+    def check(sim) -> float:
+        return check_array(sim, o_base, golden()[1], "sort")
+
+    return KernelRun(
+        name="sort",
+        program=program,
+        setup=setup,
+        check=check,
+        dp_flops=float(2 * n * steps),
+        max_flops_per_cycle=float(config.lanes),
+        problem={"n": n, "vl": vl, "lmul": lmul,
+                 "bytes_per_lane": bytes_per_lane},
+    )

@@ -423,10 +423,10 @@ class CaptureTask:
         golden arrays — those are built on first ``setup``/``check``
         use, i.e. only where a capture actually executes.
         """
-        from ..kernels import KERNELS  # deferred: kernels import repro.sim
+        from ..kernels import zoo_builder  # deferred: kernels import repro.sim
 
-        return KERNELS[self.kernel](self.config, self.bytes_per_lane,
-                                    **dict(self.kwargs))
+        return zoo_builder(self.kernel)(self.config, self.bytes_per_lane,
+                                        **dict(self.kwargs))
 
     def key(self) -> TraceKey:
         """The trace key this task's capture will land under."""

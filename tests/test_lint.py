@@ -623,6 +623,18 @@ def test_trace_store_knob_table_matches_registry():
         "regenerate the Knobs table from repro.env.knob_table('store')"
 
 
+def test_fuzz_knob_table_matches_registry():
+    """docs/fuzzing.md's knob table is the registry's, verbatim."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.env import knob_table
+    finally:
+        sys.path.pop(0)
+    doc = (REPO_ROOT / "docs" / "fuzzing.md").read_text()
+    assert knob_table("fuzz") in doc, \
+        "regenerate the Knobs table from repro.env.knob_table('fuzz')"
+
+
 def test_registry_rejects_unregistered_reads():
     """read_env raises KeyError for names outside the registry."""
     sys.path.insert(0, str(REPO_ROOT / "src"))

@@ -39,7 +39,8 @@ class DeterminismChecker(Checker):
                    "unordered set iteration where fingerprints and "
                    "rendered output are computed")
     scope = ("src/repro/functional/", "src/repro/timing/",
-             "src/repro/isa/", "src/repro/sim/simulator.py",
+             "src/repro/isa/", "src/repro/fuzz/",
+             "src/repro/sim/simulator.py",
              "src/repro/sim/trace_cache.py",
              "src/repro/sim/trace_store.py")
 

@@ -22,7 +22,7 @@ from ..core import RepoChecker
 #: Markdown files the link/CLI checks cover.
 DOC_FILES = ("README.md", "docs/architecture.md", "docs/machine-models.md",
              "docs/trace-store.md", "docs/robustness.md",
-             "docs/static-analysis.md")
+             "docs/static-analysis.md", "docs/fuzzing.md")
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
